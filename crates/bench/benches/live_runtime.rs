@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the live threaded runtime: what the paper's
+//! user-level-implementation argument (§5 lesson 2) buys on modern
+//! hardware.
+//!
+//! `cargo bench -p amoeba-bench --bench live_runtime`
+
+use amoeba_core::{GroupConfig, GroupEvent, GroupId};
+use amoeba_runtime::{Amoeba, FaultPlan};
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+/// Round-trip latency of one totally-ordered broadcast in a live
+/// 2-member group (send on one member, observe delivery on the other).
+fn bench_live_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live");
+    group.sample_size(30);
+    for &size in &[0usize, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("broadcast_rtt_{size}B"), |b| {
+            let amoeba = Amoeba::new(7, FaultPlan::reliable());
+            let gid = GroupId(1);
+            let a = amoeba.create_group(gid, GroupConfig::default()).expect("create");
+            let bm = amoeba.join_group(gid, GroupConfig::default()).expect("join");
+            let payload = Bytes::from(vec![0u8; size]);
+            // Drain membership events first.
+            while a.receive_timeout(std::time::Duration::from_millis(10)).is_ok() {}
+            b.iter(|| {
+                bm.send_to_group(payload.clone()).expect("send");
+                loop {
+                    match a.receive_from_group().expect("event") {
+                        GroupEvent::Message { .. } => break,
+                        _ => continue,
+                    }
+                }
+            });
+            black_box(&bm);
+        });
+    }
+    group.finish();
+}
+
+/// Sustained blocking sends, one outstanding at a time — the paper's
+/// throughput loop shape.
+fn bench_live_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("blocking_sends_x100", |b| {
+        let amoeba = Amoeba::new(9, FaultPlan::reliable());
+        let gid = GroupId(1);
+        let a = amoeba.create_group(gid, GroupConfig::default()).expect("create");
+        let bm = amoeba.join_group(gid, GroupConfig::default()).expect("join");
+        let payload = Bytes::from_static(b"x");
+        b.iter(|| {
+            for _ in 0..100 {
+                bm.send_to_group(payload.clone()).expect("send");
+            }
+        });
+        black_box(&a);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_broadcast, bench_live_throughput);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! `cargo bench -p amoeba-bench --bench paper_figures`
+//!
+//! Regenerates every table and figure of the paper at Quick scale and
+//! prints paper-vs-measured rows. (The `figures` binary runs the same
+//! harness with a `--quick`/full switch and per-figure selection.)
+
+use amoeba_bench::experiments;
+use amoeba_bench::report::Scale;
+
+fn main() {
+    // cargo passes --bench; no criterion here — the deliverable is the
+    // printed reproduction itself.
+    println!("Regenerating the ICDCS '96 evaluation (Quick scale)…\n");
+    let mut worst: Option<(String, f64)> = None;
+    for fig in experiments::all(Scale::Quick) {
+        println!("{}", fig.render());
+        for anchor in &fig.anchors {
+            let drift = (anchor.ratio() - 1.0).abs();
+            if worst.as_ref().map(|(_, w)| drift > *w).unwrap_or(true) {
+                worst = Some((format!("{}: {}", fig.id, anchor.what), drift));
+            }
+        }
+    }
+    if let Some((what, drift)) = worst {
+        println!("largest anchor drift: {what} ({:.0}% off the paper's value)", drift * 100.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [ids...]     ids: table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 rpc
+//! ```
+
+use amoeba_bench::experiments;
+use amoeba_bench::report::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!(
+        "Amoeba group communication — reproduction of the ICDCS '96 evaluation ({:?} scale)\n",
+        scale
+    );
+    let figures = if ids.is_empty() {
+        experiments::all(scale)
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::by_id(id, scale)
+                    .unwrap_or_else(|| panic!("unknown experiment id {id}"))
+            })
+            .collect()
+    };
+    for fig in figures {
+        println!("{}", fig.render());
+    }
+}

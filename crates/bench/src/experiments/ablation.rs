@@ -1,0 +1,65 @@
+//! Ablation: the PB/BB trade-off and the dynamic switch.
+//!
+//! The paper's kernel "switches dynamically between the PB and BB
+//! methods depending on message size" (§3.1) but never plots the
+//! crossover. This ablation does: delay vs. payload size under PB
+//! pinned, BB pinned, and the dynamic switch — showing that PB wins
+//! for messages that fit one packet (one interrupt per receiver
+//! matters more than 2n bytes of bandwidth) while BB wins beyond it,
+//! and that the dynamic policy tracks the winner on both sides.
+
+use amoeba_core::Method;
+use amoeba_sim::Series;
+
+use super::measure_delay;
+use crate::report::{Anchor, Figure, Scale};
+
+/// Payload sizes bracketing the one-fragment boundary (1430 bytes of
+/// payload above the full header stack).
+const SIZES: [u32; 7] = [0, 256, 1_024, 1_430, 2_048, 4_096, 8_000];
+
+/// The ablation figure: three policies, one curve each.
+pub fn ablation_method_switch(scale: Scale) -> Figure {
+    let members = 4;
+    let policies: [(&str, Method); 3] = [
+        ("PB pinned", Method::Pb),
+        ("BB pinned", Method::Bb),
+        ("dynamic", Method::default()),
+    ];
+    let mut series = Vec::new();
+    for (label, method) in policies {
+        let mut s = Series::new(label);
+        for &size in &SIZES {
+            let us = measure_delay(members, size, method, 0, scale, 950 + u64::from(size));
+            s.push(f64::from(size), us / 1_000.0);
+        }
+        series.push(s);
+    }
+    // The dynamic policy should never be meaningfully worse than the
+    // better of the two pinned methods, at either extreme.
+    let dyn_small = series[2].y_at(0.0).expect("dynamic at 0B");
+    let pb_small = series[0].y_at(0.0).expect("pb at 0B");
+    let dyn_big = series[2].y_at(8_000.0).expect("dynamic at 8KB");
+    let bb_big = series[1].y_at(8_000.0).expect("bb at 8KB");
+    Figure {
+        id: "ablation",
+        title: "Ablation: PB vs BB vs the kernel's dynamic switch (group of 4)",
+        x_label: "payload bytes",
+        y_label: "ms per SendToGroup",
+        anchors: vec![
+            Anchor {
+                what: "dynamic tracks PB on small messages (ratio)".into(),
+                paper: 1.0,
+                measured: dyn_small / pb_small,
+                unit: "ratio",
+            },
+            Anchor {
+                what: "dynamic tracks BB on large messages (ratio)".into(),
+                paper: 1.0,
+                measured: dyn_big / bb_big,
+                unit: "ratio",
+            },
+        ],
+        series,
+    }
+}

@@ -1,0 +1,56 @@
+//! The RPC baseline of §4: "Compared to the Amoeba RPC on the same
+//! architecture, the group communication is 0.1 msec faster."
+
+use amoeba_core::Method;
+use amoeba_kernel::{CostModel, SimWorld, Workload};
+use amoeba_sim::{SimDuration, Series};
+
+use super::measure_delay;
+use crate::report::{Anchor, Figure, Scale};
+
+/// Measures mean null-RPC delay (µs) between two hosts.
+fn measure_rpc_delay(size: u32, scale: Scale, seed: u64) -> f64 {
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), seed);
+    let client = w.add_node();
+    let server = w.add_node();
+    let server_addr = w.sim.world.nodes[server].addr;
+    w.set_workload(server, Workload::RpcEcho);
+    let calls = scale.sends();
+    w.set_workload(client, Workload::RpcPinger { size, remaining: calls, server: server_addr });
+    w.kick();
+    w.run_for(SimDuration::from_micros(calls * 100_000 + 1_000_000));
+    assert_eq!(w.sim.world.nodes[client].stats.rpcs_ok, calls, "all RPCs must complete");
+    w.sim.world.metrics.rpc_delay_us.median()
+}
+
+/// Group send vs RPC: the paper's comparison (group 2, null messages).
+pub fn rpc_baseline(scale: Scale) -> Figure {
+    let sizes: [u32; 3] = [0, 1024, 4096];
+    let mut rpc_series = Series::new("RPC");
+    let mut group_series = Series::new("SendToGroup");
+    for &size in &sizes {
+        rpc_series.push(f64::from(size), measure_rpc_delay(size, scale, 900) / 1_000.0);
+        group_series.push(
+            f64::from(size),
+            measure_delay(2, size, Method::Pb, 0, scale, 901) / 1_000.0,
+        );
+    }
+    let rpc0 = rpc_series.y_at(0.0).expect("null rpc");
+    let grp0 = group_series.y_at(0.0).expect("null group send");
+    Figure {
+        id: "rpc",
+        title: "Null group send vs null RPC (the paper's point-to-point baseline)",
+        x_label: "bytes",
+        y_label: "ms per operation",
+        series: vec![group_series, rpc_series],
+        anchors: vec![
+            Anchor { what: "null RPC delay".into(), paper: 2.8, measured: rpc0, unit: "ms" },
+            Anchor {
+                what: "group send advantage over RPC".into(),
+                paper: 0.1,
+                measured: rpc0 - grp0,
+                unit: "ms",
+            },
+        ],
+    }
+}

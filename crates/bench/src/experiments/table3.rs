@@ -1,0 +1,94 @@
+//! Table 3 / Figure 2: the per-layer critical path of one null
+//! SendToGroup (group of 2, PB method).
+
+use amoeba_core::Method;
+use amoeba_kernel::CostModel;
+use amoeba_net::NetConfig;
+use amoeba_sim::Series;
+
+use super::measure_delay;
+use crate::report::{Anchor, Figure, Scale};
+
+/// Table 3: "The time spent in the critical path of each layer", with
+/// Figure 2's event sequence (U1 G1 F1 E1 → wire → E2a F2a G2 F2b E2b →
+/// wire → E3 F3 G3 U3). The paper reports the total as 2740 µs with the
+/// group layer costing 740 µs; we print the calibrated model's path and
+/// the end-to-end delay actually measured in simulation.
+pub fn table3_breakdown(scale: Scale) -> Figure {
+    let c = CostModel::mc68030_ether10();
+    let net = NetConfig::ether_10mbps();
+    // A null message on the wire: 16 (link) + 40 (FLIP) + 28 (group) +
+    // 32 (user header) = 116 bytes.
+    let wire = net.wire_time(116).as_micros();
+
+    let sender_user = c.user_send_entry; // U1
+    let sender_group = c.group_send; // G1
+    let sender_flip = c.flip_send; // F1
+    let sender_ether = c.ether_tx + c.copy_cost(116); // E1
+    let seq_ether_rx = c.ether_rx + c.copy_cost(116); // E2a (+ flip demux charged with rx)
+    let seq_flip_rx = c.flip_rx; // F2a
+    let seq_group = c.group_seq; // G2
+    let seq_flip_tx = c.flip_send; // F2b
+    let seq_ether_tx = c.ether_tx + c.copy_cost(116) + 2 * c.mcast_per_dest; // E2b
+    let rcv_ether = c.ether_rx + c.copy_cost(116); // E3
+    let rcv_flip = c.flip_rx; // F3
+    let rcv_group = c.group_rx; // G3
+    let rcv_user = c.user_wakeup; // U3 (context switch dominates)
+
+    let mut layer_series = Series::new("model (us)");
+    let steps: [(&str, u64); 15] = [
+        ("U1", sender_user),
+        ("G1", sender_group),
+        ("F1", sender_flip),
+        ("E1", sender_ether),
+        ("wire", wire),
+        ("E2a", seq_ether_rx),
+        ("F2a", seq_flip_rx),
+        ("G2", seq_group),
+        ("F2b", seq_flip_tx),
+        ("E2b", seq_ether_tx),
+        ("wire2", wire),
+        ("E3", rcv_ether),
+        ("F3", rcv_flip),
+        ("G3", rcv_group),
+        ("U3", rcv_user),
+    ];
+    for (i, (_, us)) in steps.iter().enumerate() {
+        layer_series.push(i as f64, *us as f64);
+    }
+    let model_total: u64 = steps.iter().map(|(_, us)| *us).sum();
+    let group_total = sender_group + seq_group + rcv_group;
+
+    // End-to-end measurement of the same configuration in the full
+    // simulator (includes queueing the model table cannot show).
+    let measured_us = measure_delay(2, 0, Method::Pb, 0, scale, 31);
+
+    Figure {
+        id: "table3",
+        title: "Critical path of one 0-byte SendToGroup (group of 2, PB) — \
+                steps U1 G1 F1 E1 wire E2a F2a G2 F2b E2b wire E3 F3 G3 U3",
+        x_label: "step#",
+        y_label: "us in layer",
+        series: vec![layer_series],
+        anchors: vec![
+            Anchor {
+                what: "critical-path total".into(),
+                paper: 2740.0,
+                measured: model_total as f64,
+                unit: "us",
+            },
+            Anchor {
+                what: "group protocol layers (G1+G2+G3)".into(),
+                paper: 740.0,
+                measured: group_total as f64,
+                unit: "us",
+            },
+            Anchor {
+                what: "measured end-to-end sender delay".into(),
+                paper: 2700.0,
+                measured: measured_us,
+                unit: "us",
+            },
+        ],
+    }
+}

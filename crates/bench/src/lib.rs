@@ -1,0 +1,26 @@
+//! The evaluation harness: regenerates every table and figure of
+//! Kaashoek & Tanenbaum's ICDCS '96 evaluation of the Amoeba group
+//! communication system.
+//!
+//! Each experiment in [`experiments`] builds a [`amoeba_kernel::SimWorld`]
+//! matching the paper's setup (30 MC68030 hosts on a 10 Mbit/s
+//! Ethernet, 128-entry history buffer, quiet network, failure-free
+//! runs), sweeps the paper's parameters, and returns a [`report::Figure`]
+//! whose rows print next to the paper's reported anchors.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p amoeba-bench --bin figures --release            # full sweep
+//! cargo run -p amoeba-bench --bin figures --release -- --quick # CI-sized
+//! cargo run -p amoeba-bench --bin figures --release -- fig4 fig6
+//! ```
+//!
+//! The absolute microsecond numbers come from the calibrated
+//! [`amoeba_kernel::CostModel`]; the *claims under test* are the shapes
+//! (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Figure, Scale};

@@ -1,0 +1,82 @@
+//! Actions: the outputs of the sans-io protocol state machine.
+//!
+//! [`crate::GroupCore`] never touches a socket, a clock, or a thread.
+//! Every public call returns a list of [`Action`]s for the driver (the
+//! discrete-event kernel or the live threaded runtime) to execute. This
+//! is what lets the same protocol code power both the paper-figure
+//! simulations and the fault-injected live tests.
+
+use amoeba_flip::FlipAddress;
+
+use crate::error::GroupError;
+use crate::event::GroupEvent;
+use crate::ids::Seqno;
+use crate::info::GroupInfo;
+use crate::message::WireMsg;
+use crate::timer::TimerKind;
+
+/// Where a packet should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// Point-to-point to one process address.
+    Unicast(FlipAddress),
+    /// To the group's FLIP address (hardware multicast when available,
+    /// n point-to-point packets otherwise — FLIP's call).
+    Group,
+}
+
+/// One instruction from the protocol to its driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit `msg` to `dest`.
+    Send {
+        /// Destination.
+        dest: Dest,
+        /// The packet.
+        msg: WireMsg,
+    },
+    /// Arm (or re-arm) the timer `kind` to fire after `after_us`
+    /// microseconds. Re-arming replaces any pending timer of the same
+    /// kind.
+    SetTimer {
+        /// Which timer.
+        kind: TimerKind,
+        /// Microseconds until expiry.
+        after_us: u64,
+    },
+    /// Disarm the timer `kind` (no-op if not armed).
+    CancelTimer {
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// Hand an ordered event to the application (the `ReceiveFromGroup`
+    /// stream).
+    Deliver(GroupEvent),
+    /// A blocking `SendToGroup` finished: `Ok(seqno)` gives the position
+    /// the message was assigned in the total order.
+    SendDone(Result<Seqno, GroupError>),
+    /// A blocking `JoinGroup`/`CreateGroup` finished.
+    JoinDone(Result<GroupInfo, GroupError>),
+    /// A blocking `LeaveGroup` finished.
+    LeaveDone(Result<(), GroupError>),
+    /// A blocking `ResetGroup` finished.
+    ResetDone(Result<GroupInfo, GroupError>),
+}
+
+impl Action {
+    /// Convenience predicate used by drivers and tests.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Action::Send { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_send_distinguishes() {
+        assert!(!Action::Deliver(GroupEvent::Expelled).is_send());
+        assert!(!Action::CancelTimer { kind: TimerKind::SendRetransmit }.is_send());
+    }
+}

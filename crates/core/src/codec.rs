@@ -1,0 +1,551 @@
+//! Binary codec for [`WireMsg`].
+//!
+//! The simulator never serializes (it charges the paper's header sizes
+//! via [`WireMsg::wire_size`]); the live runtime uses this codec so that
+//! packets really cross process-agnostic byte boundaries. The framing is
+//! self-describing and round-trip property-tested; it is *not*
+//! byte-identical to the historical Amoeba layout (sizes for cost
+//! accounting come from `wire_size`, not from this encoding).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use amoeba_flip::FlipAddress;
+
+use crate::ids::{GroupId, MemberId, Seqno, ViewId};
+use crate::message::{Body, Hdr, Sequenced, SequencedKind, WireMsg};
+use crate::view::MemberMeta;
+
+/// Failure to decode a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes.
+    Truncated,
+    /// Unknown body tag.
+    BadBodyTag(u8),
+    /// Unknown sequenced-kind tag.
+    BadKindTag(u8),
+    /// A length field exceeded the remaining buffer.
+    BadLength(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "packet truncated"),
+            DecodeError::BadBodyTag(t) => write!(f, "unknown body tag {t}"),
+            DecodeError::BadKindTag(t) => write!(f, "unknown sequenced-kind tag {t}"),
+            DecodeError::BadLength(l) => write!(f, "length field {l} exceeds buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a packet to bytes.
+pub fn encode_wire_msg(msg: &WireMsg) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + msg.wire_size() as usize);
+    put_hdr(&mut buf, &msg.hdr);
+    put_body(&mut buf, &msg.body);
+    buf.freeze()
+}
+
+/// Decodes a packet produced by [`encode_wire_msg`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, unknown tags, or
+/// inconsistent length fields.
+pub fn decode_wire_msg(buf: &mut impl Buf) -> Result<WireMsg, DecodeError> {
+    let hdr = get_hdr(buf)?;
+    let body = get_body(buf)?;
+    Ok(WireMsg { hdr, body })
+}
+
+// ---------------------------------------------------------------------
+// header
+// ---------------------------------------------------------------------
+
+fn put_hdr(buf: &mut BytesMut, hdr: &Hdr) {
+    buf.put_u64(hdr.group.0);
+    buf.put_u32(hdr.view.0);
+    buf.put_u32(hdr.sender.0);
+    buf.put_u64(hdr.last_delivered.0);
+    buf.put_u64(hdr.gc_floor.0);
+}
+
+fn get_hdr(buf: &mut impl Buf) -> Result<Hdr, DecodeError> {
+    need(buf, 32)?;
+    Ok(Hdr {
+        group: GroupId(buf.get_u64()),
+        view: ViewId(buf.get_u32()),
+        sender: MemberId(buf.get_u32()),
+        last_delivered: Seqno(buf.get_u64()),
+        gc_floor: Seqno(buf.get_u64()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// bodies
+// ---------------------------------------------------------------------
+
+const T_BCAST_REQ: u8 = 1;
+const T_BCAST_DATA: u8 = 2;
+const T_BCAST_ORIG: u8 = 3;
+const T_ACCEPT: u8 = 4;
+const T_TENTATIVE: u8 = 5;
+const T_TENT_ACK: u8 = 6;
+const T_RETRANS_REQ: u8 = 7;
+const T_SYNC_REQ: u8 = 8;
+const T_STATUS: u8 = 9;
+const T_JOIN_REQ: u8 = 10;
+const T_JOIN_ACK: u8 = 11;
+const T_LEAVE_REQ: u8 = 12;
+const T_LEAVE_ACK: u8 = 13;
+const T_VIEW_QUERY: u8 = 14;
+const T_INVITE: u8 = 15;
+const T_INVITE_ACK: u8 = 16;
+const T_NEW_VIEW: u8 = 17;
+const T_PING: u8 = 18;
+const T_PONG: u8 = 19;
+
+fn put_body(buf: &mut BytesMut, body: &Body) {
+    match body {
+        Body::BcastReq { sender_seq, payload } => {
+            buf.put_u8(T_BCAST_REQ);
+            buf.put_u64(*sender_seq);
+            put_bytes(buf, payload);
+        }
+        Body::BcastData { entry } => {
+            buf.put_u8(T_BCAST_DATA);
+            put_sequenced(buf, entry);
+        }
+        Body::BcastOrig { sender_seq, payload } => {
+            buf.put_u8(T_BCAST_ORIG);
+            buf.put_u64(*sender_seq);
+            put_bytes(buf, payload);
+        }
+        Body::Accept { seqno, origin, sender_seq } => {
+            buf.put_u8(T_ACCEPT);
+            buf.put_u64(seqno.0);
+            buf.put_u32(origin.0);
+            buf.put_u64(*sender_seq);
+        }
+        Body::Tentative { entry, resilience } => {
+            buf.put_u8(T_TENTATIVE);
+            buf.put_u32(*resilience);
+            put_sequenced(buf, entry);
+        }
+        Body::TentAck { seqno } => {
+            buf.put_u8(T_TENT_ACK);
+            buf.put_u64(seqno.0);
+        }
+        Body::RetransReq { from, to } => {
+            buf.put_u8(T_RETRANS_REQ);
+            buf.put_u64(from.0);
+            buf.put_u64(to.0);
+        }
+        Body::SyncReq { horizon } => {
+            buf.put_u8(T_SYNC_REQ);
+            buf.put_u64(horizon.0);
+        }
+        Body::Status => buf.put_u8(T_STATUS),
+        Body::JoinReq { addr, nonce } => {
+            buf.put_u8(T_JOIN_REQ);
+            buf.put_u64(addr.as_u64());
+            buf.put_u64(*nonce);
+        }
+        Body::JoinAck { member, view, join_seqno, members, resilience, nonce } => {
+            buf.put_u8(T_JOIN_ACK);
+            buf.put_u32(member.0);
+            buf.put_u32(view.0);
+            buf.put_u64(join_seqno.0);
+            buf.put_u32(*resilience);
+            buf.put_u64(*nonce);
+            put_members(buf, members);
+        }
+        Body::LeaveReq { nonce } => {
+            buf.put_u8(T_LEAVE_REQ);
+            buf.put_u64(*nonce);
+        }
+        Body::LeaveAck => buf.put_u8(T_LEAVE_ACK),
+        Body::ViewQuery => buf.put_u8(T_VIEW_QUERY),
+        Body::Invite { attempt, coord } => {
+            buf.put_u8(T_INVITE);
+            buf.put_u32(*attempt);
+            buf.put_u32(coord.0);
+        }
+        Body::InviteAck { attempt, highest, addr } => {
+            buf.put_u8(T_INVITE_ACK);
+            buf.put_u32(*attempt);
+            buf.put_u64(highest.0);
+            buf.put_u64(addr.as_u64());
+        }
+        Body::NewView { attempt, view, members, sequencer, next_seqno } => {
+            buf.put_u8(T_NEW_VIEW);
+            buf.put_u32(*attempt);
+            buf.put_u32(view.0);
+            buf.put_u32(sequencer.0);
+            buf.put_u64(next_seqno.0);
+            put_members(buf, members);
+        }
+        Body::Ping { nonce } => {
+            buf.put_u8(T_PING);
+            buf.put_u64(*nonce);
+        }
+        Body::Pong { nonce } => {
+            buf.put_u8(T_PONG);
+            buf.put_u64(*nonce);
+        }
+    }
+}
+
+fn get_body(buf: &mut impl Buf) -> Result<Body, DecodeError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        T_BCAST_REQ => {
+            need(buf, 8)?;
+            let sender_seq = buf.get_u64();
+            Body::BcastReq { sender_seq, payload: get_bytes(buf)? }
+        }
+        T_BCAST_DATA => Body::BcastData { entry: get_sequenced(buf)? },
+        T_BCAST_ORIG => {
+            need(buf, 8)?;
+            let sender_seq = buf.get_u64();
+            Body::BcastOrig { sender_seq, payload: get_bytes(buf)? }
+        }
+        T_ACCEPT => {
+            need(buf, 20)?;
+            Body::Accept {
+                seqno: Seqno(buf.get_u64()),
+                origin: MemberId(buf.get_u32()),
+                sender_seq: buf.get_u64(),
+            }
+        }
+        T_TENTATIVE => {
+            need(buf, 4)?;
+            let resilience = buf.get_u32();
+            Body::Tentative { entry: get_sequenced(buf)?, resilience }
+        }
+        T_TENT_ACK => {
+            need(buf, 8)?;
+            Body::TentAck { seqno: Seqno(buf.get_u64()) }
+        }
+        T_RETRANS_REQ => {
+            need(buf, 16)?;
+            Body::RetransReq { from: Seqno(buf.get_u64()), to: Seqno(buf.get_u64()) }
+        }
+        T_SYNC_REQ => {
+            need(buf, 8)?;
+            Body::SyncReq { horizon: Seqno(buf.get_u64()) }
+        }
+        T_STATUS => Body::Status,
+        T_JOIN_REQ => {
+            need(buf, 16)?;
+            Body::JoinReq {
+                addr: FlipAddress::from_u64(buf.get_u64()),
+                nonce: buf.get_u64(),
+            }
+        }
+        T_JOIN_ACK => {
+            need(buf, 28)?;
+            let member = MemberId(buf.get_u32());
+            let view = ViewId(buf.get_u32());
+            let join_seqno = Seqno(buf.get_u64());
+            let resilience = buf.get_u32();
+            let nonce = buf.get_u64();
+            Body::JoinAck {
+                member,
+                view,
+                join_seqno,
+                members: get_members(buf)?,
+                resilience,
+                nonce,
+            }
+        }
+        T_LEAVE_REQ => {
+            need(buf, 8)?;
+            Body::LeaveReq { nonce: buf.get_u64() }
+        }
+        T_LEAVE_ACK => Body::LeaveAck,
+        T_VIEW_QUERY => Body::ViewQuery,
+        T_INVITE => {
+            need(buf, 8)?;
+            Body::Invite { attempt: buf.get_u32(), coord: MemberId(buf.get_u32()) }
+        }
+        T_INVITE_ACK => {
+            need(buf, 20)?;
+            Body::InviteAck {
+                attempt: buf.get_u32(),
+                highest: Seqno(buf.get_u64()),
+                addr: FlipAddress::from_u64(buf.get_u64()),
+            }
+        }
+        T_NEW_VIEW => {
+            need(buf, 20)?;
+            let attempt = buf.get_u32();
+            let view = ViewId(buf.get_u32());
+            let sequencer = MemberId(buf.get_u32());
+            let next_seqno = Seqno(buf.get_u64());
+            Body::NewView { attempt, view, members: get_members(buf)?, sequencer, next_seqno }
+        }
+        T_PING => {
+            need(buf, 8)?;
+            Body::Ping { nonce: buf.get_u64() }
+        }
+        T_PONG => {
+            need(buf, 8)?;
+            Body::Pong { nonce: buf.get_u64() }
+        }
+        other => return Err(DecodeError::BadBodyTag(other)),
+    })
+}
+
+// ---------------------------------------------------------------------
+// pieces
+// ---------------------------------------------------------------------
+
+const K_APP: u8 = 1;
+const K_JOIN: u8 = 2;
+const K_LEAVE: u8 = 3;
+const K_HANDOFF: u8 = 4;
+
+fn put_sequenced(buf: &mut BytesMut, entry: &Sequenced) {
+    buf.put_u64(entry.seqno.0);
+    match &entry.kind {
+        SequencedKind::App { origin, sender_seq, payload } => {
+            buf.put_u8(K_APP);
+            buf.put_u32(origin.0);
+            buf.put_u64(*sender_seq);
+            put_bytes(buf, payload);
+        }
+        SequencedKind::Join { member } => {
+            buf.put_u8(K_JOIN);
+            buf.put_u32(member.id.0);
+            buf.put_u64(member.addr.as_u64());
+        }
+        SequencedKind::Leave { member, forced } => {
+            buf.put_u8(K_LEAVE);
+            buf.put_u32(member.0);
+            buf.put_u8(u8::from(*forced));
+        }
+        SequencedKind::SequencerHandoff { new_sequencer } => {
+            buf.put_u8(K_HANDOFF);
+            buf.put_u32(new_sequencer.0);
+        }
+    }
+}
+
+fn get_sequenced(buf: &mut impl Buf) -> Result<Sequenced, DecodeError> {
+    need(buf, 9)?;
+    let seqno = Seqno(buf.get_u64());
+    let kind = match buf.get_u8() {
+        K_APP => {
+            need(buf, 12)?;
+            let origin = MemberId(buf.get_u32());
+            let sender_seq = buf.get_u64();
+            SequencedKind::App { origin, sender_seq, payload: get_bytes(buf)? }
+        }
+        K_JOIN => {
+            need(buf, 12)?;
+            SequencedKind::Join {
+                member: MemberMeta {
+                    id: MemberId(buf.get_u32()),
+                    addr: FlipAddress::from_u64(buf.get_u64()),
+                },
+            }
+        }
+        K_LEAVE => {
+            need(buf, 5)?;
+            SequencedKind::Leave { member: MemberId(buf.get_u32()), forced: buf.get_u8() != 0 }
+        }
+        K_HANDOFF => {
+            need(buf, 4)?;
+            SequencedKind::SequencerHandoff { new_sequencer: MemberId(buf.get_u32()) }
+        }
+        other => return Err(DecodeError::BadKindTag(other)),
+    };
+    Ok(Sequenced { seqno, kind })
+}
+
+fn put_members(buf: &mut BytesMut, members: &[MemberMeta]) {
+    buf.put_u16(members.len() as u16);
+    for m in members {
+        buf.put_u32(m.id.0);
+        buf.put_u64(m.addr.as_u64());
+    }
+}
+
+fn get_members(buf: &mut impl Buf) -> Result<Vec<MemberMeta>, DecodeError> {
+    need(buf, 2)?;
+    let n = buf.get_u16() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 12)?;
+        out.push(MemberMeta {
+            id: MemberId(buf.get_u32()),
+            addr: FlipAddress::from_u64(buf.get_u64()),
+        });
+    }
+    Ok(out)
+}
+
+fn put_bytes(buf: &mut BytesMut, bytes: &Bytes) {
+    buf.put_u32(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+fn get_bytes(buf: &mut impl Buf) -> Result<Bytes, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    Ok(buf.copy_to_bytes(len))
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Hdr {
+        Hdr {
+            group: GroupId(3),
+            view: ViewId(2),
+            sender: MemberId(5),
+            last_delivered: Seqno(77),
+            gc_floor: Seqno(70),
+        }
+    }
+
+    fn roundtrip(body: Body) {
+        let msg = WireMsg { hdr: hdr(), body };
+        let bytes = encode_wire_msg(&msg);
+        let decoded = decode_wire_msg(&mut bytes.clone()).expect("decodes");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_every_body_variant() {
+        let meta = MemberMeta { id: MemberId(4), addr: FlipAddress::process(44) };
+        let app = Sequenced {
+            seqno: Seqno(9),
+            kind: SequencedKind::App {
+                origin: MemberId(1),
+                sender_seq: 2,
+                payload: Bytes::from_static(b"data"),
+            },
+        };
+        roundtrip(Body::BcastReq { sender_seq: 1, payload: Bytes::from_static(b"xyz") });
+        roundtrip(Body::BcastData { entry: app.clone() });
+        roundtrip(Body::BcastData {
+            entry: Sequenced { seqno: Seqno(1), kind: SequencedKind::Join { member: meta } },
+        });
+        roundtrip(Body::BcastData {
+            entry: Sequenced {
+                seqno: Seqno(2),
+                kind: SequencedKind::Leave { member: MemberId(9), forced: true },
+            },
+        });
+        roundtrip(Body::BcastData {
+            entry: Sequenced {
+                seqno: Seqno(3),
+                kind: SequencedKind::SequencerHandoff { new_sequencer: MemberId(2) },
+            },
+        });
+        roundtrip(Body::BcastOrig { sender_seq: 8, payload: Bytes::new() });
+        roundtrip(Body::Accept { seqno: Seqno(4), origin: MemberId(0), sender_seq: 6 });
+        roundtrip(Body::Tentative { entry: app, resilience: 3 });
+        roundtrip(Body::TentAck { seqno: Seqno(11) });
+        roundtrip(Body::RetransReq { from: Seqno(1), to: Seqno(5) });
+        roundtrip(Body::SyncReq { horizon: Seqno(30) });
+        roundtrip(Body::Status);
+        roundtrip(Body::JoinReq { addr: FlipAddress::process(9), nonce: 1 });
+        roundtrip(Body::JoinAck {
+            member: MemberId(3),
+            view: ViewId(1),
+            join_seqno: Seqno(12),
+            members: vec![meta],
+            resilience: 1,
+            nonce: 5,
+        });
+        roundtrip(Body::LeaveReq { nonce: 3 });
+        roundtrip(Body::LeaveAck);
+        roundtrip(Body::ViewQuery);
+        roundtrip(Body::Invite { attempt: 2, coord: MemberId(1) });
+        roundtrip(Body::InviteAck {
+            attempt: 2,
+            highest: Seqno(40),
+            addr: FlipAddress::process(2),
+        });
+        roundtrip(Body::NewView {
+            attempt: 2,
+            view: ViewId(3),
+            members: vec![meta],
+            sequencer: MemberId(4),
+            next_seqno: Seqno(41),
+        });
+        roundtrip(Body::Ping { nonce: 77 });
+        roundtrip(Body::Pong { nonce: 77 });
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let msg = WireMsg {
+            hdr: hdr(),
+            body: Body::JoinAck {
+                member: MemberId(3),
+                view: ViewId(1),
+                join_seqno: Seqno(12),
+                members: vec![MemberMeta { id: MemberId(4), addr: FlipAddress::process(44) }],
+                resilience: 1,
+                nonce: 5,
+            },
+        };
+        let bytes = encode_wire_msg(&msg);
+        for cut in 0..bytes.len() {
+            let mut slice = bytes.slice(0..cut);
+            assert!(
+                decode_wire_msg(&mut slice).is_err(),
+                "decoding a {cut}-byte prefix of {} must fail",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let msg = WireMsg { hdr: hdr(), body: Body::Status };
+        let bytes = encode_wire_msg(&msg);
+        let mut raw = bytes.to_vec();
+        raw[32] = 200; // body tag position (after 32-byte header)
+        assert_eq!(
+            decode_wire_msg(&mut &raw[..]),
+            Err(DecodeError::BadBodyTag(200))
+        );
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let msg = WireMsg {
+            hdr: hdr(),
+            body: Body::BcastReq { sender_seq: 1, payload: Bytes::from_static(b"abc") },
+        };
+        let mut raw = encode_wire_msg(&msg).to_vec();
+        // Corrupt the payload length (immediately after tag + u64).
+        let pos = 32 + 1 + 8;
+        raw[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_wire_msg(&mut &raw[..]),
+            Err(DecodeError::BadLength(_)) | Err(DecodeError::Truncated)
+        ));
+    }
+}

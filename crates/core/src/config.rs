@@ -1,0 +1,241 @@
+//! Group configuration: the knobs the paper exposes to users.
+
+use serde::{Deserialize, Serialize};
+
+/// Length of the group protocol header on the wire (paper: 28 bytes).
+pub const GROUP_HEADER_LEN: u32 = 28;
+
+/// Length of the Amoeba user header carried on application messages
+/// (paper: 32 bytes).
+pub const USER_HEADER_LEN: u32 = 32;
+
+/// Which broadcast method `SendToGroup` uses (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Point-to-point to the sequencer, which multicasts the stamped
+    /// message. Two network traversals of the payload (2n bytes), but
+    /// each receiver takes a single interrupt.
+    Pb,
+    /// The sender multicasts the payload; the sequencer multicasts a
+    /// short *accept* carrying the sequence number. One traversal of the
+    /// payload (n bytes), but every machine takes two interrupts.
+    Bb,
+    /// Switch per message: PB for payloads at or below the threshold
+    /// (interrupts dominate), BB above it (bandwidth dominates). This is
+    /// what the Amoeba kernel did.
+    Dynamic {
+        /// Payload size in bytes above which BB is used.
+        bb_threshold: u32,
+    },
+}
+
+impl Method {
+    /// The method to use for a payload of `len` bytes.
+    pub fn pick(self, len: u32) -> Method {
+        match self {
+            Method::Dynamic { bb_threshold } => {
+                if len > bb_threshold {
+                    Method::Bb
+                } else {
+                    Method::Pb
+                }
+            }
+            fixed => fixed,
+        }
+    }
+}
+
+impl Default for Method {
+    fn default() -> Self {
+        // One Ethernet frame of payload above the full header stack:
+        // 1514 - 14 (eth) - 2 (fc) - 40 (FLIP) - 28 (group) = 1430.
+        Method::Dynamic { bb_threshold: 1430 }
+    }
+}
+
+/// Per-group protocol parameters.
+///
+/// Defaults reproduce the paper's experimental configuration: a 128-slot
+/// history buffer, resilience 0 and dynamic method selection.
+///
+/// All times are in microseconds (the simulator's clock unit); the live
+/// runtime maps them onto wall-clock microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Resilience degree *r*: `SendToGroup` returns only once ≥ r other
+    /// kernels hold the message (paper §3.1). 0 = fastest, no tolerance
+    /// of member crashes for in-flight messages.
+    pub resilience: u32,
+    /// Broadcast method selection.
+    pub method: Method,
+    /// Maximum application payload in bytes. The paper capped messages
+    /// at 8000 bytes because multicast flow control was an open problem
+    /// (§4); we default to the same bound.
+    pub max_message: usize,
+    /// History buffer capacity in messages (paper's experiments: 128).
+    /// When full, new application messages are refused until
+    /// acknowledgement floors advance (senders retry on timers).
+    pub history_cap: usize,
+    /// History occupancy (in entries) at which the sequencer proactively
+    /// starts a status (sync) round to advance the GC floor.
+    pub history_high_water: usize,
+    /// Initial retransmission timeout for an unacknowledged
+    /// `SendToGroup` request, µs. Doubles per retry.
+    pub send_retransmit_us: u64,
+    /// Retries of a send request before the sequencer is declared
+    /// unreachable and the send fails.
+    pub send_max_retries: u32,
+    /// Delay before re-sending a retransmission request for a detected
+    /// gap, µs.
+    pub nack_retry_us: u64,
+    /// Interval between unsolicited sequencer sync rounds, µs (also
+    /// bounds failure-detection latency for silent members). 0 disables
+    /// periodic rounds (high-water rounds still happen).
+    pub sync_interval_us: u64,
+    /// How long the sequencer waits for `Status` replies in a sync round
+    /// before re-asking, µs.
+    pub sync_round_us: u64,
+    /// Sync re-asks before a silent member is declared dead and
+    /// force-removed (the paper's unreliable failure detection: "after a
+    /// certain number of trials a process is declared dead").
+    pub sync_max_retries: u32,
+    /// Per-rank stagger of status replies, µs: member at rank k answers
+    /// a sync round after k × this delay, so large groups do not bury
+    /// the sequencer under simultaneous replies (ack implosion). Must
+    /// stay well under `sync_round_us × sync_max_retries` for the
+    /// largest expected group.
+    pub status_stagger_us: u64,
+    /// Sequencer: resend interval for tentative (r > 0) broadcasts
+    /// missing acknowledgements, µs.
+    pub tentative_resend_us: u64,
+    /// Joiner: retry interval for unanswered join requests, µs.
+    pub join_retry_us: u64,
+    /// Joiner: retries before `JoinGroup` fails.
+    pub join_max_retries: u32,
+    /// Recovery coordinator: gap between invitation rounds, µs.
+    pub invite_round_us: u64,
+    /// Recovery coordinator: invitation rounds before closing membership
+    /// on the respondents collected so far.
+    pub invite_rounds: u32,
+    /// Recovery participant: silence from the coordinator for this long
+    /// aborts the attempt and starts our own, µs.
+    pub recovery_watchdog_us: u64,
+    /// Automatically start recovery when the sequencer is suspected
+    /// (send retries exhausted), instead of only failing the send. The
+    /// paper's kernel left recovery to the application (`ResetGroup`);
+    /// default off.
+    pub auto_reset: bool,
+    /// Minimum surviving members an auto-reset accepts (ignored unless
+    /// `auto_reset`).
+    pub auto_reset_min_members: usize,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            resilience: 0,
+            method: Method::default(),
+            max_message: 8_000,
+            history_cap: 128,
+            history_high_water: 96,
+            send_retransmit_us: 50_000,
+            send_max_retries: 8,
+            nack_retry_us: 20_000,
+            sync_interval_us: 1_000_000,
+            sync_round_us: 100_000,
+            sync_max_retries: 4,
+            status_stagger_us: 700,
+            tentative_resend_us: 50_000,
+            join_retry_us: 100_000,
+            join_max_retries: 10,
+            invite_round_us: 100_000,
+            invite_rounds: 3,
+            recovery_watchdog_us: 2_000_000,
+            auto_reset: false,
+            auto_reset_min_members: 1,
+        }
+    }
+}
+
+impl GroupConfig {
+    /// A configuration with resilience degree `r` and defaults otherwise.
+    pub fn with_resilience(r: u32) -> Self {
+        GroupConfig { resilience: r, ..Default::default() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.history_cap == 0 {
+            return Err("history_cap must be at least 1".into());
+        }
+        if self.history_high_water > self.history_cap {
+            return Err("history_high_water must not exceed history_cap".into());
+        }
+        if self.send_retransmit_us == 0 {
+            return Err("send_retransmit_us must be positive".into());
+        }
+        if self.invite_rounds == 0 {
+            return Err("invite_rounds must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = GroupConfig::default();
+        assert_eq!(c.resilience, 0);
+        assert_eq!(c.history_cap, 128);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn dynamic_method_switches_on_threshold() {
+        let m = Method::Dynamic { bb_threshold: 1430 };
+        assert_eq!(m.pick(0), Method::Pb);
+        assert_eq!(m.pick(1430), Method::Pb);
+        assert_eq!(m.pick(1431), Method::Bb);
+        assert_eq!(m.pick(8000), Method::Bb);
+    }
+
+    #[test]
+    fn fixed_methods_never_switch() {
+        assert_eq!(Method::Pb.pick(1_000_000), Method::Pb);
+        assert_eq!(Method::Bb.pick(0), Method::Bb);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = GroupConfig { history_cap: 0, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+
+        let base = GroupConfig::default();
+        let c = GroupConfig { history_high_water: base.history_cap + 1, ..base };
+        assert!(c.validate().is_err());
+
+        let c = GroupConfig { send_retransmit_us: 0, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+
+        let c = GroupConfig { invite_rounds: 0, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_resilience_sets_r() {
+        assert_eq!(GroupConfig::with_resilience(3).resilience, 3);
+    }
+
+    #[test]
+    fn header_budget_matches_paper() {
+        // 14 (eth) + 2 (fc) + 40 (flip) + 28 (group) + 32 (user) = 116.
+        assert_eq!(16 + amoeba_flip::FLIP_HEADER_LEN + GROUP_HEADER_LEN + USER_HEADER_LEN, 116);
+    }
+}

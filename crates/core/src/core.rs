@@ -1,0 +1,731 @@
+//! The group protocol state machine.
+//!
+//! [`GroupCore`] is one process's view of one group: it plays the member
+//! role always, and the sequencer role when it holds that office. It is
+//! strictly sans-io — see [`crate::action`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use amoeba_flip::FlipAddress;
+use bytes::Bytes;
+
+use crate::action::{Action, Dest};
+use crate::config::GroupConfig;
+use crate::error::GroupError;
+use crate::event::GroupEvent;
+use crate::history::HistoryBuffer;
+use crate::ids::{GroupId, MemberId, Seqno};
+use crate::info::GroupInfo;
+use crate::message::{Body, Hdr, Sequenced, SequencedKind, WireMsg};
+use crate::recovery::RecoveryState;
+use crate::sequencer::SequencerState;
+use crate::stats::CoreStats;
+use crate::timer::TimerKind;
+use crate::view::{GroupView, MemberMeta};
+
+/// Lifecycle of a [`GroupCore`].
+#[derive(Debug)]
+pub(crate) enum Mode {
+    /// `JoinGroup` sent; waiting for admission.
+    Joining(JoinState),
+    /// An ordinary member (possibly the sequencer).
+    Normal,
+    /// Participating in (or coordinating) a `ResetGroup` recovery.
+    Recovering(RecoveryState),
+    /// No longer a member (left, expelled, or join failed).
+    Left,
+}
+
+#[derive(Debug)]
+pub(crate) struct JoinState {
+    pub(crate) nonce: u64,
+    pub(crate) retries: u32,
+}
+
+/// A blocking `SendToGroup` in flight.
+#[derive(Debug)]
+pub(crate) struct PendingSend {
+    pub(crate) sender_seq: u64,
+    pub(crate) payload: Bytes,
+    pub(crate) retries: u32,
+    /// The method chosen for this message (resolved, never `Dynamic`).
+    pub(crate) method: crate::config::Method,
+}
+
+/// The Amoeba group communication protocol, as a deterministic state
+/// machine.
+///
+/// One instance exists per (process, group) pair. Public methods
+/// correspond to the paper's primitives (Table 1); each returns the
+/// [`Action`]s the driver must carry out. Incoming packets and timer
+/// expirations are fed through [`GroupCore::handle_message`] and
+/// [`GroupCore::handle_timer`].
+///
+/// # Example
+///
+/// ```
+/// use amoeba_core::{GroupConfig, GroupCore, GroupId};
+/// use amoeba_flip::FlipAddress;
+///
+/// // The creator becomes member 0 and the sequencer.
+/// let (core, actions) = GroupCore::create(
+///     GroupId(1),
+///     FlipAddress::process(10),
+///     GroupConfig::default(),
+/// ).expect("default config is valid");
+/// assert!(core.info().is_sequencer);
+/// // Creation completes synchronously: the driver sees JoinDone(Ok(_)).
+/// assert!(actions.iter().any(|a| matches!(a, amoeba_core::Action::JoinDone(Ok(_)))));
+/// ```
+#[derive(Debug)]
+pub struct GroupCore {
+    pub(crate) group: GroupId,
+    pub(crate) my_addr: FlipAddress,
+    pub(crate) me: MemberId,
+    pub(crate) config: GroupConfig,
+    pub(crate) view: GroupView,
+    pub(crate) mode: Mode,
+
+    // ---- ordered delivery (member role) ----
+    /// Next seqno to deliver to the application.
+    pub(crate) next_expected: Seqno,
+    /// Received entries not yet delivered (gaps before them, or gated
+    /// by a pending accept).
+    pub(crate) ooo: BTreeMap<Seqno, Sequenced>,
+    /// Seqnos held tentatively (r > 0): present in `ooo` but not
+    /// deliverable until accepted.
+    pub(crate) tentative: BTreeSet<Seqno>,
+    /// Tentative seqnos we must acknowledge once our prefix below them
+    /// is complete (the contiguity rule that makes recovery sound).
+    pub(crate) deferred_tent_acks: BTreeSet<Seqno>,
+    /// BB payloads (and our own sends) parked until their accept.
+    pub(crate) parked: HashMap<(MemberId, u64), Bytes>,
+    /// Accepts that arrived before their BB payload: seqno by origin.
+    pub(crate) accepted_awaiting_data: HashMap<(MemberId, u64), Seqno>,
+    /// Seqnos whose accept arrived before their data/tentative packet.
+    pub(crate) pre_accepted: BTreeSet<Seqno>,
+    /// Local retransmission cache / recovery store.
+    pub(crate) history: HistoryBuffer,
+    /// Open gap we have nacked (cleared when it closes).
+    pub(crate) nack_open: Option<(Seqno, Seqno)>,
+    pub(crate) nack_retries: u32,
+
+    // ---- sending (member role) ----
+    pub(crate) sender_seq: u64,
+    pub(crate) pending_send: Option<PendingSend>,
+    /// A voluntary leave awaiting its ack.
+    pub(crate) pending_leave: bool,
+
+    // ---- sequencer role ----
+    pub(crate) seq_state: Option<SequencerState>,
+
+    // ---- recovery ----
+    /// Monotone attempt counter for recoveries we coordinate.
+    pub(crate) recovery_attempt: u32,
+    /// A user-level `ResetGroup` awaits completion.
+    pub(crate) pending_reset_user: bool,
+
+    /// Counters.
+    pub stats: CoreStats,
+    pub(crate) actions: Vec<Action>,
+}
+
+impl GroupCore {
+    // ------------------------------------------------------------------
+    // Construction: CreateGroup / JoinGroup
+    // ------------------------------------------------------------------
+
+    /// `CreateGroup`: founds a group. The creator is member 0 and the
+    /// initial sequencer. Completes synchronously with `JoinDone(Ok)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::BadConfig`] if `config` fails validation.
+    pub fn create(
+        group: GroupId,
+        my_addr: FlipAddress,
+        config: GroupConfig,
+    ) -> Result<(Self, Vec<Action>), GroupError> {
+        config.validate().map_err(GroupError::BadConfig)?;
+        let me = MemberId::FOUNDER;
+        let meta = MemberMeta { id: me, addr: my_addr };
+        let mut core = GroupCore {
+            group,
+            my_addr,
+            me,
+            view: GroupView::initial(meta),
+            mode: Mode::Normal,
+            next_expected: Seqno::ZERO.next(),
+            ooo: BTreeMap::new(),
+            tentative: BTreeSet::new(),
+            deferred_tent_acks: BTreeSet::new(),
+            parked: HashMap::new(),
+            accepted_awaiting_data: HashMap::new(),
+            pre_accepted: BTreeSet::new(),
+            history: HistoryBuffer::new(config.history_cap),
+            nack_open: None,
+            nack_retries: 0,
+            sender_seq: 0,
+            pending_send: None,
+            pending_leave: false,
+            seq_state: Some(SequencerState::new(&config)),
+            recovery_attempt: 0,
+            pending_reset_user: false,
+            stats: CoreStats::default(),
+            actions: Vec::new(),
+            config,
+        };
+        core.arm_sync_interval();
+        let info = core.info();
+        core.push(Action::JoinDone(Ok(info)));
+        let actions = core.take_actions();
+        Ok((core, actions))
+    }
+
+    /// `JoinGroup`: starts the admission protocol. Completes (via
+    /// `JoinDone`) when the sequencer's answer arrives or retries are
+    /// exhausted. The driver must already have subscribed this process
+    /// to the group's FLIP address so it can receive multicasts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::BadConfig`] if `config` fails validation.
+    pub fn join(
+        group: GroupId,
+        my_addr: FlipAddress,
+        config: GroupConfig,
+    ) -> Result<(Self, Vec<Action>), GroupError> {
+        config.validate().map_err(GroupError::BadConfig)?;
+        let placeholder = MemberMeta { id: MemberId::UNASSIGNED, addr: my_addr };
+        let nonce = my_addr.as_u64() ^ 0x6A6F_696E; // deterministic, per-process
+        let mut core = GroupCore {
+            group,
+            my_addr,
+            me: MemberId::UNASSIGNED,
+            view: GroupView::initial(placeholder),
+            mode: Mode::Joining(JoinState { nonce, retries: 0 }),
+            next_expected: Seqno::ZERO.next(),
+            ooo: BTreeMap::new(),
+            tentative: BTreeSet::new(),
+            deferred_tent_acks: BTreeSet::new(),
+            parked: HashMap::new(),
+            accepted_awaiting_data: HashMap::new(),
+            pre_accepted: BTreeSet::new(),
+            history: HistoryBuffer::new(config.history_cap),
+            nack_open: None,
+            nack_retries: 0,
+            sender_seq: 0,
+            pending_send: None,
+            pending_leave: false,
+            seq_state: None,
+            recovery_attempt: 0,
+            pending_reset_user: false,
+            stats: CoreStats::default(),
+            actions: Vec::new(),
+            config,
+        };
+        core.send_join_request();
+        let actions = core.take_actions();
+        Ok((core, actions))
+    }
+
+    // ------------------------------------------------------------------
+    // User primitives
+    // ------------------------------------------------------------------
+
+    /// `SendToGroup`: submits `payload` for a totally-ordered broadcast.
+    /// Completes via `SendDone(Ok(seqno))` once the message is accepted
+    /// (and, with resilience r > 0, held by at least r other kernels).
+    pub fn send_to_group(&mut self, payload: Bytes) -> Vec<Action> {
+        match self.mode {
+            Mode::Normal => {}
+            Mode::Recovering(_) => {
+                self.push(Action::SendDone(Err(GroupError::Recovering)));
+                return self.take_actions();
+            }
+            Mode::Joining(_) | Mode::Left => {
+                self.push(Action::SendDone(Err(GroupError::NotMember)));
+                return self.take_actions();
+            }
+        }
+        if self.pending_send.is_some() || self.pending_leave {
+            self.push(Action::SendDone(Err(GroupError::Busy)));
+            return self.take_actions();
+        }
+        if payload.len() > self.config.max_message {
+            self.push(Action::SendDone(Err(GroupError::MessageTooLarge {
+                size: payload.len(),
+                max: self.config.max_message,
+            })));
+            return self.take_actions();
+        }
+        self.sender_seq += 1;
+        let method = self.config.method.pick(payload.len() as u32);
+        self.pending_send = Some(PendingSend {
+            sender_seq: self.sender_seq,
+            payload: payload.clone(),
+            retries: 0,
+            method,
+        });
+        if self.is_sequencer() {
+            self.sequencer_local_send();
+        } else {
+            self.parked.insert((self.me, self.sender_seq), payload);
+            self.transmit_pending_send();
+            self.push(Action::SetTimer {
+                kind: TimerKind::SendRetransmit,
+                after_us: self.config.send_retransmit_us,
+            });
+        }
+        self.take_actions()
+    }
+
+    /// `LeaveGroup`: departs gracefully. Completes via `LeaveDone`.
+    /// A leaving sequencer first drains its history, then hands off.
+    pub fn leave(&mut self) -> Vec<Action> {
+        match self.mode {
+            Mode::Normal => {}
+            Mode::Left => {
+                self.push(Action::LeaveDone(Ok(())));
+                return self.take_actions();
+            }
+            _ => {
+                self.push(Action::LeaveDone(Err(GroupError::Recovering)));
+                return self.take_actions();
+            }
+        }
+        if self.pending_send.is_some() || self.pending_leave {
+            self.push(Action::LeaveDone(Err(GroupError::Busy)));
+            return self.take_actions();
+        }
+        self.pending_leave = true;
+        if self.is_sequencer() {
+            self.sequencer_begin_leave();
+        } else {
+            self.sender_seq += 1;
+            let msg = self.make_msg(Body::LeaveReq { nonce: self.sender_seq });
+            self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+            self.push(Action::SetTimer {
+                kind: TimerKind::SendRetransmit,
+                after_us: self.config.send_retransmit_us,
+            });
+        }
+        self.take_actions()
+    }
+
+    /// `ResetGroup`: rebuilds the group after a suspected failure,
+    /// requiring at least `min_members` survivors (this caller
+    /// included). Completes via `ResetDone`.
+    pub fn reset(&mut self, min_members: usize) -> Vec<Action> {
+        match self.mode {
+            Mode::Normal | Mode::Recovering(_) => {}
+            Mode::Joining(_) | Mode::Left => {
+                self.push(Action::ResetDone(Err(GroupError::NotMember)));
+                return self.take_actions();
+            }
+        }
+        self.start_recovery(min_members, true);
+        self.take_actions()
+    }
+
+    /// `GetInfoGroup`: a snapshot of this member's group state.
+    pub fn info(&self) -> GroupInfo {
+        GroupInfo {
+            group: self.group,
+            me: self.me,
+            my_addr: self.my_addr,
+            view: self.view.view_id,
+            members: self.view.members().to_vec(),
+            sequencer: self.view.sequencer,
+            is_sequencer: self.is_sequencer(),
+            resilience: self.config.resilience,
+            last_delivered: self.next_expected.prev(),
+            history_len: self.history.len(),
+            recovering: matches!(self.mode, Mode::Recovering(_)),
+        }
+    }
+
+    /// The group this core belongs to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// This process's FLIP address.
+    pub fn my_addr(&self) -> FlipAddress {
+        self.my_addr
+    }
+
+    /// Whether this member currently holds the sequencer role.
+    pub fn is_sequencer(&self) -> bool {
+        self.seq_state.is_some()
+    }
+
+    /// Whether this process is an admitted, current member.
+    pub fn is_member(&self) -> bool {
+        matches!(self.mode, Mode::Normal | Mode::Recovering(_))
+    }
+
+    // ------------------------------------------------------------------
+    // Input dispatch
+    // ------------------------------------------------------------------
+
+    /// Processes an incoming packet.
+    pub fn handle_message(&mut self, from: FlipAddress, msg: WireMsg) -> Vec<Action> {
+        if msg.hdr.group != self.group {
+            return Vec::new(); // not ours; drivers normally pre-filter
+        }
+        self.stats.msgs_in += 1;
+
+        // Piggybacked acknowledgement: any packet from a member tells the
+        // sequencer how far that member has delivered (paper §3.1).
+        if self.is_sequencer() && msg.hdr.sender != MemberId::UNASSIGNED {
+            self.sequencer_note_floor(msg.hdr.sender, msg.hdr.last_delivered);
+        }
+        // Sequencer-advertised GC floor: prune the local cache.
+        if msg.hdr.gc_floor > Seqno::ZERO {
+            self.history.gc(msg.hdr.gc_floor);
+        }
+
+        match self.epoch_check(&msg) {
+            EpochVerdict::Process => {}
+            EpochVerdict::Drop => return self.take_actions(),
+        }
+
+        match msg.body {
+            // data path
+            Body::BcastReq { sender_seq, payload } => {
+                self.handle_bcast_req(msg.hdr, sender_seq, payload)
+            }
+            Body::BcastData { entry } => self.handle_bcast_data(entry),
+            Body::BcastOrig { sender_seq, payload } => {
+                self.handle_bcast_orig(msg.hdr, sender_seq, payload)
+            }
+            Body::Accept { seqno, origin, sender_seq } => {
+                self.handle_accept(seqno, origin, sender_seq)
+            }
+            Body::Tentative { entry, resilience } => self.handle_tentative(entry, resilience),
+            Body::TentAck { seqno } => self.handle_tent_ack(msg.hdr.sender, seqno),
+            // reliability
+            Body::RetransReq { from: lo, to: hi } => {
+                self.handle_retrans_req(msg.hdr.sender, from, lo, hi)
+            }
+            Body::SyncReq { horizon } => self.handle_sync_req(horizon),
+            Body::Status => { /* floor already noted above */ }
+            // membership
+            Body::JoinReq { addr, nonce } => self.handle_join_req(addr, nonce),
+            Body::JoinAck { member, view, join_seqno, members, resilience, nonce } => {
+                self.handle_join_ack(msg.hdr.sender, member, view, join_seqno, members, resilience, nonce)
+            }
+            Body::LeaveReq { nonce } => self.handle_leave_req(msg.hdr.sender, nonce),
+            Body::LeaveAck => self.handle_leave_ack(),
+            // recovery
+            Body::Invite { attempt, coord } => self.handle_invite(msg.hdr.view, attempt, coord),
+            Body::InviteAck { attempt, highest, addr } => {
+                self.handle_invite_ack(msg.hdr.sender, attempt, highest, addr)
+            }
+            Body::NewView { attempt, view, members, sequencer, next_seqno } => {
+                self.handle_new_view(attempt, view, members, sequencer, next_seqno)
+            }
+            Body::ViewQuery => self.handle_view_query(from),
+            // probes
+            Body::Ping { nonce } => {
+                let pong = self.make_msg(Body::Pong { nonce });
+                self.send_to(Dest::Unicast(from), pong);
+            }
+            Body::Pong { .. } => { /* liveness noted via stats.msgs_in */ }
+        }
+        self.take_actions()
+    }
+
+    /// Processes a timer expiry.
+    pub fn handle_timer(&mut self, kind: TimerKind) -> Vec<Action> {
+        match kind {
+            TimerKind::SendRetransmit => self.on_send_retransmit(),
+            TimerKind::NackRetry => self.on_nack_retry(),
+            TimerKind::SyncRound => self.on_sync_round_timeout(),
+            TimerKind::SyncInterval => self.on_sync_interval(),
+            TimerKind::TentativeResend => self.on_tentative_resend(),
+            TimerKind::JoinRetry => self.on_join_retry(),
+            TimerKind::StatusReply => self.on_status_reply(),
+            TimerKind::InviteRound => self.on_invite_round(),
+            TimerKind::RecoveryWatchdog => self.on_recovery_watchdog(),
+            TimerKind::ProbeTimeout { .. } => { /* probes are fire-and-forget */ }
+        }
+        self.take_actions()
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered delivery engine (shared by every role)
+    // ------------------------------------------------------------------
+
+    /// Integrates a sequenced entry received from the network (already
+    /// accepted). The heart of total ordering: entries are admitted into
+    /// `ooo`, gaps are nacked, and the contiguous prefix is delivered.
+    pub(crate) fn ingest_sequenced(&mut self, entry: Sequenced) {
+        if entry.seqno < self.next_expected {
+            self.stats.duplicates += 1;
+            // Still useful as retransmission fodder for recovery.
+            self.history.insert_evicting(entry);
+            return;
+        }
+        // Completion of our own pending send can ride on any copy.
+        if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
+            self.maybe_complete_send(*origin, *sender_seq, entry.seqno);
+        }
+        self.tentative.remove(&entry.seqno);
+        self.ooo.entry(entry.seqno).or_insert(entry);
+        self.drain_deliverable();
+        self.check_gap();
+    }
+
+    /// Delivers every deliverable entry: contiguous from `next_expected`
+    /// and not gated by a pending accept.
+    pub(crate) fn drain_deliverable(&mut self) {
+        loop {
+            let next = self.next_expected;
+            if self.tentative.contains(&next) {
+                break;
+            }
+            let Some(entry) = self.ooo.remove(&next) else { break };
+            self.deliver_entry(entry);
+            if matches!(self.mode, Mode::Left) {
+                break; // delivered our own expulsion/leave
+            }
+        }
+        self.flush_deferred_tent_acks();
+        if let Some((lo, _)) = self.nack_open {
+            if self.next_expected > lo {
+                // The gap we complained about has (at least partly)
+                // closed; stop retrying unless a new gap appears.
+                self.nack_open = None;
+                self.nack_retries = 0;
+                self.push(Action::CancelTimer { kind: TimerKind::NackRetry });
+                self.check_gap();
+            }
+        }
+    }
+
+    /// Applies one entry at `next_expected`: hand it to the application
+    /// and update membership state.
+    fn deliver_entry(&mut self, entry: Sequenced) {
+        debug_assert_eq!(entry.seqno, self.next_expected);
+        self.next_expected = self.next_expected.next();
+        self.history.insert_evicting(entry.clone());
+        self.stats.delivered += 1;
+        let seqno = entry.seqno;
+        match entry.kind {
+            SequencedKind::App { origin, payload, .. } => {
+                self.push(Action::Deliver(GroupEvent::Message { seqno, origin, payload }));
+            }
+            SequencedKind::Join { member } => {
+                self.view.add(member);
+                if let Some(ss) = &mut self.seq_state {
+                    ss.note_member_joined(member.id, seqno);
+                }
+                self.push(Action::Deliver(GroupEvent::Joined { seqno, member }));
+            }
+            SequencedKind::Leave { member, forced } => {
+                self.view.remove(member);
+                if let Some(ss) = &mut self.seq_state {
+                    ss.note_member_left(member);
+                    self.sequencer_after_floor_change();
+                }
+                self.push(Action::Deliver(GroupEvent::Left { seqno, member, forced }));
+                if member == self.me {
+                    self.mode = Mode::Left;
+                    if self.pending_leave {
+                        self.pending_leave = false;
+                        self.push(Action::LeaveDone(Ok(())));
+                    } else {
+                        self.push(Action::Deliver(GroupEvent::Expelled));
+                    }
+                }
+            }
+            SequencedKind::SequencerHandoff { new_sequencer } => {
+                let old_sequencer = self.view.sequencer;
+                self.view.remove(old_sequencer);
+                self.view.sequencer = new_sequencer;
+                self.push(Action::Deliver(GroupEvent::SequencerChanged {
+                    seqno,
+                    old_sequencer,
+                    new_sequencer,
+                }));
+                if old_sequencer == self.me {
+                    // Our own graceful departure completes here.
+                    self.mode = Mode::Left;
+                    self.seq_state = None;
+                    if self.pending_leave {
+                        self.pending_leave = false;
+                        self.push(Action::LeaveDone(Ok(())));
+                    }
+                } else if new_sequencer == self.me && self.seq_state.is_none() {
+                    self.assume_sequencer_role(seqno.next());
+                }
+            }
+        }
+    }
+
+    /// If entries are parked beyond a hole, ask the sequencer to
+    /// retransmit the hole (the negative acknowledgement of paper §2.2).
+    pub(crate) fn check_gap(&mut self) {
+        if self.nack_open.is_some() {
+            return; // one outstanding complaint at a time
+        }
+        let Some((&first_parked, _)) = self.ooo.iter().next() else { return };
+        if first_parked <= self.next_expected {
+            return; // no hole: either deliverable or accept-gated
+        }
+        let lo = self.next_expected;
+        let hi = first_parked.prev();
+        self.send_nack(lo, hi);
+    }
+
+    pub(crate) fn send_nack(&mut self, lo: Seqno, hi: Seqno) {
+        self.nack_open = Some((lo, hi));
+        self.stats.nacks_sent += 1;
+        let msg = self.make_msg(Body::RetransReq { from: lo, to: hi });
+        self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        self.push(Action::SetTimer {
+            kind: TimerKind::NackRetry,
+            after_us: self.config.nack_retry_us,
+        });
+    }
+
+    fn on_nack_retry(&mut self) {
+        let Some((lo, hi)) = self.nack_open else { return };
+        if !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        self.nack_retries += 1;
+        if self.nack_retries > self.config.send_max_retries {
+            self.nack_retries = 0;
+            self.nack_open = None;
+            self.suspect_sequencer();
+            return;
+        }
+        let lo = lo.max(self.next_expected);
+        self.stats.nacks_sent += 1;
+        let msg = self.make_msg(Body::RetransReq { from: lo, to: hi });
+        self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        self.push(Action::SetTimer {
+            kind: TimerKind::NackRetry,
+            after_us: self.config.nack_retry_us,
+        });
+    }
+
+    /// The sequencer has repeatedly failed to answer. Tell the
+    /// application (and optionally start recovery ourselves).
+    pub(crate) fn suspect_sequencer(&mut self) {
+        self.push(Action::Deliver(GroupEvent::SequencerSuspected));
+        if self.config.auto_reset && matches!(self.mode, Mode::Normal) {
+            let min = self.config.auto_reset_min_members;
+            self.start_recovery(min, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers shared across modules
+    // ------------------------------------------------------------------
+
+    pub(crate) fn push(&mut self, action: Action) {
+        if matches!(action, Action::Send { .. }) {
+            self.stats.msgs_out += 1;
+        }
+        self.actions.push(action);
+    }
+
+    pub(crate) fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    pub(crate) fn send_to(&mut self, dest: Dest, msg: WireMsg) {
+        self.push(Action::Send { dest, msg });
+    }
+
+    /// Builds a packet with the standard header (piggybacked floor
+    /// included).
+    pub(crate) fn make_msg(&self, body: Body) -> WireMsg {
+        WireMsg {
+            hdr: Hdr {
+                group: self.group,
+                view: self.view.view_id,
+                sender: self.me,
+                last_delivered: self.next_expected.prev(),
+                gc_floor: self
+                    .seq_state
+                    .as_ref()
+                    .map_or(Seqno::ZERO, |s| s.gc_floor),
+            },
+            body,
+        }
+    }
+
+    /// The highest seqno such that this member holds *everything* up to
+    /// it (delivered prefix extended by contiguous parked entries).
+    pub(crate) fn contiguous_prefix(&self) -> Seqno {
+        let mut s = self.next_expected.prev();
+        let mut probe = self.next_expected;
+        while self.ooo.contains_key(&probe) {
+            s = probe;
+            probe = probe.next();
+        }
+        s
+    }
+
+    /// Completes the blocking send if `origin`/`sender_seq` identify it.
+    pub(crate) fn maybe_complete_send(&mut self, origin: MemberId, sender_seq: u64, seqno: Seqno) {
+        if origin != self.me {
+            return;
+        }
+        let done = matches!(&self.pending_send, Some(p) if p.sender_seq == sender_seq);
+        if done {
+            self.pending_send = None;
+            self.parked.remove(&(origin, sender_seq));
+            self.push(Action::CancelTimer { kind: TimerKind::SendRetransmit });
+            self.push(Action::SendDone(Ok(seqno)));
+        }
+    }
+
+    fn epoch_check(&mut self, msg: &WireMsg) -> EpochVerdict {
+        // Recovery and admission traffic has its own epoch rules.
+        match &msg.body {
+            Body::JoinReq { .. }
+            | Body::JoinAck { .. }
+            | Body::NewView { .. }
+            | Body::Invite { .. }
+            | Body::InviteAck { .. }
+            | Body::ViewQuery
+            | Body::Ping { .. }
+            | Body::Pong { .. } => return EpochVerdict::Process,
+            _ => {}
+        }
+        if msg.hdr.view == self.view.view_id {
+            return EpochVerdict::Process;
+        }
+        if msg.hdr.view < self.view.view_id {
+            return EpochVerdict::Drop; // stale epoch
+        }
+        // Traffic from a future epoch: a recovery happened without us.
+        // Ask the sender for the installed view; we either adopt it (we
+        // are a member) or learn we were expelled.
+        if let Some(sender) = self.view.member(msg.hdr.sender) {
+            let q = self.make_msg(Body::ViewQuery);
+            self.send_to(Dest::Unicast(sender.addr), q);
+        }
+        EpochVerdict::Drop
+    }
+
+    pub(crate) fn arm_sync_interval(&mut self) {
+        if self.is_sequencer() && self.config.sync_interval_us > 0 {
+            self.push(Action::SetTimer {
+                kind: TimerKind::SyncInterval,
+                after_us: self.config.sync_interval_us,
+            });
+        }
+    }
+}
+
+enum EpochVerdict {
+    Process,
+    Drop,
+}

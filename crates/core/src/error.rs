@@ -1,0 +1,93 @@
+//! Errors surfaced by the group primitives.
+
+/// Why a group primitive failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The operation requires membership and this process is not (or no
+    /// longer) a member.
+    NotMember,
+    /// A blocking primitive of the same kind is already outstanding
+    /// (the primitives are blocking; one per thread — paper §2).
+    Busy,
+    /// The sequencer stopped answering; the message may or may not have
+    /// been ordered. Recover with `ResetGroup`.
+    SequencerUnreachable,
+    /// `JoinGroup` exhausted its retries without an answer.
+    JoinTimeout,
+    /// The group is recovering; retry after the new view installs.
+    Recovering,
+    /// `ResetGroup` could not gather the requested minimum number of
+    /// members ("the group will block until a sufficient number of
+    /// processors recover" — we surface it instead of blocking forever).
+    TooFewMembers {
+        /// Members found alive (including the caller).
+        alive: usize,
+        /// The minimum requested.
+        needed: usize,
+    },
+    /// A concurrent recovery led by another member superseded ours.
+    RecoverySuperseded,
+    /// The payload exceeds the protocol's maximum transfer size
+    /// (the paper capped messages at 8000 bytes pending multicast flow
+    /// control, §4).
+    MessageTooLarge {
+        /// Bytes offered.
+        size: usize,
+        /// Bytes allowed.
+        max: usize,
+    },
+    /// Configuration rejected by validation.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::NotMember => write!(f, "not a member of the group"),
+            GroupError::Busy => write!(f, "a blocking group primitive is already outstanding"),
+            GroupError::SequencerUnreachable => {
+                write!(f, "sequencer unreachable; ResetGroup required")
+            }
+            GroupError::JoinTimeout => write!(f, "join request went unanswered"),
+            GroupError::Recovering => write!(f, "group is recovering"),
+            GroupError::TooFewMembers { alive, needed } => {
+                write!(f, "recovery found {alive} members alive, needed {needed}")
+            }
+            GroupError::RecoverySuperseded => {
+                write!(f, "recovery superseded by another coordinator")
+            }
+            GroupError::MessageTooLarge { size, max } => {
+                write!(f, "message of {size} bytes exceeds the {max}-byte maximum")
+            }
+            GroupError::BadConfig(why) => write!(f, "invalid group configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_nonempty() {
+        let errs = [
+            GroupError::NotMember,
+            GroupError::Busy,
+            GroupError::SequencerUnreachable,
+            GroupError::JoinTimeout,
+            GroupError::Recovering,
+            GroupError::TooFewMembers { alive: 1, needed: 3 },
+            GroupError::RecoverySuperseded,
+            GroupError::MessageTooLarge { size: 9000, max: 8000 },
+            GroupError::BadConfig("x".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

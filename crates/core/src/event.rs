@@ -1,0 +1,105 @@
+//! Events delivered to the application through `ReceiveFromGroup`.
+
+use bytes::Bytes;
+
+use crate::ids::{MemberId, Seqno, ViewId};
+use crate::view::MemberMeta;
+
+/// An event in the group's total order, delivered to every member in the
+/// same order. `ReceiveFromGroup` in the live runtime blocks for the
+/// next one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupEvent {
+    /// An application message.
+    Message {
+        /// Position in the total order.
+        seqno: Seqno,
+        /// The sending member.
+        origin: MemberId,
+        /// Application bytes.
+        payload: Bytes,
+    },
+    /// A member joined; ordered like any message.
+    Joined {
+        /// Position in the total order.
+        seqno: Seqno,
+        /// The new member.
+        member: MemberMeta,
+    },
+    /// A member left (voluntarily or expelled by failure detection).
+    Left {
+        /// Position in the total order.
+        seqno: Seqno,
+        /// Who left.
+        member: MemberId,
+        /// True if the sequencer expelled an unresponsive member.
+        forced: bool,
+    },
+    /// The sequencer role moved (graceful handoff). The old sequencer
+    /// has *left the group* as part of this event.
+    SequencerChanged {
+        /// Position in the total order.
+        seqno: Seqno,
+        /// The departed former sequencer.
+        old_sequencer: MemberId,
+        /// The member now sequencing.
+        new_sequencer: MemberId,
+    },
+    /// A `ResetGroup` recovery installed a new incarnation. Not a
+    /// position in the old total order: delivery resumes at
+    /// `resume_at` in the new incarnation.
+    ViewInstalled {
+        /// The new epoch.
+        view: ViewId,
+        /// Members of the rebuilt group.
+        members: Vec<MemberMeta>,
+        /// The new sequencer.
+        sequencer: MemberId,
+        /// The first seqno that the new incarnation will assign.
+        resume_at: Seqno,
+    },
+    /// This process was expelled (declared dead while actually alive,
+    /// the paper's accepted false positive) or missed a recovery. It is
+    /// no longer a member; rejoin to continue.
+    Expelled,
+    /// The sequencer has stopped responding to this member's requests.
+    /// The application should invoke `ResetGroup` (paper §2.1), unless
+    /// `auto_reset` already did.
+    SequencerSuspected,
+}
+
+impl GroupEvent {
+    /// The total-order position, for ordered events.
+    pub fn seqno(&self) -> Option<Seqno> {
+        match self {
+            GroupEvent::Message { seqno, .. }
+            | GroupEvent::Joined { seqno, .. }
+            | GroupEvent::Left { seqno, .. }
+            | GroupEvent::SequencerChanged { seqno, .. } => Some(*seqno),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an application message.
+    pub fn is_message(&self) -> bool {
+        matches!(self, GroupEvent::Message { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_accessor() {
+        let e = GroupEvent::Message {
+            seqno: Seqno(4),
+            origin: MemberId(1),
+            payload: Bytes::new(),
+        };
+        assert_eq!(e.seqno(), Some(Seqno(4)));
+        assert!(e.is_message());
+        assert_eq!(GroupEvent::Expelled.seqno(), None);
+        assert!(!GroupEvent::Expelled.is_message());
+    }
+}

@@ -1,0 +1,139 @@
+//! Protocol identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a process group. Also determines the group's FLIP address
+/// ([`GroupId::flip_address`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u64);
+
+impl GroupId {
+    /// The FLIP group address all members listen on.
+    pub fn flip_address(self) -> amoeba_flip::FlipAddress {
+        amoeba_flip::FlipAddress::group(self.0)
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+/// A member's identifier within its group, assigned at join time by the
+/// sequencer.
+///
+/// Member ids are *never reused* within a group's lifetime: resilience
+/// acknowledgements are sent by the "r lowest-numbered" live members
+/// (paper §3.1), which must be unambiguous across membership changes.
+/// The group's creator is member 0 and the initial sequencer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemberId(pub u32);
+
+impl MemberId {
+    /// The group creator (initial sequencer).
+    pub const FOUNDER: MemberId = MemberId(0);
+    /// Placeholder used by processes that have not been admitted yet.
+    pub const UNASSIGNED: MemberId = MemberId(u32::MAX);
+}
+
+impl std::fmt::Display for MemberId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == MemberId::UNASSIGNED {
+            write!(f, "m?")
+        } else {
+            write!(f, "m{}", self.0)
+        }
+    }
+}
+
+/// The group's incarnation (epoch), bumped by each successful
+/// `ResetGroup` recovery. Ordinary joins and leaves do *not* bump the
+/// view: they are ordinary events inside the total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ViewId(pub u32);
+
+impl ViewId {
+    /// The view a freshly created group starts in.
+    pub const INITIAL: ViewId = ViewId(1);
+
+    /// The next view (after a recovery).
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for ViewId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A global sequence number stamped by the sequencer. The sequence is
+/// dense: every seqno from 1 upward names exactly one accepted event
+/// (message, join, or leave), group-wide. `Seqno(0)` means "nothing yet".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Seqno(pub u64);
+
+impl Seqno {
+    /// "Nothing delivered yet" / the predecessor of the first seqno.
+    pub const ZERO: Seqno = Seqno(0);
+
+    /// The next sequence number.
+    pub fn next(self) -> Seqno {
+        Seqno(self.0 + 1)
+    }
+
+    /// The previous sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Seqno::ZERO`.
+    pub fn prev(self) -> Seqno {
+        Seqno(self.0.checked_sub(1).expect("Seqno::ZERO has no predecessor"))
+    }
+}
+
+impl std::fmt::Display for Seqno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_flip_address_is_a_group_address() {
+        assert!(GroupId(5).flip_address().is_group());
+        assert_eq!(GroupId(5).flip_address().id(), 5);
+    }
+
+    #[test]
+    fn seqno_succession() {
+        assert_eq!(Seqno::ZERO.next(), Seqno(1));
+        assert_eq!(Seqno(5).prev(), Seqno(4));
+        assert!(Seqno(2) < Seqno(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn seqno_zero_has_no_prev() {
+        Seqno::ZERO.prev();
+    }
+
+    #[test]
+    fn view_succession() {
+        assert_eq!(ViewId::INITIAL.next(), ViewId(2));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(GroupId(1).to_string(), "group1");
+        assert_eq!(MemberId(3).to_string(), "m3");
+        assert_eq!(MemberId::UNASSIGNED.to_string(), "m?");
+        assert_eq!(ViewId(2).to_string(), "v2");
+        assert_eq!(Seqno(9).to_string(), "#9");
+    }
+}

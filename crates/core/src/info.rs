@@ -1,0 +1,67 @@
+//! `GetInfoGroup`: state snapshots for the application.
+
+use amoeba_flip::FlipAddress;
+
+use crate::ids::{GroupId, MemberId, Seqno, ViewId};
+use crate::view::MemberMeta;
+
+/// What `GetInfoGroup` returns: a snapshot of this member's knowledge of
+/// the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupInfo {
+    /// The group.
+    pub group: GroupId,
+    /// This process's member id.
+    pub me: MemberId,
+    /// This process's FLIP address.
+    pub my_addr: FlipAddress,
+    /// Current incarnation.
+    pub view: ViewId,
+    /// Current membership (sorted by member id).
+    pub members: Vec<MemberMeta>,
+    /// The sequencing member.
+    pub sequencer: MemberId,
+    /// Whether this member is the sequencer.
+    pub is_sequencer: bool,
+    /// The group's resilience degree.
+    pub resilience: u32,
+    /// Highest sequence number delivered in order here.
+    pub last_delivered: Seqno,
+    /// Entries currently retained in the local history buffer.
+    pub history_len: usize,
+    /// Whether a recovery is in progress.
+    pub recovering: bool,
+}
+
+impl GroupInfo {
+    /// Number of members in the current view.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_members_counts() {
+        let info = GroupInfo {
+            group: GroupId(1),
+            me: MemberId(0),
+            my_addr: FlipAddress::process(1),
+            view: ViewId::INITIAL,
+            members: vec![
+                MemberMeta { id: MemberId(0), addr: FlipAddress::process(1) },
+                MemberMeta { id: MemberId(1), addr: FlipAddress::process(2) },
+            ],
+            sequencer: MemberId(0),
+            is_sequencer: true,
+            resilience: 0,
+            last_delivered: Seqno::ZERO,
+            history_len: 0,
+            recovering: false,
+        };
+        assert_eq!(info.num_members(), 2);
+    }
+}

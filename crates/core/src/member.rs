@@ -1,0 +1,245 @@
+//! The member role: the receive side of the broadcast protocol (PB and
+//! BB), tentative buffering for resilience, and send retransmission.
+
+use bytes::Bytes;
+
+use crate::action::{Action, Dest};
+use crate::config::Method;
+use crate::core::{GroupCore, Mode};
+use crate::ids::{MemberId, Seqno};
+use crate::message::{Body, Hdr, Sequenced, SequencedKind};
+use crate::timer::TimerKind;
+
+impl GroupCore {
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Full stamped data from the sequencer (PB multicast or a
+    /// retransmission answer).
+    pub(crate) fn handle_bcast_data(&mut self, entry: Sequenced) {
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        self.pre_accepted.remove(&entry.seqno);
+        if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
+            self.accepted_awaiting_data.remove(&(*origin, *sender_seq));
+            self.parked.remove(&(*origin, *sender_seq));
+        }
+        self.ingest_sequenced(entry);
+    }
+
+    /// A tentative (r > 0) stamped entry: buffer it, gate delivery on
+    /// the accept, and acknowledge if we are one of the r designated
+    /// members *and* our prefix below it is complete (the contiguity
+    /// rule that makes a tentative ack a promise of full history).
+    pub(crate) fn handle_tentative(&mut self, entry: Sequenced, resilience: u32) {
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        let seqno = entry.seqno;
+        if seqno < self.next_expected {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if self.pre_accepted.remove(&seqno) {
+            // The accept raced ahead of the data: it is official.
+            self.ingest_sequenced(entry);
+            return;
+        }
+        if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
+            self.parked.remove(&(*origin, *sender_seq));
+        }
+        self.tentative.insert(seqno);
+        self.ooo.entry(seqno).or_insert(entry);
+        let am_acker = self.view.resilience_ackers(resilience).contains(&self.me);
+        if am_acker {
+            if self.contiguous_prefix() >= seqno {
+                self.send_tent_ack(seqno);
+            } else {
+                self.deferred_tent_acks.insert(seqno);
+                self.check_gap();
+            }
+        } else {
+            self.check_gap();
+        }
+    }
+
+    pub(crate) fn send_tent_ack(&mut self, seqno: Seqno) {
+        self.stats.tent_acks_sent += 1;
+        let msg = self.make_msg(Body::TentAck { seqno });
+        self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+    }
+
+    /// Acks deferred for contiguity become sendable as gaps close.
+    pub(crate) fn flush_deferred_tent_acks(&mut self) {
+        if self.deferred_tent_acks.is_empty() {
+            return;
+        }
+        let prefix = self.contiguous_prefix();
+        let ready: Vec<Seqno> =
+            self.deferred_tent_acks.range(..=prefix).copied().collect();
+        for seqno in ready {
+            self.deferred_tent_acks.remove(&seqno);
+            self.send_tent_ack(seqno);
+        }
+    }
+
+    /// A short accept: stamps BB data we already hold, releases a
+    /// tentative entry, or (for our own message) completes the send.
+    pub(crate) fn handle_accept(&mut self, seqno: Seqno, origin: MemberId, sender_seq: u64) {
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        // Take the parked payload (if any) *before* completing the send:
+        // completion bookkeeping also clears the parked entry, and for
+        // our own BB messages that payload is the data the accept stamps.
+        let parked = self.parked.remove(&(origin, sender_seq));
+        self.maybe_complete_send(origin, sender_seq, seqno);
+        if seqno < self.next_expected {
+            return; // already delivered
+        }
+        if self.tentative.remove(&seqno) {
+            self.drain_deliverable();
+            self.check_gap();
+            return;
+        }
+        if self.ooo.contains_key(&seqno) {
+            return; // data present and already official
+        }
+        if let Some(payload) = parked {
+            // BB: we hold the multicast payload; the accept gives it its
+            // place in the total order.
+            let entry =
+                Sequenced { seqno, kind: SequencedKind::App { origin, sender_seq, payload } };
+            self.ingest_sequenced(entry);
+            return;
+        }
+        // Accept without data: remember it and ask for the payload.
+        self.pre_accepted.insert(seqno);
+        self.accepted_awaiting_data.insert((origin, sender_seq), seqno);
+        if self.nack_open.is_none() {
+            self.send_nack(self.next_expected, seqno);
+        }
+    }
+
+    /// BB original data from a peer member: park it until its accept
+    /// (or stamp it immediately if the accept already arrived).
+    pub(crate) fn handle_bcast_orig(&mut self, hdr: Hdr, sender_seq: u64, payload: Bytes) {
+        if self.is_sequencer() {
+            self.handle_bcast_orig_at_sequencer(hdr, sender_seq, payload);
+            return;
+        }
+        if !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        let origin = hdr.sender;
+        if let Some(seqno) = self.accepted_awaiting_data.remove(&(origin, sender_seq)) {
+            self.pre_accepted.remove(&seqno);
+            let entry =
+                Sequenced { seqno, kind: SequencedKind::App { origin, sender_seq, payload } };
+            self.ingest_sequenced(entry);
+            return;
+        }
+        self.parked.insert((origin, sender_seq), payload);
+    }
+
+    /// The sequencer asks for status: nack anything we did not know we
+    /// were missing right away, but *stagger* the status reply by our
+    /// rank so a large group's answers do not land on the sequencer in
+    /// one burst (ack implosion — §2.2's argument against naive
+    /// positive-acknowledgement schemes applies to status storms too).
+    pub(crate) fn handle_sync_req(&mut self, horizon: Seqno) {
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        let rank = self
+            .view
+            .members()
+            .iter()
+            .filter(|m| m.id != self.view.sequencer)
+            .position(|m| m.id == self.me)
+            .unwrap_or(0) as u64;
+        let delay = rank * self.config.status_stagger_us;
+        if delay == 0 {
+            let msg = self.make_msg(Body::Status);
+            self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        } else {
+            self.push(crate::action::Action::SetTimer {
+                kind: TimerKind::StatusReply,
+                after_us: delay,
+            });
+        }
+        if horizon > self.contiguous_prefix() && self.nack_open.is_none() {
+            self.send_nack(self.next_expected, horizon);
+        }
+    }
+
+    /// The staggered status reply timer fired.
+    pub(crate) fn on_status_reply(&mut self) {
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        let msg = self.make_msg(Body::Status);
+        self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Send path (non-sequencer)
+    // ------------------------------------------------------------------
+
+    /// Puts the pending send on the wire (first attempt and retries).
+    pub(crate) fn transmit_pending_send(&mut self) {
+        let Some(p) = &self.pending_send else { return };
+        let (sender_seq, payload, method) = (p.sender_seq, p.payload.clone(), p.method);
+        match method {
+            Method::Pb | Method::Dynamic { .. } => {
+                let msg = self.make_msg(Body::BcastReq { sender_seq, payload });
+                self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+            }
+            Method::Bb => {
+                let msg = self.make_msg(Body::BcastOrig { sender_seq, payload });
+                self.send_to(Dest::Group, msg);
+            }
+        }
+    }
+
+    /// The send (or leave) request timer fired.
+    pub(crate) fn on_send_retransmit(&mut self) {
+        if !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        if self.pending_send.is_some() {
+            if self.is_sequencer() {
+                // We were waiting out our own full history buffer.
+                self.sequencer_local_send();
+                if self.pending_send.is_some() {
+                    return; // still blocked; timer re-armed inside
+                }
+                return;
+            }
+            let p = self.pending_send.as_mut().expect("checked above");
+            p.retries += 1;
+            let retries = p.retries;
+            if retries > self.config.send_max_retries {
+                self.pending_send = None;
+                self.push(Action::SendDone(Err(
+                    crate::error::GroupError::SequencerUnreachable,
+                )));
+                self.suspect_sequencer();
+                return;
+            }
+            self.stats.send_retries += 1;
+            self.transmit_pending_send();
+            let backoff = self.config.send_retransmit_us << retries.min(6);
+            self.push(Action::SetTimer { kind: TimerKind::SendRetransmit, after_us: backoff });
+        } else if self.pending_leave && !self.is_sequencer() {
+            let msg = self.make_msg(Body::LeaveReq { nonce: self.sender_seq });
+            self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+            self.push(Action::SetTimer {
+                kind: TimerKind::SendRetransmit,
+                after_us: self.config.send_retransmit_us,
+            });
+        }
+    }
+}

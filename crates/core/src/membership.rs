@@ -1,0 +1,173 @@
+//! Admission and departure: `JoinGroup` / `LeaveGroup`, both sides.
+//!
+//! Joins and leaves travel through the same sequence-number stream as
+//! data, so "either all members first receive the join and then the
+//! broadcast or all members first receive the broadcast and then the
+//! join" (paper §2) — the implementation makes that property structural
+//! rather than enforced.
+
+use amoeba_flip::FlipAddress;
+
+use crate::action::{Action, Dest};
+use crate::core::{GroupCore, Mode};
+use crate::error::GroupError;
+use crate::event::GroupEvent;
+use crate::ids::{MemberId, Seqno, ViewId};
+use crate::message::{Body, SequencedKind};
+use crate::timer::TimerKind;
+use crate::view::{GroupView, MemberMeta};
+
+impl GroupCore {
+    // ------------------------------------------------------------------
+    // Joiner side
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_join_request(&mut self) {
+        let nonce = match &self.mode {
+            Mode::Joining(j) => j.nonce,
+            _ => return,
+        };
+        let msg = self.make_msg(Body::JoinReq { addr: self.my_addr, nonce });
+        self.send_to(Dest::Group, msg);
+        self.push(Action::SetTimer {
+            kind: TimerKind::JoinRetry,
+            after_us: self.config.join_retry_us,
+        });
+    }
+
+    pub(crate) fn on_join_retry(&mut self) {
+        let give_up = match &mut self.mode {
+            Mode::Joining(j) => {
+                j.retries += 1;
+                j.retries > self.config.join_max_retries
+            }
+            _ => return,
+        };
+        if give_up {
+            self.mode = Mode::Left;
+            self.push(Action::JoinDone(Err(GroupError::JoinTimeout)));
+        } else {
+            self.send_join_request();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_join_ack(
+        &mut self,
+        from: MemberId,
+        member: MemberId,
+        view: ViewId,
+        join_seqno: Seqno,
+        members: Vec<MemberMeta>,
+        resilience: u32,
+        nonce: u64,
+    ) {
+        let matches_our_request = match &self.mode {
+            Mode::Joining(j) => j.nonce == nonce,
+            _ => false,
+        };
+        if !matches_our_request {
+            return;
+        }
+        if !members.iter().any(|m| m.id == member && m.addr == self.my_addr) {
+            return; // malformed ack
+        }
+        self.me = member;
+        self.view = GroupView::new(view, members, from);
+        self.config.resilience = resilience; // the group's r, not ours
+        self.next_expected = join_seqno.next();
+        self.mode = Mode::Normal;
+        self.push(Action::CancelTimer { kind: TimerKind::JoinRetry });
+        // Our own join event, at its place in the total order.
+        let meta = MemberMeta { id: member, addr: self.my_addr };
+        self.push(Action::Deliver(GroupEvent::Joined { seqno: join_seqno, member: meta }));
+        let info = self.info();
+        self.push(Action::JoinDone(Ok(info)));
+    }
+
+    // ------------------------------------------------------------------
+    // Sequencer side
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_join_req(&mut self, addr: FlipAddress, nonce: u64) {
+        if !self.is_sequencer() || !matches!(self.mode, Mode::Normal) {
+            return; // joiner retries; maybe we are mid-recovery
+        }
+        // Duplicate: the joiner missed our answer. Repeat it verbatim
+        // (same id, same join point) so its delivery stream is seamless.
+        if let Some(&(member, join_seqno)) = self.joined_at(addr) {
+            self.send_join_ack(addr, member, join_seqno, nonce);
+            return;
+        }
+        let id = {
+            let ss = self.seq_state.as_mut().expect("sequencer role");
+            let id = MemberId(ss.next_member_id);
+            ss.next_member_id += 1;
+            id
+        };
+        let meta = MemberMeta { id, addr };
+        let entry = self.sequence_entry(SequencedKind::Join { member: meta });
+        let join_seqno = entry.seqno;
+        self.broadcast_entry(entry);
+        if let Some(ss) = self.seq_state.as_mut() {
+            ss.joined_at.insert(addr.as_u64(), (id, join_seqno));
+        }
+        self.send_join_ack(addr, id, join_seqno, nonce);
+    }
+
+    fn joined_at(&self, addr: FlipAddress) -> Option<&(MemberId, Seqno)> {
+        self.seq_state.as_ref().and_then(|ss| ss.joined_at.get(&addr.as_u64()))
+    }
+
+    fn send_join_ack(&mut self, addr: FlipAddress, member: MemberId, join_seqno: Seqno, nonce: u64) {
+        let ack = self.make_msg(Body::JoinAck {
+            member,
+            view: self.view.view_id,
+            join_seqno,
+            members: self.view.members().to_vec(),
+            resilience: self.config.resilience,
+            nonce,
+        });
+        self.send_to(Dest::Unicast(addr), ack);
+    }
+
+    pub(crate) fn handle_leave_req(&mut self, from: MemberId, _nonce: u64) {
+        if !self.is_sequencer() || !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        let Some(meta) = self.view.member(from) else {
+            // Already gone (duplicate request): repeat the ack.
+            // We do not know the old address from the view; the driver
+            // answers via the source address of the request, so reply
+            // through the last known joined_at record if present.
+            if let Some(addr) = self
+                .seq_state
+                .as_ref()
+                .and_then(|ss| {
+                    ss.joined_at
+                        .iter()
+                        .find(|(_, (id, _))| *id == from)
+                        .map(|(addr, _)| FlipAddress::from_u64(*addr))
+                })
+            {
+                let ack = self.make_msg(Body::LeaveAck);
+                self.send_to(Dest::Unicast(addr), ack);
+            }
+            return;
+        };
+        let entry = self.sequence_entry(SequencedKind::Leave { member: from, forced: false });
+        self.broadcast_entry(entry);
+        let ack = self.make_msg(Body::LeaveAck);
+        self.send_to(Dest::Unicast(meta.addr), ack);
+    }
+
+    pub(crate) fn handle_leave_ack(&mut self) {
+        if !self.pending_leave || self.is_sequencer() {
+            return;
+        }
+        self.pending_leave = false;
+        self.mode = Mode::Left;
+        self.push(Action::CancelTimer { kind: TimerKind::SendRetransmit });
+        self.push(Action::LeaveDone(Ok(())));
+    }
+}

@@ -1,0 +1,394 @@
+//! `ResetGroup`: rebuilding the group after processor failures.
+//!
+//! The paper (§2.1) requires: (1) every member of the rebuilt group
+//! receives every message successfully sent before the failure, and
+//! (2) survivors receive everything sent after it. Consensus on the
+//! survivor set is impossible in an asynchronous system [FLP], so the
+//! algorithm uses retried invitations with timeouts and accepts that a
+//! slow member may be declared dead.
+//!
+//! Shape: the caller of `ResetGroup` coordinates. It multicasts
+//! invitations; respondents report the highest sequence number through
+//! which they hold a *contiguous* history prefix. After a fixed number
+//! of rounds the coordinator closes membership, picks the member with
+//! the longest prefix as the new sequencer, and installs `view + 1`.
+//! Concurrent coordinators resolve by member id (lowest wins); a
+//! participant whose coordinator goes silent starts its own attempt.
+//!
+//! Soundness of the prefix rule: a resilience-r message is accepted only
+//! after r members beyond the sequencer acknowledged its tentative
+//! broadcast, and members acknowledge only when their prefix covers it
+//! (see `member.rs`). Hence if ≤ r members crash, some survivor's
+//! *prefix* covers every accepted message, the longest-prefix winner
+//! retains them all, and guarantee (1) holds. With r = 0 a message held
+//! only by the crashed sequencer is lost — exactly the paper's stated
+//! trade-off.
+
+use std::collections::BTreeMap;
+
+use amoeba_flip::FlipAddress;
+
+use crate::action::{Action, Dest};
+use crate::core::{GroupCore, Mode};
+use crate::error::GroupError;
+use crate::event::GroupEvent;
+use crate::ids::{MemberId, Seqno, ViewId};
+use crate::message::Body;
+use crate::timer::TimerKind;
+use crate::view::{GroupView, MemberMeta};
+
+/// Recovery bookkeeping while `Mode::Recovering`.
+#[derive(Debug)]
+pub(crate) enum RecoveryState {
+    /// We sent the invitations.
+    Coordinator {
+        /// Our attempt number (monotone per process).
+        attempt: u32,
+        /// Minimum members the rebuilt group needs.
+        min_members: usize,
+        /// Invitation rounds remaining before closing membership.
+        rounds_left: u32,
+        /// Respondents: member → (contiguous prefix, address).
+        acks: BTreeMap<MemberId, (Seqno, FlipAddress)>,
+    },
+    /// We answered someone else's invitation.
+    Participant {
+        /// The coordinator we deferred to.
+        coord: MemberId,
+        /// Its attempt number.
+        attempt: u32,
+    },
+}
+
+impl GroupCore {
+    /// Begins (or adopts) a recovery. `user_initiated` marks a real
+    /// `ResetGroup` call whose completion the application awaits.
+    pub(crate) fn start_recovery(&mut self, min_members: usize, user_initiated: bool) {
+        if user_initiated {
+            self.pending_reset_user = true;
+        }
+        match &self.mode {
+            Mode::Recovering(RecoveryState::Coordinator { .. }) => {
+                return; // already leading; the user result rides along
+            }
+            Mode::Recovering(RecoveryState::Participant { coord, .. })
+                // Take over only if we outrank the current coordinator.
+                if self.me > *coord => {
+                    return;
+                }
+            _ => {}
+        }
+        self.recovery_attempt += 1;
+        let attempt = self.recovery_attempt;
+        let mut acks = BTreeMap::new();
+        acks.insert(self.me, (self.contiguous_prefix(), self.my_addr));
+        self.mode = Mode::Recovering(RecoveryState::Coordinator {
+            attempt,
+            min_members,
+            rounds_left: self.config.invite_rounds,
+            acks,
+        });
+        // A failed send is moot now; recovery resubmits it at install.
+        self.push(Action::CancelTimer { kind: TimerKind::NackRetry });
+        self.nack_open = None;
+        self.nack_retries = 0;
+        let me = self.me;
+        let invite = self.make_msg(Body::Invite { attempt, coord: me });
+        self.send_to(Dest::Group, invite);
+        self.push(Action::SetTimer {
+            kind: TimerKind::InviteRound,
+            after_us: self.config.invite_round_us,
+        });
+    }
+
+    /// An invitation arrived.
+    pub(crate) fn handle_invite(&mut self, inviter_view: ViewId, attempt: u32, coord: MemberId) {
+        if coord == self.me {
+            return;
+        }
+        // A coordinator still in an older incarnation missed our
+        // recovery: teach it the installed view.
+        if inviter_view < self.view.view_id {
+            if matches!(self.mode, Mode::Normal) {
+                if let Some(meta) = self.view.member(coord) {
+                    let reply = self.current_view_msg();
+                    self.send_to(Dest::Unicast(meta.addr), reply);
+                }
+            }
+            return;
+        }
+        let accept = match &self.mode {
+            Mode::Normal => true,
+            Mode::Recovering(RecoveryState::Participant { coord: c, attempt: a }) => {
+                coord < *c || (coord == *c && attempt >= *a)
+            }
+            Mode::Recovering(RecoveryState::Coordinator { .. }) => coord < self.me,
+            Mode::Joining(_) | Mode::Left => false,
+        };
+        if !accept {
+            return;
+        }
+        if matches!(self.mode, Mode::Recovering(RecoveryState::Coordinator { .. })) {
+            // Abdicate to the lower-numbered coordinator.
+            self.push(Action::CancelTimer { kind: TimerKind::InviteRound });
+        }
+        self.mode = Mode::Recovering(RecoveryState::Participant { coord, attempt });
+        let Some(coord_meta) = self.view.member(coord) else { return };
+        let prefix = self.contiguous_prefix();
+        let ack =
+            self.make_msg(Body::InviteAck { attempt, highest: prefix, addr: self.my_addr });
+        self.send_to(Dest::Unicast(coord_meta.addr), ack);
+        self.push(Action::SetTimer {
+            kind: TimerKind::RecoveryWatchdog,
+            after_us: self.config.recovery_watchdog_us,
+        });
+    }
+
+    /// A survivor answered our invitation.
+    pub(crate) fn handle_invite_ack(
+        &mut self,
+        from: MemberId,
+        attempt: u32,
+        highest: Seqno,
+        addr: FlipAddress,
+    ) {
+        if let Mode::Recovering(RecoveryState::Coordinator { attempt: ours, acks, .. }) =
+            &mut self.mode
+        {
+            if attempt == *ours {
+                acks.insert(from, (highest, addr));
+            }
+        }
+    }
+
+    /// The invitation round timer fired: re-invite or close membership.
+    pub(crate) fn on_invite_round(&mut self) {
+        let (attempt, close) = match &mut self.mode {
+            Mode::Recovering(RecoveryState::Coordinator { attempt, rounds_left, .. }) => {
+                *rounds_left = rounds_left.saturating_sub(1);
+                (*attempt, *rounds_left == 0)
+            }
+            _ => return,
+        };
+        if !close {
+            let me = self.me;
+            let invite = self.make_msg(Body::Invite { attempt, coord: me });
+            self.send_to(Dest::Group, invite);
+            self.push(Action::SetTimer {
+                kind: TimerKind::InviteRound,
+                after_us: self.config.invite_round_us,
+            });
+            return;
+        }
+        self.close_recovery();
+    }
+
+    /// All rounds done: decide the new view.
+    fn close_recovery(&mut self) {
+        let (min_members, acks) = match &self.mode {
+            Mode::Recovering(RecoveryState::Coordinator { min_members, acks, .. }) => {
+                (*min_members, acks.clone())
+            }
+            _ => return,
+        };
+        if acks.len() < min_members {
+            // "The group will block until a sufficient number of
+            // processors recover": we surface the failure and let the
+            // application retry (or lower its requirement).
+            self.mode = Mode::Normal;
+            if self.pending_reset_user {
+                self.pending_reset_user = false;
+                self.push(Action::ResetDone(Err(GroupError::TooFewMembers {
+                    alive: acks.len(),
+                    needed: min_members,
+                })));
+            }
+            return;
+        }
+        // Longest contiguous prefix wins; ties go to the lowest id.
+        let (&new_seq, &(max_prefix, _)) = acks
+            .iter()
+            .max_by_key(|(id, (prefix, _))| (*prefix, std::cmp::Reverse(**id)))
+            .expect("acks contains at least ourselves");
+        let next_seqno = max_prefix.next();
+        let new_view_id = self.view.view_id.next();
+        let members: Vec<MemberMeta> =
+            acks.iter().map(|(&id, &(_, addr))| MemberMeta { id, addr }).collect();
+        let body = Body::NewView {
+            attempt: self.recovery_attempt,
+            view: new_view_id,
+            members: members.clone(),
+            sequencer: new_seq,
+            next_seqno,
+        };
+        // Multicast plus per-member unicast: installs must not get lost.
+        let msg = self.make_msg(body.clone());
+        self.send_to(Dest::Group, msg);
+        for meta in &members {
+            if meta.id != self.me {
+                let msg = self.make_msg(body.clone());
+                self.send_to(Dest::Unicast(meta.addr), msg);
+            }
+        }
+        self.stats.recoveries_led += 1;
+        self.install_view(new_view_id, members, new_seq, next_seqno);
+    }
+
+    /// A rebuilt view announcement arrived (or we built it ourselves).
+    pub(crate) fn handle_new_view(
+        &mut self,
+        _attempt: u32,
+        view: ViewId,
+        members: Vec<MemberMeta>,
+        sequencer: MemberId,
+        next_seqno: Seqno,
+    ) {
+        if view <= self.view.view_id {
+            return; // stale
+        }
+        if matches!(self.mode, Mode::Joining(_) | Mode::Left) {
+            return;
+        }
+        let me_included = members.iter().any(|m| m.addr == self.my_addr);
+        if !me_included {
+            // Declared dead while alive — the paper's accepted false
+            // positive. We are out.
+            self.mode = Mode::Left;
+            self.seq_state = None;
+            self.fail_pending_ops();
+            self.push(Action::Deliver(GroupEvent::Expelled));
+            return;
+        }
+        self.install_view(view, members, sequencer, next_seqno);
+    }
+
+    /// Installs the rebuilt incarnation locally.
+    pub(crate) fn install_view(
+        &mut self,
+        view: ViewId,
+        members: Vec<MemberMeta>,
+        sequencer: MemberId,
+        next_seqno: Seqno,
+    ) {
+        self.push(Action::CancelTimer { kind: TimerKind::InviteRound });
+        self.push(Action::CancelTimer { kind: TimerKind::RecoveryWatchdog });
+        self.push(Action::CancelTimer { kind: TimerKind::NackRetry });
+        let was_sequencer = self.is_sequencer();
+        self.view = GroupView::new(view, members, sequencer);
+        self.mode = Mode::Normal;
+
+        // Entries beyond the recovered horizon did not survive: r = 0
+        // loss (permitted), or unaccepted tentatives (senders retry).
+        let horizon = next_seqno.prev();
+        self.ooo.split_off(&next_seqno);
+        self.history.truncate_above(horizon);
+        self.tentative.clear(); // survivors of the horizon are official
+        self.deferred_tent_acks.clear();
+        self.pre_accepted.clear();
+        self.accepted_awaiting_data.clear();
+        self.nack_open = None;
+        self.nack_retries = 0;
+        // Parked BB payloads from others are stale; our own pending send
+        // is re-parked below.
+        self.parked.retain(|(origin, _), _| *origin == self.me);
+
+        if sequencer == self.me {
+            self.assume_sequencer_role(next_seqno);
+        } else {
+            self.seq_state = None;
+            if was_sequencer {
+                self.push(Action::CancelTimer { kind: TimerKind::SyncRound });
+                self.push(Action::CancelTimer { kind: TimerKind::SyncInterval });
+                self.push(Action::CancelTimer { kind: TimerKind::TentativeResend });
+            }
+        }
+
+        self.push(Action::Deliver(GroupEvent::ViewInstalled {
+            view,
+            members: self.view.members().to_vec(),
+            sequencer,
+            resume_at: next_seqno,
+        }));
+
+        self.drain_deliverable();
+        // Catch up on anything the new sequencer has that we lack.
+        if self.contiguous_prefix() < horizon {
+            self.send_nack(self.next_expected, horizon);
+        }
+
+        // Resubmit the interrupted send (same sender_seq: the new
+        // sequencer's duplicate filter keeps this exactly-once).
+        if self.pending_send.is_some() {
+            if self.is_sequencer() {
+                self.sequencer_local_send();
+            } else {
+                if let Some(p) = &mut self.pending_send {
+                    p.retries = 0;
+                }
+                self.transmit_pending_send();
+                self.push(Action::SetTimer {
+                    kind: TimerKind::SendRetransmit,
+                    after_us: self.config.send_retransmit_us,
+                });
+            }
+        }
+        if self.pending_leave && !self.is_sequencer() {
+            let msg = self.make_msg(Body::LeaveReq { nonce: self.sender_seq });
+            self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        }
+        if self.pending_reset_user {
+            self.pending_reset_user = false;
+            let info = self.info();
+            self.push(Action::ResetDone(Ok(info)));
+        }
+    }
+
+    /// Our coordinator has gone silent: run the recovery ourselves.
+    pub(crate) fn on_recovery_watchdog(&mut self) {
+        if matches!(self.mode, Mode::Recovering(RecoveryState::Participant { .. })) {
+            // Minimum 1: rebuild with whoever is left; the application's
+            // explicit ResetGroup can demand more.
+            let min = self.config.auto_reset_min_members.max(1);
+            self.mode = Mode::Normal; // allow start_recovery to lead
+            self.start_recovery(min, false);
+        }
+    }
+
+    /// Answers "what view are you in?" with the installed view.
+    pub(crate) fn handle_view_query(&mut self, from: FlipAddress) {
+        if !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        let reply = self.current_view_msg();
+        self.send_to(Dest::Unicast(from), reply);
+    }
+
+    pub(crate) fn current_view_msg(&self) -> crate::message::WireMsg {
+        let next_seqno = self
+            .seq_state
+            .as_ref()
+            .map(|ss| ss.next_seqno)
+            .unwrap_or(self.next_expected);
+        self.make_msg(Body::NewView {
+            attempt: 0,
+            view: self.view.view_id,
+            members: self.view.members().to_vec(),
+            sequencer: self.view.sequencer,
+            next_seqno,
+        })
+    }
+
+    fn fail_pending_ops(&mut self) {
+        if self.pending_send.take().is_some() {
+            self.push(Action::SendDone(Err(GroupError::NotMember)));
+        }
+        if self.pending_leave {
+            self.pending_leave = false;
+            self.push(Action::LeaveDone(Ok(()))); // expelled ⇒ out anyway
+        }
+        if self.pending_reset_user {
+            self.pending_reset_user = false;
+            self.push(Action::ResetDone(Err(GroupError::NotMember)));
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The sequencer role: stamping, history, flow control, resilience
+//! acknowledgements, sync rounds and failure detection.
+//!
+//! "The sequencer performs a simple and computationally unintensive task
+//! and can therefore process many hundreds of messages per second"
+//! (paper §2.2) — this module is that task.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use crate::action::Dest;
+use crate::config::GroupConfig;
+use crate::core::{GroupCore, Mode};
+use crate::ids::{MemberId, Seqno};
+use crate::message::{Body, Hdr, Sequenced, SequencedKind};
+use crate::timer::TimerKind;
+
+/// A resilient broadcast awaiting its acknowledgements (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PendingAccept {
+    /// Members whose acknowledgement is still required.
+    pub(crate) need: BTreeSet<MemberId>,
+    /// The message's origin (for the final accept packet).
+    pub(crate) origin: MemberId,
+    /// The origin's request number.
+    pub(crate) sender_seq: u64,
+    /// Re-multicast attempts so far.
+    pub(crate) resends: u32,
+}
+
+/// Sequencer-side state, present on exactly one member per group.
+#[derive(Debug)]
+pub(crate) struct SequencerState {
+    /// The next sequence number to assign.
+    pub(crate) next_seqno: Seqno,
+    /// Highest in-order seqno each member has acknowledged (via
+    /// piggyback or status replies).
+    pub(crate) floors: BTreeMap<MemberId, Seqno>,
+    /// Duplicate suppression: per member, the highest `sender_seq`
+    /// stamped and the seqno it received.
+    pub(crate) dup: BTreeMap<MemberId, (u64, Seqno)>,
+    /// Tentative broadcasts awaiting acknowledgements, by seqno.
+    pub(crate) pending_acc: BTreeMap<Seqno, PendingAccept>,
+    /// The globally acknowledged floor (history ≤ this is discarded).
+    pub(crate) gc_floor: Seqno,
+    /// An open status round: members yet to answer, and retries used.
+    pub(crate) sync: Option<SyncRound>,
+    /// Next member id to assign to a joiner (ids are never reused).
+    pub(crate) next_member_id: u32,
+    /// Admission record per joiner address: assigned id and join seqno
+    /// (re-answers duplicate join requests verbatim).
+    pub(crate) joined_at: BTreeMap<u64, (MemberId, Seqno)>,
+    /// Set while the sequencer is draining history to leave gracefully.
+    pub(crate) leaving: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct SyncRound {
+    pub(crate) pending: BTreeSet<MemberId>,
+    pub(crate) retries: u32,
+}
+
+impl SequencerState {
+    pub(crate) fn new(_config: &GroupConfig) -> Self {
+        SequencerState {
+            next_seqno: Seqno::ZERO.next(),
+            floors: BTreeMap::new(),
+            dup: BTreeMap::new(),
+            pending_acc: BTreeMap::new(),
+            gc_floor: Seqno::ZERO,
+            sync: None,
+            next_member_id: 1,
+            joined_at: BTreeMap::new(),
+            leaving: false,
+        }
+    }
+
+    /// State for a member assuming the role mid-life (handoff or
+    /// recovery): seqnos resume at `next_seqno`; duplicate filters are
+    /// rebuilt from the retained history by the caller.
+    pub(crate) fn assume(next_seqno: Seqno, next_member_id: u32, conservative_floor: Seqno) -> Self {
+        SequencerState {
+            next_seqno,
+            floors: BTreeMap::new(),
+            dup: BTreeMap::new(),
+            pending_acc: BTreeMap::new(),
+            gc_floor: conservative_floor,
+            sync: None,
+            next_member_id,
+            joined_at: BTreeMap::new(),
+            leaving: false,
+        }
+    }
+
+    pub(crate) fn note_member_joined(&mut self, id: MemberId, at: Seqno) {
+        self.floors.insert(id, at);
+        if id.0 >= self.next_member_id {
+            self.next_member_id = id.0 + 1;
+        }
+    }
+
+    pub(crate) fn note_member_left(&mut self, id: MemberId) {
+        self.floors.remove(&id);
+        self.dup.remove(&id);
+        // A departed member can no longer acknowledge: shrink needs.
+        for p in self.pending_acc.values_mut() {
+            p.need.remove(&id);
+        }
+    }
+}
+
+impl GroupCore {
+    // ------------------------------------------------------------------
+    // Stamping
+    // ------------------------------------------------------------------
+
+    /// Core of the sequencer: assign the next seqno to `kind`, record it
+    /// in history, and deliver it locally (the sequencer's own member
+    /// sees every event the moment it is ordered).
+    ///
+    /// Returns the stamped entry. Callers decide how it reaches the
+    /// other members (full data multicast, short accept, or tentative).
+    pub(crate) fn sequence_entry(&mut self, kind: SequencedKind) -> Sequenced {
+        let ss = self.seq_state.as_mut().expect("sequence_entry requires the sequencer role");
+        let seqno = ss.next_seqno;
+        ss.next_seqno = seqno.next();
+        if let SequencedKind::App { origin, sender_seq, .. } = &kind {
+            ss.dup.insert(*origin, (*sender_seq, seqno));
+        }
+        let entry = Sequenced { seqno, kind };
+        self.history.insert(entry.clone());
+        self.stats.sequenced += 1;
+        // The sequencer's member delivers immediately: it defines the
+        // order. (With r > 0 this matches the paper: "members other than
+        // the sequencer" wait for the accept.)
+        self.ooo.insert(seqno, entry.clone());
+        self.drain_deliverable();
+        // Our own floor is by construction the newest seqno.
+        let me = self.me;
+        self.sequencer_note_floor(me, seqno);
+        entry
+    }
+
+    /// Whether a new application message can be admitted right now.
+    fn admission_check(&mut self) -> bool {
+        if self.history.has_room_for_app() {
+            return true;
+        }
+        self.stats.flow_control_drops += 1;
+        // Push the GC floor forward so room opens up.
+        self.sequencer_start_sync_round();
+        false
+    }
+
+    /// `SendToGroup` invoked *on* the sequencer: no request packet is
+    /// needed; stamp locally and multicast.
+    pub(crate) fn sequencer_local_send(&mut self) {
+        let Some(pending) = &self.pending_send else { return };
+        let sender_seq = pending.sender_seq;
+        let payload = pending.payload.clone();
+        if !self.admission_check() {
+            // Buffer full: retry on the send timer like everyone else.
+            self.push(crate::action::Action::SetTimer {
+                kind: TimerKind::SendRetransmit,
+                after_us: self.config.send_retransmit_us,
+            });
+            return;
+        }
+        let me = self.me;
+        let entry = self.sequence_entry(SequencedKind::App {
+            origin: me,
+            sender_seq,
+            payload,
+        });
+        let r = self.config.resilience;
+        if r == 0 {
+            self.broadcast_entry(entry.clone());
+            self.maybe_complete_send(me, sender_seq, entry.seqno);
+        } else {
+            self.begin_tentative(entry, r);
+            // Completion happens when the acks arrive (handle_tent_ack).
+        }
+    }
+
+    /// PB request: a member asks us to broadcast.
+    pub(crate) fn handle_bcast_req(&mut self, hdr: Hdr, sender_seq: u64, payload: Bytes) {
+        if !self.is_sequencer() || !matches!(self.mode, Mode::Normal) {
+            return; // stray request; sender will retry (or recover)
+        }
+        let origin = hdr.sender;
+        if !self.view.contains(origin) {
+            return;
+        }
+        if self.duplicate_reply(origin, sender_seq) {
+            return;
+        }
+        if !self.admission_check() {
+            return; // dropped; origin's retransmit timer recovers
+        }
+        let entry = self.sequence_entry(SequencedKind::App { origin, sender_seq, payload });
+        let r = self.config.resilience;
+        if r == 0 {
+            self.broadcast_entry(entry);
+        } else {
+            self.begin_tentative(entry, r);
+        }
+    }
+
+    /// BB original data arriving at the sequencer: stamp it and multicast
+    /// the short accept (the payload already travelled).
+    pub(crate) fn handle_bcast_orig_at_sequencer(
+        &mut self,
+        hdr: Hdr,
+        sender_seq: u64,
+        payload: Bytes,
+    ) {
+        let origin = hdr.sender;
+        if !self.view.contains(origin) {
+            return;
+        }
+        if self.duplicate_reply(origin, sender_seq) {
+            return;
+        }
+        if !self.admission_check() {
+            return;
+        }
+        let entry = self.sequence_entry(SequencedKind::App { origin, sender_seq, payload });
+        let r = self.config.resilience;
+        if r == 0 {
+            let accept = self.make_msg(Body::Accept { seqno: entry.seqno, origin, sender_seq });
+            self.send_to(Dest::Group, accept);
+        } else {
+            // With r > 0 the tentative carries the payload again — a
+            // deliberate simplification (the paper only evaluates r > 0
+            // under PB; see DESIGN.md).
+            self.begin_tentative(entry, r);
+        }
+    }
+
+    /// If (origin, sender_seq) was already stamped, re-answer with the
+    /// accept (the origin evidently missed it) and report `true`.
+    fn duplicate_reply(&mut self, origin: MemberId, sender_seq: u64) -> bool {
+        let ss = self.seq_state.as_ref().expect("sequencer role");
+        match ss.dup.get(&origin) {
+            Some(&(seen, seqno)) if seen == sender_seq => {
+                // Re-answer point-to-point; the data itself can be
+                // re-fetched via RetransReq if the origin lacks it.
+                if let Some(meta) = self.view.member(origin) {
+                    let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+                    self.send_to(Dest::Unicast(meta.addr), msg);
+                }
+                true
+            }
+            Some(&(seen, _)) if seen > sender_seq => true, // ancient duplicate: ignore
+            _ => false,
+        }
+    }
+
+    /// Multicasts a stamped entry as full data (PB path / retransmission
+    /// fan-out). Skipped when no *other* member exists to hear it.
+    pub(crate) fn broadcast_entry(&mut self, entry: Sequenced) {
+        let me = self.me;
+        if !self.view.members().iter().any(|m| m.id != me) {
+            return;
+        }
+        let msg = self.make_msg(Body::BcastData { entry });
+        self.send_to(Dest::Group, msg);
+    }
+
+    /// Starts the resilient path for a freshly stamped entry: tentative
+    /// multicast, then wait for the `r` lowest-numbered members.
+    pub(crate) fn begin_tentative(&mut self, entry: Sequenced, r: u32) {
+        let (origin, sender_seq) = match &entry.kind {
+            SequencedKind::App { origin, sender_seq, .. } => (*origin, *sender_seq),
+            _ => (self.me, 0), // control entries use the plain path
+        };
+        let need: BTreeSet<MemberId> = self.view.resilience_ackers(r).into_iter().collect();
+        if need.is_empty() {
+            // Degenerate group (no other members): accept immediately.
+            let accept = self.make_msg(Body::Accept { seqno: entry.seqno, origin, sender_seq });
+            self.send_to(Dest::Group, accept);
+            self.maybe_complete_send(origin, sender_seq, entry.seqno);
+            return;
+        }
+        let ss = self.seq_state.as_mut().expect("sequencer role");
+        ss.pending_acc.insert(
+            entry.seqno,
+            PendingAccept { need, origin, sender_seq, resends: 0 },
+        );
+        let msg = self.make_msg(Body::Tentative { entry, resilience: r });
+        self.send_to(Dest::Group, msg);
+        self.push(crate::action::Action::SetTimer {
+            kind: TimerKind::TentativeResend,
+            after_us: self.config.tentative_resend_us,
+        });
+    }
+
+    /// A member acknowledged a tentative broadcast.
+    pub(crate) fn handle_tent_ack(&mut self, from: MemberId, seqno: Seqno) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        let Some(p) = ss.pending_acc.get_mut(&seqno) else { return };
+        p.need.remove(&from);
+        self.release_accepted();
+    }
+
+    /// Emits accepts for every pending entry whose need-set emptied
+    /// (needs also shrink when members leave).
+    pub(crate) fn release_accepted(&mut self) {
+        loop {
+            let Some(ss) = self.seq_state.as_mut() else { return };
+            let Some((&seqno, p)) = ss.pending_acc.iter().find(|(_, p)| p.need.is_empty()) else {
+                if ss.pending_acc.is_empty() {
+                    self.push(crate::action::Action::CancelTimer {
+                        kind: TimerKind::TentativeResend,
+                    });
+                }
+                return;
+            };
+            let (origin, sender_seq) = (p.origin, p.sender_seq);
+            ss.pending_acc.remove(&seqno);
+            let accept = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+            self.send_to(Dest::Group, accept);
+            self.maybe_complete_send(origin, sender_seq, seqno);
+        }
+    }
+
+    /// Re-multicast tentative entries still missing acks.
+    pub(crate) fn on_tentative_resend(&mut self) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        if ss.pending_acc.is_empty() {
+            return;
+        }
+        let resend: Vec<Seqno> = ss.pending_acc.keys().copied().collect();
+        for seqno in resend {
+            let Some(ss) = self.seq_state.as_mut() else { return };
+            if let Some(p) = ss.pending_acc.get_mut(&seqno) {
+                p.resends += 1;
+            }
+            if let Some(entry) = self.history.get(seqno).cloned() {
+                let r = self.config.resilience;
+                let msg = self.make_msg(Body::Tentative { entry, resilience: r });
+                self.send_to(Dest::Group, msg);
+            }
+        }
+        // Dead ackers are eventually expelled by sync rounds, which
+        // shrinks the need-sets; keep nudging meanwhile.
+        self.sequencer_start_sync_round();
+        self.push(crate::action::Action::SetTimer {
+            kind: TimerKind::TentativeResend,
+            after_us: self.config.tentative_resend_us,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission service (the answer to negative acknowledgements)
+    // ------------------------------------------------------------------
+
+    /// Serves a retransmission request from the history buffer,
+    /// point-to-point (paper §6: "our protocol uses point-to-point
+    /// messages whenever possible, reducing interrupts at each node").
+    pub(crate) fn handle_retrans_req(
+        &mut self,
+        from_member: MemberId,
+        from_addr: amoeba_flip::FlipAddress,
+        lo: Seqno,
+        hi: Seqno,
+    ) {
+        if !self.is_sequencer() {
+            return; // only the sequencer serves retransmissions
+        }
+        let dest = self
+            .view
+            .member(from_member)
+            .map(|m| m.addr)
+            .unwrap_or(from_addr);
+        let mut served = 0u64;
+        let entries: Vec<Sequenced> = self.history.range(lo, hi).cloned().collect();
+        for entry in entries {
+            let tentative = self
+                .seq_state
+                .as_ref()
+                .is_some_and(|ss| ss.pending_acc.contains_key(&entry.seqno));
+            let body = if tentative {
+                Body::Tentative { entry, resilience: self.config.resilience }
+            } else {
+                Body::BcastData { entry }
+            };
+            let msg = self.make_msg(body);
+            self.send_to(Dest::Unicast(dest), msg);
+            served += 1;
+        }
+        self.stats.retransmissions += served;
+    }
+
+    // ------------------------------------------------------------------
+    // Floors, garbage collection and sync rounds
+    // ------------------------------------------------------------------
+
+    /// Records that `member` has delivered through `floor` (from a
+    /// piggybacked header or a status reply).
+    pub(crate) fn sequencer_note_floor(&mut self, member: MemberId, floor: Seqno) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        if !self.view.contains(member) && member != self.me {
+            return;
+        }
+        let slot = ss.floors.entry(member).or_insert(Seqno::ZERO);
+        if floor > *slot {
+            *slot = floor;
+        }
+        if let Some(sync) = &mut ss.sync {
+            sync.pending.remove(&member);
+            if sync.pending.is_empty() {
+                ss.sync = None;
+                self.push(crate::action::Action::CancelTimer { kind: TimerKind::SyncRound });
+            }
+        }
+        self.sequencer_after_floor_change();
+    }
+
+    /// Recomputes the GC floor and prunes history; also progresses a
+    /// graceful sequencer leave once everything is acknowledged.
+    pub(crate) fn sequencer_after_floor_change(&mut self) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        let min = self
+            .view
+            .members()
+            .iter()
+            .map(|m| ss.floors.get(&m.id).copied().unwrap_or(Seqno::ZERO))
+            .min()
+            .unwrap_or(Seqno::ZERO);
+        if min > ss.gc_floor {
+            ss.gc_floor = min;
+            self.history.gc(min);
+        }
+        let drained = {
+            let ss = self.seq_state.as_ref().expect("still sequencer");
+            ss.leaving && ss.gc_floor == ss.next_seqno.prev() && ss.pending_acc.is_empty()
+        };
+        if drained {
+            self.sequencer_finish_leave();
+        }
+    }
+
+    /// Starts (or refreshes) a status round: ask every member to report
+    /// its floor. Used periodically, under buffer pressure, and to
+    /// detect dead members.
+    pub(crate) fn sequencer_start_sync_round(&mut self) {
+        let me = self.me;
+        let members: Vec<MemberId> =
+            self.view.members().iter().map(|m| m.id).filter(|&id| id != me).collect();
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        if ss.sync.is_some() || members.is_empty() {
+            return; // one round at a time
+        }
+        ss.sync = Some(SyncRound { pending: members.into_iter().collect(), retries: 0 });
+        let horizon = ss.next_seqno.prev();
+        self.stats.sync_rounds += 1;
+        let msg = self.make_msg(Body::SyncReq { horizon });
+        self.send_to(Dest::Group, msg);
+        self.push(crate::action::Action::SetTimer {
+            kind: TimerKind::SyncRound,
+            after_us: self.config.sync_round_us,
+        });
+    }
+
+    /// The status round deadline passed.
+    pub(crate) fn on_sync_round_timeout(&mut self) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        let Some(sync) = &mut ss.sync else { return };
+        if sync.pending.is_empty() {
+            ss.sync = None;
+            return;
+        }
+        sync.retries += 1;
+        if sync.retries <= self.config.sync_max_retries {
+            let horizon = ss.next_seqno.prev();
+            let msg = self.make_msg(Body::SyncReq { horizon });
+            self.send_to(Dest::Group, msg);
+            self.push(crate::action::Action::SetTimer {
+                kind: TimerKind::SyncRound,
+                after_us: self.config.sync_round_us,
+            });
+            return;
+        }
+        // "If after a certain number of trials a process does not
+        // respond, the process is declared dead" (paper §2.1).
+        let dead: Vec<MemberId> = sync.pending.iter().copied().collect();
+        ss.sync = None;
+        for member in dead {
+            self.stats.expels += 1;
+            let entry = self.sequence_entry(SequencedKind::Leave { member, forced: true });
+            self.broadcast_entry(entry);
+        }
+    }
+
+    /// Periodic sync tick.
+    pub(crate) fn on_sync_interval(&mut self) {
+        if !self.is_sequencer() || !matches!(self.mode, Mode::Normal) {
+            return;
+        }
+        let worth_it = {
+            let ss = self.seq_state.as_ref().expect("sequencer role");
+            !self.history.is_empty() || ss.leaving
+        };
+        if worth_it {
+            self.sequencer_start_sync_round();
+        }
+        self.arm_sync_interval();
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful sequencer leave (drain, then hand off)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn sequencer_begin_leave(&mut self) {
+        if self.view.len() == 1 {
+            // Sole member: the group dissolves.
+            self.mode = Mode::Left;
+            self.pending_leave = false;
+            self.seq_state = None;
+            self.push(crate::action::Action::LeaveDone(Ok(())));
+            return;
+        }
+        self.seq_state.as_mut().expect("sequencer role").leaving = true;
+        self.sequencer_start_sync_round();
+        // Completion continues in sequencer_after_floor_change once the
+        // history drains.
+    }
+
+    fn sequencer_finish_leave(&mut self) {
+        let Some(successor) = self.view.handoff_candidate() else {
+            self.mode = Mode::Left;
+            self.pending_leave = false;
+            self.seq_state = None;
+            self.push(crate::action::Action::LeaveDone(Ok(())));
+            return;
+        };
+        // One atomic ordered event: the handoff implies our departure.
+        // Delivering it locally (inside sequence_entry) flips us to
+        // Left, completes the pending leave and drops the role; the
+        // multicast below still goes out to the survivors.
+        let handoff = self.sequence_entry(SequencedKind::SequencerHandoff {
+            new_sequencer: successor,
+        });
+        self.broadcast_entry(handoff);
+    }
+
+    // ------------------------------------------------------------------
+    // Role assumption (handoff target or recovery winner)
+    // ------------------------------------------------------------------
+
+    /// Becomes the sequencer starting at `next_seqno`, rebuilding
+    /// duplicate filters from the retained history.
+    pub(crate) fn assume_sequencer_role(&mut self, next_seqno: Seqno) {
+        let next_member_id =
+            self.view.members().iter().map(|m| m.id.0 + 1).max().unwrap_or(1);
+        let conservative_floor = self
+            .history
+            .lowest()
+            .map(|s| s.prev())
+            .unwrap_or_else(|| next_seqno.prev());
+        let mut ss = SequencerState::assume(next_seqno, next_member_id, conservative_floor);
+        for (origin, sender_seq) in self.history.max_sender_seqs() {
+            // Seqno lookup for the dup answer: scan is fine (≤ cap).
+            let seqno = self
+                .history
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    SequencedKind::App { origin: o, sender_seq: s, .. }
+                        if *o == origin && *s == sender_seq =>
+                    {
+                        Some(e.seqno)
+                    }
+                    _ => None,
+                })
+                .last()
+                .unwrap_or(Seqno::ZERO);
+            ss.dup.insert(origin, (sender_seq, seqno));
+        }
+        for m in self.view.members() {
+            ss.floors.insert(m.id, conservative_floor);
+        }
+        let me = self.me;
+        ss.floors.insert(me, next_seqno.prev());
+        self.seq_state = Some(ss);
+        self.arm_sync_interval();
+        // Learn real floors promptly.
+        self.sequencer_start_sync_round();
+    }
+}

@@ -1,0 +1,56 @@
+//! Timer identities used by the protocol.
+
+use crate::ids::MemberId;
+
+/// A protocol timer. Timers are identified by value: arming a timer that
+/// is already armed re-arms it, so the driver keeps at most one pending
+/// expiry per `TimerKind` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// A `SendToGroup` request has not been stamped yet; retransmit it.
+    SendRetransmit,
+    /// A sequence gap is still open; re-issue the retransmission
+    /// request.
+    NackRetry,
+    /// Sequencer: deadline for `Status` replies in the current sync
+    /// round.
+    SyncRound,
+    /// Sequencer: periodic sync (keeps GC moving under silence).
+    SyncInterval,
+    /// Sequencer: re-multicast tentative broadcasts lacking
+    /// acknowledgements.
+    TentativeResend,
+    /// Joiner: the join request went unanswered; retry.
+    JoinRetry,
+    /// Member: send the deferred (staggered) status reply. Replies to a
+    /// sync round are spread out by member rank so hundreds of members
+    /// do not answer in the same instant — the ack-implosion problem
+    /// the paper's §2.2 raises against positive-acknowledgement schemes
+    /// (a burst of replies overflows the receiver's interface buffers).
+    StatusReply,
+    /// Recovery coordinator: start the next invitation round.
+    InviteRound,
+    /// Recovery participant: the coordinator has gone silent.
+    RecoveryWatchdog,
+    /// A liveness probe to `member` expired.
+    ProbeTimeout {
+        /// The probed member.
+        member: MemberId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn timers_are_hashable_identities() {
+        let mut set = HashSet::new();
+        set.insert(TimerKind::SendRetransmit);
+        set.insert(TimerKind::SendRetransmit);
+        set.insert(TimerKind::ProbeTimeout { member: MemberId(1) });
+        set.insert(TimerKind::ProbeTimeout { member: MemberId(2) });
+        assert_eq!(set.len(), 3, "same-kind timers dedup; parametrized timers do not");
+    }
+}

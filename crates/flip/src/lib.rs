@@ -1,0 +1,57 @@
+//! FLIP — the Fast Local Internet Protocol, Amoeba's datagram layer.
+//!
+//! FLIP (Kaashoek, van Renesse, van Staveren & Tanenbaum, *ACM TOCS*
+//! 11(1), 1993) is a connectionless datagram protocol, roughly analogous
+//! to IP, with one defining difference the group protocol depends on:
+//! **FLIP addresses identify processes or process groups, not hosts.**
+//! That makes group communication (and process migration) natural — a
+//! message to a group address reaches every member wherever it runs, and
+//! network multicast is treated purely as an *optimization* over sending
+//! n point-to-point packets.
+//!
+//! This crate implements the pieces of FLIP the ICDCS '96 evaluation
+//! exercises:
+//!
+//! * [`FlipAddress`] — 64-bit process/group addresses ([`addr`]);
+//! * [`FlipHeader`] — the 40-byte packet header the paper counts in its
+//!   116-byte null-message overhead, with a binary codec ([`header`]);
+//! * fragmentation and reassembly of messages larger than one Ethernet
+//!   frame ([`frag`]), used by 1-Kbyte…8000-byte experiments;
+//! * a routing table mapping FLIP addresses to attachment points, with
+//!   multicast fan-out information ([`routing`]).
+//!
+//! The crate is pure data and logic (sans-io): both the discrete-event
+//! kernel (`amoeba-kernel`) and the live threaded runtime
+//! (`amoeba-runtime`) drive it.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_flip::{FlipAddress, FlipHeader, FlipKind, FLIP_HEADER_LEN};
+//! use bytes::BytesMut;
+//!
+//! let hdr = FlipHeader {
+//!     kind: FlipKind::Multidata,
+//!     src: FlipAddress::process(7),
+//!     dst: FlipAddress::group(1),
+//!     msg_id: 99,
+//!     frag_index: 0,
+//!     frag_count: 1,
+//!     total_len: 0,
+//! };
+//! let mut buf = BytesMut::new();
+//! hdr.encode(&mut buf);
+//! assert_eq!(buf.len() as u32, FLIP_HEADER_LEN);
+//! assert_eq!(FlipHeader::decode(&mut buf.freeze())?, hdr);
+//! # Ok::<(), amoeba_flip::DecodeFlipError>(())
+//! ```
+
+pub mod addr;
+pub mod frag;
+pub mod header;
+pub mod routing;
+
+pub use addr::FlipAddress;
+pub use frag::{split_lens, FragKey, Reassembler};
+pub use header::{DecodeFlipError, FlipHeader, FlipKind, FLIP_HEADER_LEN};
+pub use routing::{Route, RouteTable};

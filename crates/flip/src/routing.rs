@@ -1,0 +1,186 @@
+//! The FLIP routing table: address → attachment point(s).
+//!
+//! FLIP learns where addresses live (via locate broadcasts in the real
+//! system); the group protocol then sends to a *group address* and FLIP
+//! decides whether to use one hardware multicast or n point-to-point
+//! packets. The table is generic over the attachment-point type `L`:
+//! the simulator uses `amoeba_net::HostId`, the live runtime uses node
+//! indices.
+
+use std::collections::HashMap;
+
+use crate::addr::FlipAddress;
+
+/// Where an address can be reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route<L> {
+    /// A single process at one attachment point.
+    Process(L),
+    /// A group: its member attachment points, plus (if the network
+    /// supports it) a hardware multicast handle for one-packet fan-out.
+    Group {
+        /// Attachment points of all registered members.
+        members: Vec<L>,
+        /// Hardware multicast handle, if the medium supports multicast.
+        mcast: Option<u32>,
+    },
+}
+
+/// A FLIP routing table.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_flip::{FlipAddress, Route, RouteTable};
+/// let mut table: RouteTable<usize> = RouteTable::new();
+/// table.register_process(FlipAddress::process(1), 0);
+/// table.register_group_member(FlipAddress::group(9), 0);
+/// table.register_group_member(FlipAddress::group(9), 2);
+/// match table.lookup(FlipAddress::group(9)).unwrap() {
+///     Route::Group { members, .. } => assert_eq!(members, &vec![0, 2]),
+///     _ => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteTable<L> {
+    routes: HashMap<FlipAddress, Route<L>>,
+}
+
+impl<L: Copy + Eq> RouteTable<L> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RouteTable { routes: HashMap::new() }
+    }
+
+    /// Registers (or moves) a process address at an attachment point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is a group address.
+    pub fn register_process(&mut self, addr: FlipAddress, at: L) {
+        assert!(addr.is_process(), "register_process needs a process address");
+        self.routes.insert(addr, Route::Process(at));
+    }
+
+    /// Adds a member attachment point to a group address. Idempotent per
+    /// `(addr, at)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a group address.
+    pub fn register_group_member(&mut self, addr: FlipAddress, at: L) {
+        assert!(addr.is_group(), "register_group_member needs a group address");
+        match self.routes.entry(addr).or_insert_with(|| Route::Group { members: Vec::new(), mcast: None }) {
+            Route::Group { members, .. } => {
+                if !members.contains(&at) {
+                    members.push(at);
+                }
+            }
+            Route::Process(_) => unreachable!("group addresses never map to Route::Process"),
+        }
+    }
+
+    /// Removes a member attachment point from a group address. The entry
+    /// survives (with its multicast handle) even when empty.
+    pub fn unregister_group_member(&mut self, addr: FlipAddress, at: L) {
+        if let Some(Route::Group { members, .. }) = self.routes.get_mut(&addr) {
+            members.retain(|m| *m != at);
+        }
+    }
+
+    /// Associates a hardware multicast handle with a group address.
+    pub fn set_group_mcast(&mut self, addr: FlipAddress, mcast: u32) {
+        assert!(addr.is_group(), "set_group_mcast needs a group address");
+        match self.routes.entry(addr).or_insert_with(|| Route::Group { members: Vec::new(), mcast: None }) {
+            Route::Group { mcast: slot, .. } => *slot = Some(mcast),
+            Route::Process(_) => unreachable!("group addresses never map to Route::Process"),
+        }
+    }
+
+    /// Removes an address entirely.
+    pub fn unregister(&mut self, addr: FlipAddress) {
+        self.routes.remove(&addr);
+    }
+
+    /// Looks up the route for an address.
+    pub fn lookup(&self, addr: FlipAddress) -> Option<&Route<L>> {
+        self.routes.get(&addr)
+    }
+
+    /// Number of routable addresses.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_routes_replace() {
+        let mut t: RouteTable<u8> = RouteTable::new();
+        t.register_process(FlipAddress::process(1), 3);
+        t.register_process(FlipAddress::process(1), 4); // migration
+        assert_eq!(t.lookup(FlipAddress::process(1)), Some(&Route::Process(4)));
+    }
+
+    #[test]
+    fn group_membership_accumulates_idempotently() {
+        let mut t: RouteTable<u8> = RouteTable::new();
+        let g = FlipAddress::group(2);
+        t.register_group_member(g, 1);
+        t.register_group_member(g, 2);
+        t.register_group_member(g, 1); // duplicate
+        match t.lookup(g).unwrap() {
+            Route::Group { members, mcast } => {
+                assert_eq!(members, &vec![1, 2]);
+                assert_eq!(*mcast, None);
+            }
+            _ => panic!("expected group route"),
+        }
+    }
+
+    #[test]
+    fn unregister_member_keeps_entry() {
+        let mut t: RouteTable<u8> = RouteTable::new();
+        let g = FlipAddress::group(2);
+        t.set_group_mcast(g, 77);
+        t.register_group_member(g, 1);
+        t.unregister_group_member(g, 1);
+        match t.lookup(g).unwrap() {
+            Route::Group { members, mcast } => {
+                assert!(members.is_empty());
+                assert_eq!(*mcast, Some(77));
+            }
+            _ => panic!("expected group route"),
+        }
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut t: RouteTable<u8> = RouteTable::new();
+        t.register_process(FlipAddress::process(5), 0);
+        assert!(!t.is_empty());
+        t.unregister(FlipAddress::process(5));
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(FlipAddress::process(5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a process address")]
+    fn register_process_rejects_group_addr() {
+        RouteTable::<u8>::new().register_process(FlipAddress::group(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a group address")]
+    fn register_group_rejects_process_addr() {
+        RouteTable::<u8>::new().register_group_member(FlipAddress::process(1), 0);
+    }
+}

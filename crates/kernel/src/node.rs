@@ -1,0 +1,118 @@
+//! One simulated machine: its kernel protocol entities and the
+//! application workload driving them.
+
+use amoeba_core::{GroupCore, GroupId};
+use amoeba_flip::{FlipAddress, Reassembler};
+use amoeba_net::HostId;
+use amoeba_rpc::{RpcClient, RpcServer};
+use amoeba_sim::SimTime;
+
+use crate::payload::SimPacket;
+
+/// The application behaviour running on a node. All the paper's
+/// workloads are serial blocking loops (the primitives block;
+/// parallelism comes from threads, and the experiments use one sending
+/// thread per member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Receives only.
+    Idle,
+    /// Sends `remaining` messages of `size` bytes back to back (each
+    /// send waits for the previous completion — the paper's delay and
+    /// throughput loops).
+    Sender {
+        /// Payload bytes per message.
+        size: u32,
+        /// Sends left to issue (`u64::MAX` ≈ continuous).
+        remaining: u64,
+    },
+    /// Issues `remaining` null RPCs of `size` bytes to `server`.
+    RpcPinger {
+        /// Request bytes.
+        size: u32,
+        /// Calls left.
+        remaining: u64,
+        /// The server process.
+        server: FlipAddress,
+    },
+    /// Answers RPCs by echoing.
+    RpcEcho,
+}
+
+/// Per-node measurement counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Completed sends.
+    pub sends_ok: u64,
+    /// Failed sends.
+    pub sends_err: u64,
+    /// Events delivered to the application.
+    pub deliveries: u64,
+    /// Completed RPC calls.
+    pub rpcs_ok: u64,
+}
+
+/// One simulated machine.
+pub struct SimNode {
+    /// The underlying host (same index as the node).
+    pub host: HostId,
+    /// This node's FLIP process address.
+    pub addr: FlipAddress,
+    /// The group membership living on this node, if any.
+    pub core: Option<GroupCore>,
+    /// Which group the core belongs to.
+    pub group: Option<GroupId>,
+    /// RPC client entity, if the workload calls.
+    pub rpc_client: Option<RpcClient>,
+    /// RPC server entity, if the workload answers.
+    pub rpc_server: Option<RpcServer>,
+    /// The application behaviour.
+    pub workload: Workload,
+    /// Fragment reassembly (per-sender streams).
+    pub(crate) reasm: Reassembler<SimPacket>,
+    pub(crate) next_frag_id: u64,
+    /// The receive-interrupt drain loop is running.
+    pub(crate) draining: bool,
+    /// Application events queued behind the receive thread.
+    pub(crate) rx_backlog: u32,
+    /// When the current blocking send/call was issued.
+    pub(crate) issued_at: Option<SimTime>,
+    /// Admission completed (JoinDone(Ok) observed).
+    pub ready: bool,
+    /// Measurement counters.
+    pub stats: NodeStats,
+}
+
+impl SimNode {
+    pub(crate) fn new(host: HostId, addr: FlipAddress) -> Self {
+        SimNode {
+            host,
+            addr,
+            core: None,
+            group: None,
+            rpc_client: None,
+            rpc_server: None,
+            workload: Workload::Idle,
+            reasm: Reassembler::new(),
+            next_frag_id: 0,
+            draining: false,
+            rx_backlog: 0,
+            issued_at: None,
+            ready: false,
+            stats: NodeStats::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNode")
+            .field("host", &self.host)
+            .field("addr", &self.addr)
+            .field("group", &self.group)
+            .field("workload", &self.workload)
+            .field("ready", &self.ready)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,738 @@
+//! The simulated Amoeba world: hosts running the kernel communication
+//! stack (Table 2 of the paper: group/RPC layer → FLIP → Ethernet),
+//! with every layer's CPU cost charged per the calibrated [`CostModel`].
+
+use std::collections::HashMap;
+
+use amoeba_core::{
+    Action, Dest, GroupConfig, GroupCore, GroupEvent, GroupId, TimerKind,
+};
+use amoeba_flip::{FlipAddress, FragKey, Route, RouteTable, FLIP_HEADER_LEN};
+use amoeba_net::{CpuPriority, Frame, HostId, McastAddr, Net, NetConfig, NetView};
+use amoeba_rpc::{RpcAction, RpcClient, RpcMsg, RpcServer, ServerEvent};
+use amoeba_sim::{Counter, EventId, Histogram, SimDuration, SimTime, Simulation};
+use bytes::Bytes;
+
+use crate::cost::CostModel;
+use crate::node::{SimNode, Workload};
+use crate::payload::{SimFrag, SimPacket};
+
+/// Link-level bytes before the FLIP header: 14 B Ethernet + 2 B flow
+/// control (paper's accounting).
+pub const LINK_HEADER_LEN: u32 = 16;
+
+/// Measurements accumulated across a run.
+#[derive(Debug, Clone, Default)]
+pub struct WorldMetrics {
+    /// Per-send latency (µs) of completed `SendToGroup`s.
+    pub send_delay_us: Histogram,
+    /// Per-call latency (µs) of completed RPCs.
+    pub rpc_delay_us: Histogram,
+    /// Completed sends (all nodes).
+    pub sends_ok: Counter,
+    /// Failed sends.
+    pub sends_err: Counter,
+    /// Events delivered to applications.
+    pub deliveries: Counter,
+}
+
+/// The complete simulation state.
+pub struct KernelWorld {
+    /// The network substrate.
+    pub net: Net<KernelWorld>,
+    /// The machines.
+    pub nodes: Vec<SimNode>,
+    /// FLIP routing (global, static: locate is not simulated — every
+    /// experiment runs on one segment with known membership).
+    pub routes: RouteTable<HostId>,
+    /// The cost model.
+    pub cost: CostModel,
+    /// Measurements.
+    pub metrics: WorldMetrics,
+    timers: HashMap<(usize, TimerKind), EventId>,
+    rpc_timers: HashMap<usize, EventId>,
+    payload_cache: HashMap<u32, Bytes>,
+}
+
+impl std::fmt::Debug for KernelWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelWorld")
+            .field("nodes", &self.nodes.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+impl NetView for KernelWorld {
+    type Payload = SimFrag;
+
+    fn net(&mut self) -> &mut Net<KernelWorld> {
+        &mut self.net
+    }
+
+    fn on_frame_buffered(sim: &mut Simulation<KernelWorld>, host: HostId) {
+        Kernel::rx_kick(sim, host);
+    }
+}
+
+impl KernelWorld {
+    fn cached_payload(&mut self, size: u32) -> Bytes {
+        self.payload_cache
+            .entry(size)
+            .or_insert_with(|| Bytes::from(vec![0u8; size as usize]))
+            .clone()
+    }
+}
+
+/// Namespace for the kernel's event-driven plumbing.
+pub struct Kernel;
+
+type Sim = Simulation<KernelWorld>;
+
+enum PacketDest {
+    Process(FlipAddress),
+    Group(GroupId),
+}
+
+impl Kernel {
+    // ------------------------------------------------------------------
+    // Receive path: interrupt → drain → reassemble → dispatch
+    // ------------------------------------------------------------------
+
+    /// A frame landed in the ring: start the drain loop unless it is
+    /// already running (one interrupt per frame, as on the Lance).
+    fn rx_kick(sim: &mut Sim, host: HostId) {
+        let n = host.0;
+        if sim.world.nodes[n].draining {
+            return;
+        }
+        sim.world.nodes[n].draining = true;
+        Self::rx_drain(sim, host);
+    }
+
+    fn rx_drain(sim: &mut Sim, host: HostId) {
+        let n = host.0;
+        let Some(frame) = sim.world.net.host_mut(host).nic.pop_rx() else {
+            sim.world.nodes[n].draining = false;
+            return;
+        };
+        // Interrupt + driver + FLIP demux per frame, plus the first copy
+        // (Lance buffer → protocol buffer).
+        let c = sim.world.cost;
+        let cost = c.ether_rx + c.flip_rx + c.copy_cost(frame.wire_len);
+        amoeba_net::Net::cpu_run(
+            sim,
+            host,
+            CpuPriority::Interrupt,
+            SimDuration::from_micros(cost),
+            move |sim| {
+                Self::reassemble(sim, host, frame);
+                Self::rx_drain(sim, host);
+            },
+        );
+    }
+
+    fn reassemble(sim: &mut Sim, host: HostId, frame: Frame<SimFrag>) {
+        let n = host.0;
+        let frag = frame.payload;
+        let key = FragKey { src: frag.packet.from(), msg_id: frag.msg_id };
+        let now = sim.now().as_micros();
+        let node = &mut sim.world.nodes[n];
+        if node.reasm.pending() > 64 {
+            node.reasm.purge_older_than(now.saturating_sub(1_000_000));
+        }
+        let done = node.reasm.insert(key, frag.index, frag.count, frag.packet, now);
+        if let Some(mut parts) = done {
+            let packet = parts.pop().expect("at least one fragment");
+            Self::dispatch(sim, n, packet);
+        }
+    }
+
+    /// A whole packet is assembled: charge the owning layer and run the
+    /// protocol state machine.
+    fn dispatch(sim: &mut Sim, n: usize, packet: SimPacket) {
+        match packet {
+            SimPacket::Group { from, msg } => {
+                let is_seq =
+                    sim.world.nodes[n].core.as_ref().map(|c| c.is_sequencer()).unwrap_or(false);
+                let cost = sim.world.cost.group_layer_rx(is_seq, &msg.body);
+                amoeba_net::Net::cpu_run(
+                    sim,
+                    HostId(n),
+                    CpuPriority::Kernel,
+                    SimDuration::from_micros(cost),
+                    move |sim| {
+                        let Some(core) = sim.world.nodes[n].core.as_mut() else { return };
+                        let actions = core.handle_message(from, msg);
+                        Self::execute_group_actions(sim, n, actions);
+                    },
+                );
+            }
+            SimPacket::Rpc { from, msg } => {
+                let cost = sim.world.cost.rpc_layer;
+                amoeba_net::Net::cpu_run(
+                    sim,
+                    HostId(n),
+                    CpuPriority::Kernel,
+                    SimDuration::from_micros(cost),
+                    move |sim| Self::dispatch_rpc(sim, n, from, msg),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit path: fragment, charge, hand to the NIC
+    // ------------------------------------------------------------------
+
+    fn send_packet(sim: &mut Sim, n: usize, dest: PacketDest, packet: SimPacket) {
+        let mtu_payload = sim.world.net.config.mtu - LINK_HEADER_LEN - FLIP_HEADER_LEN;
+        let size = packet.wire_size();
+        let lens = amoeba_flip::split_lens(size, mtu_payload);
+        let count = lens.len() as u16;
+        let msg_id = {
+            let node = &mut sim.world.nodes[n];
+            node.next_frag_id += 1;
+            node.next_frag_id
+        };
+        let (frames, ndst): (Vec<Frame<SimFrag>>, usize) = {
+            let world = &mut sim.world;
+            match dest {
+                PacketDest::Process(addr) => match world.routes.lookup(addr) {
+                    Some(&Route::Process(host)) => (
+                        lens.iter()
+                            .enumerate()
+                            .map(|(i, &len)| {
+                                Frame::unicast(
+                                    HostId(n),
+                                    host,
+                                    LINK_HEADER_LEN + FLIP_HEADER_LEN + len,
+                                    SimFrag {
+                                        packet: packet.clone(),
+                                        msg_id,
+                                        index: i as u16,
+                                        count,
+                                    },
+                                )
+                            })
+                            .collect(),
+                        1,
+                    ),
+                    _ => return, // unroutable (dead or unknown): vanish
+                },
+                PacketDest::Group(group) => {
+                    match world.routes.lookup(group.flip_address()) {
+                        Some(Route::Group { members, mcast }) => {
+                            let ndst = members.len();
+                            let mcast = McastAddr(mcast.unwrap_or(group.0 as u32));
+                            (
+                                lens.iter()
+                                    .enumerate()
+                                    .map(|(i, &len)| {
+                                        Frame::multicast(
+                                            HostId(n),
+                                            mcast,
+                                            LINK_HEADER_LEN + FLIP_HEADER_LEN + len,
+                                            SimFrag {
+                                                packet: packet.clone(),
+                                                msg_id,
+                                                index: i as u16,
+                                                count,
+                                            },
+                                        )
+                                    })
+                                    .collect(),
+                                ndst,
+                            )
+                        }
+                        _ => return,
+                    }
+                }
+            }
+        };
+        // FLIP + driver + copy per fragment; the multicast fan-out adds
+        // the paper's ~4 µs per destination on the send side.
+        for frame in frames {
+            let c = sim.world.cost;
+            let cost = c.flip_send
+                + c.ether_tx
+                + c.copy_cost(frame.wire_len)
+                + c.mcast_per_dest * ndst as u64;
+            amoeba_net::Net::cpu_run(
+                sim,
+                HostId(n),
+                CpuPriority::Kernel,
+                SimDuration::from_micros(cost),
+                move |sim| amoeba_net::Net::send_frame(sim, HostId(n), frame),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Group protocol action execution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn execute_group_actions(sim: &mut Sim, n: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => {
+                    let from = sim.world.nodes[n].addr;
+                    let dest = match dest {
+                        Dest::Unicast(addr) => PacketDest::Process(addr),
+                        Dest::Group => {
+                            PacketDest::Group(sim.world.nodes[n].group.expect("member has group"))
+                        }
+                    };
+                    Self::send_packet(sim, n, dest, SimPacket::Group { from, msg });
+                }
+                Action::SetTimer { kind, after_us } => Self::set_timer(sim, n, kind, after_us),
+                Action::CancelTimer { kind } => {
+                    if let Some(ev) = sim.world.timers.remove(&(n, kind)) {
+                        sim.cancel(ev);
+                    }
+                }
+                Action::Deliver(ev) => Self::app_deliver(sim, n, ev),
+                Action::SendDone(result) => Self::app_send_done(sim, n, result.is_ok()),
+                Action::JoinDone(result) => {
+                    if result.is_ok() {
+                        sim.world.nodes[n].ready = true;
+                        Self::maybe_kick(sim, n);
+                    }
+                }
+                Action::LeaveDone(_) | Action::ResetDone(_) => {}
+            }
+        }
+    }
+
+    fn set_timer(sim: &mut Sim, n: usize, kind: TimerKind, after_us: u64) {
+        if let Some(old) = sim.world.timers.remove(&(n, kind)) {
+            sim.cancel(old);
+        }
+        let ev = sim.schedule_in(SimDuration::from_micros(after_us), move |sim| {
+            sim.world.timers.remove(&(n, kind));
+            let cost = sim.world.cost.timer_dispatch;
+            amoeba_net::Net::cpu_run(
+                sim,
+                HostId(n),
+                CpuPriority::Kernel,
+                SimDuration::from_micros(cost),
+                move |sim| {
+                    let Some(core) = sim.world.nodes[n].core.as_mut() else { return };
+                    let actions = core.handle_timer(kind);
+                    Self::execute_group_actions(sim, n, actions);
+                },
+            );
+        });
+        sim.world.timers.insert((n, kind), ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Application side
+    // ------------------------------------------------------------------
+
+    /// Starts the node's workload if it is ready and idle.
+    pub(crate) fn maybe_kick(sim: &mut Sim, n: usize) {
+        if !sim.world.nodes[n].ready || sim.world.nodes[n].issued_at.is_some() {
+            return;
+        }
+        match sim.world.nodes[n].workload {
+            Workload::Sender { size, remaining } if remaining > 0 => {
+                Self::app_issue_send(sim, n, size);
+            }
+            Workload::RpcPinger { size, remaining, server } if remaining > 0 => {
+                Self::app_issue_rpc(sim, n, size, server);
+            }
+            _ => {}
+        }
+    }
+
+    fn app_issue_send(sim: &mut Sim, n: usize, size: u32) {
+        if let Workload::Sender { remaining, .. } = &mut sim.world.nodes[n].workload {
+            *remaining -= 1;
+        }
+        sim.world.nodes[n].issued_at = Some(sim.now()); // re-entry guard
+        // U1 (call entry) + the user→kernel copy…
+        let c = sim.world.cost;
+        let user_cost = c.user_send_entry + c.copy_cost(size);
+        let group_cost = c.group_send;
+        amoeba_net::Net::cpu_run(
+            sim,
+            HostId(n),
+            CpuPriority::User,
+            SimDuration::from_micros(user_cost),
+            move |sim| {
+                // The call "begins" when the application thread actually
+                // reaches SendToGroup (not while it is still queued
+                // behind ReceiveFromGroup processing) — backdate to the
+                // start of this job, as the paper's measurement loop does.
+                let issued = sim.now() - SimDuration::from_micros(user_cost);
+                sim.world.nodes[n].issued_at = Some(issued);
+                // …then G1, then the protocol runs.
+                amoeba_net::Net::cpu_run(
+                    sim,
+                    HostId(n),
+                    CpuPriority::Kernel,
+                    SimDuration::from_micros(group_cost),
+                    move |sim| {
+                        let payload = sim.world.cached_payload(size);
+                        let Some(core) = sim.world.nodes[n].core.as_mut() else { return };
+                        let actions = core.send_to_group(payload);
+                        Self::execute_group_actions(sim, n, actions);
+                    },
+                );
+            },
+        );
+    }
+
+    fn app_send_done(sim: &mut Sim, n: usize, ok: bool) {
+        // Waking the blocked sender thread costs a context switch.
+        let cost = sim.world.cost.user_wakeup;
+        amoeba_net::Net::cpu_run(
+            sim,
+            HostId(n),
+            CpuPriority::User,
+            SimDuration::from_micros(cost),
+            move |sim| {
+                if let Some(issued) = sim.world.nodes[n].issued_at.take() {
+                    let delay = (sim.now() - issued).as_micros() as f64;
+                    if ok {
+                        sim.world.metrics.send_delay_us.record(delay);
+                        sim.world.metrics.sends_ok.incr();
+                        sim.world.nodes[n].stats.sends_ok += 1;
+                    } else {
+                        sim.world.metrics.sends_err.incr();
+                        sim.world.nodes[n].stats.sends_err += 1;
+                    }
+                }
+                Self::maybe_kick(sim, n);
+            },
+        );
+    }
+
+    fn app_deliver(sim: &mut Sim, n: usize, ev: GroupEvent) {
+        let payload_len = match &ev {
+            GroupEvent::Message { payload, .. } => payload.len() as u32,
+            _ => 0,
+        };
+        let c = sim.world.cost;
+        let was_idle = sim.world.nodes[n].rx_backlog == 0;
+        sim.world.nodes[n].rx_backlog += 1;
+        // The second copy (history buffer → user space) plus either a
+        // cold thread wakeup or a warm hand-off.
+        let cost =
+            if was_idle { c.user_wakeup } else { c.user_warm } + c.copy_cost(payload_len);
+        amoeba_net::Net::cpu_run(
+            sim,
+            HostId(n),
+            CpuPriority::User,
+            SimDuration::from_micros(cost),
+            move |sim| {
+                sim.world.nodes[n].rx_backlog -= 1;
+                sim.world.nodes[n].stats.deliveries += 1;
+                sim.world.metrics.deliveries.incr();
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // RPC (baseline)
+    // ------------------------------------------------------------------
+
+    fn app_issue_rpc(sim: &mut Sim, n: usize, size: u32, server: FlipAddress) {
+        if let Workload::RpcPinger { remaining, .. } = &mut sim.world.nodes[n].workload {
+            *remaining -= 1;
+        }
+        sim.world.nodes[n].issued_at = Some(sim.now()); // re-entry guard
+        let c = sim.world.cost;
+        let user_cost = c.user_send_entry + c.copy_cost(size);
+        let rpc_cost = c.rpc_layer;
+        amoeba_net::Net::cpu_run(
+            sim,
+            HostId(n),
+            CpuPriority::User,
+            SimDuration::from_micros(user_cost),
+            move |sim| {
+                let issued = sim.now() - SimDuration::from_micros(user_cost);
+                sim.world.nodes[n].issued_at = Some(issued);
+                amoeba_net::Net::cpu_run(
+                    sim,
+                    HostId(n),
+                    CpuPriority::Kernel,
+                    SimDuration::from_micros(rpc_cost),
+                    move |sim| {
+                        let payload = sim.world.cached_payload(size);
+                        let Some(client) = sim.world.nodes[n].rpc_client.as_mut() else {
+                            return;
+                        };
+                        let actions = client.call(server, payload);
+                        Self::execute_rpc_actions(sim, n, actions);
+                    },
+                );
+            },
+        );
+    }
+
+    fn dispatch_rpc(sim: &mut Sim, n: usize, from: FlipAddress, msg: RpcMsg) {
+        // Server side?
+        if sim.world.nodes[n].rpc_server.is_some() {
+            if let RpcMsg::Request { .. } = msg {
+                let (events, actions) = sim.world.nodes[n]
+                    .rpc_server
+                    .as_mut()
+                    .expect("checked")
+                    .handle_message(from, msg);
+                Self::execute_rpc_actions(sim, n, actions);
+                for ServerEvent::Request { id, client, data } in events {
+                    // Wake the server application thread, which echoes.
+                    let c = sim.world.cost;
+                    let cost = c.user_wakeup + c.copy_cost(data.len() as u32);
+                    amoeba_net::Net::cpu_run(
+                        sim,
+                        HostId(n),
+                        CpuPriority::User,
+                        SimDuration::from_micros(cost),
+                        move |sim| {
+                            let rpc_cost = sim.world.cost.rpc_layer;
+                            amoeba_net::Net::cpu_run(
+                                sim,
+                                HostId(n),
+                                CpuPriority::Kernel,
+                                SimDuration::from_micros(rpc_cost),
+                                move |sim| {
+                                    let Some(server) = sim.world.nodes[n].rpc_server.as_mut()
+                                    else {
+                                        return;
+                                    };
+                                    let actions = server.reply(id, client, data.clone());
+                                    Self::execute_rpc_actions(sim, n, actions);
+                                },
+                            );
+                        },
+                    );
+                }
+                return;
+            }
+        }
+        // Client side.
+        if sim.world.nodes[n].rpc_client.is_some() {
+            let actions = sim.world.nodes[n]
+                .rpc_client
+                .as_mut()
+                .expect("checked")
+                .handle_message(from, msg);
+            Self::execute_rpc_actions(sim, n, actions);
+        }
+    }
+
+    fn execute_rpc_actions(sim: &mut Sim, n: usize, actions: Vec<RpcAction>) {
+        for action in actions {
+            match action {
+                RpcAction::Send { to, msg } => {
+                    let from = sim.world.nodes[n].addr;
+                    Self::send_packet(
+                        sim,
+                        n,
+                        PacketDest::Process(to),
+                        SimPacket::Rpc { from, msg },
+                    );
+                }
+                RpcAction::SetTimer { after_us } => {
+                    if let Some(old) = sim.world.rpc_timers.remove(&n) {
+                        sim.cancel(old);
+                    }
+                    let ev = sim.schedule_in(SimDuration::from_micros(after_us), move |sim| {
+                        sim.world.rpc_timers.remove(&n);
+                        let Some(client) = sim.world.nodes[n].rpc_client.as_mut() else {
+                            return;
+                        };
+                        let actions = client.handle_timer();
+                        Self::execute_rpc_actions(sim, n, actions);
+                    });
+                    sim.world.rpc_timers.insert(n, ev);
+                }
+                RpcAction::CancelTimer => {
+                    if let Some(old) = sim.world.rpc_timers.remove(&n) {
+                        sim.cancel(old);
+                    }
+                }
+                RpcAction::CallDone(result) => {
+                    let ok = result.is_ok();
+                    let cost = sim.world.cost.user_wakeup;
+                    amoeba_net::Net::cpu_run(
+                        sim,
+                        HostId(n),
+                        CpuPriority::User,
+                        SimDuration::from_micros(cost),
+                        move |sim| {
+                            if let Some(issued) = sim.world.nodes[n].issued_at.take() {
+                                if ok {
+                                    let delay = (sim.now() - issued).as_micros() as f64;
+                                    sim.world.metrics.rpc_delay_us.record(delay);
+                                    sim.world.nodes[n].stats.rpcs_ok += 1;
+                                }
+                            }
+                            Self::maybe_kick(sim, n);
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimWorld: the experimenter's facade
+// ---------------------------------------------------------------------
+
+/// A complete experiment: hosts on one Ethernet, groups, workloads, and
+/// run control.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_kernel::{CostModel, SimWorld, Workload};
+/// use amoeba_core::{GroupConfig, GroupId};
+/// use amoeba_sim::SimDuration;
+///
+/// let mut w = SimWorld::new(CostModel::mc68030_ether10(), 42);
+/// let group = GroupId(1);
+/// let a = w.add_node();
+/// let b = w.add_node();
+/// w.create_group(a, group, GroupConfig::default());
+/// w.join_group(b, group, GroupConfig::default());
+/// w.run_until_ready();
+/// w.set_workload(b, Workload::Sender { size: 0, remaining: 100 });
+/// w.kick();
+/// w.run_for(SimDuration::from_secs(2));
+/// assert_eq!(w.sim.world.metrics.sends_ok.get(), 100);
+/// let mean = w.sim.world.metrics.send_delay_us.mean();
+/// assert!(mean > 1_000.0 && mean < 5_000.0, "null broadcast ≈ 2.7 ms, got {mean}");
+/// ```
+pub struct SimWorld {
+    /// The underlying simulation (world exposed for inspection).
+    pub sim: Simulation<KernelWorld>,
+    next_addr: u64,
+}
+
+impl SimWorld {
+    /// Creates an empty world on a 10 Mbit/s Ethernet.
+    pub fn new(cost: CostModel, seed: u64) -> Self {
+        Self::with_net_config(cost, NetConfig::ether_10mbps(), seed)
+    }
+
+    /// Creates an empty world with explicit network parameters.
+    pub fn with_net_config(cost: CostModel, net_config: NetConfig, seed: u64) -> Self {
+        let world = KernelWorld {
+            net: Net::new(net_config, seed),
+            nodes: Vec::new(),
+            routes: RouteTable::new(),
+            cost,
+            metrics: WorldMetrics::default(),
+            timers: HashMap::new(),
+            rpc_timers: HashMap::new(),
+            payload_cache: HashMap::new(),
+        };
+        SimWorld { sim: Simulation::new(world, seed), next_addr: 1 }
+    }
+
+    /// Adds a machine and returns its node index.
+    pub fn add_node(&mut self) -> usize {
+        let host = self.sim.world.net.add_host();
+        let addr = FlipAddress::process(self.next_addr);
+        self.next_addr += 1;
+        self.sim.world.routes.register_process(addr, host);
+        self.sim.world.nodes.push(SimNode::new(host, addr));
+        debug_assert_eq!(self.sim.world.nodes.len() - 1, host.0);
+        host.0
+    }
+
+    /// Founds `group` on node `n` (it becomes the sequencer).
+    pub fn create_group(&mut self, n: usize, group: GroupId, config: GroupConfig) {
+        self.register_membership(n, group);
+        let addr = self.sim.world.nodes[n].addr;
+        let (core, actions) = GroupCore::create(group, addr, config).expect("valid config");
+        self.sim.world.nodes[n].core = Some(core);
+        self.sim.world.nodes[n].group = Some(group);
+        Kernel::execute_group_actions(&mut self.sim, n, actions);
+    }
+
+    /// Starts `JoinGroup` for node `n` (runs asynchronously; see
+    /// [`SimWorld::run_until_ready`]).
+    pub fn join_group(&mut self, n: usize, group: GroupId, config: GroupConfig) {
+        self.register_membership(n, group);
+        let addr = self.sim.world.nodes[n].addr;
+        let (core, actions) = GroupCore::join(group, addr, config).expect("valid config");
+        self.sim.world.nodes[n].core = Some(core);
+        self.sim.world.nodes[n].group = Some(group);
+        Kernel::execute_group_actions(&mut self.sim, n, actions);
+    }
+
+    fn register_membership(&mut self, n: usize, group: GroupId) {
+        let host = HostId(n);
+        let gaddr = group.flip_address();
+        self.sim.world.routes.register_group_member(gaddr, host);
+        self.sim.world.routes.set_group_mcast(gaddr, group.0 as u32);
+        self.sim.world.net.host_mut(host).nic.join_multicast(McastAddr(group.0 as u32));
+    }
+
+    /// Configures a node's application behaviour (set before
+    /// [`SimWorld::kick`]).
+    pub fn set_workload(&mut self, n: usize, workload: Workload) {
+        match workload {
+            Workload::RpcPinger { .. } => {
+                let addr = self.sim.world.nodes[n].addr;
+                self.sim.world.nodes[n].rpc_client = Some(RpcClient::new(addr));
+                self.sim.world.nodes[n].ready = true;
+            }
+            Workload::RpcEcho => {
+                let addr = self.sim.world.nodes[n].addr;
+                self.sim.world.nodes[n].rpc_server = Some(RpcServer::new(addr));
+                self.sim.world.nodes[n].ready = true;
+            }
+            _ => {}
+        }
+        self.sim.world.nodes[n].workload = workload;
+    }
+
+    /// Runs the simulation until every node with a group core has
+    /// completed admission (panics after simulated 60 s — joins are
+    /// sub-millisecond on a quiet network).
+    pub fn run_until_ready(&mut self) {
+        let deadline = self.sim.now() + SimDuration::from_secs(60);
+        let ok = self.sim.run_while(|w| {
+            !w.nodes.iter().filter(|n| n.core.is_some()).all(|n| n.ready)
+        });
+        assert!(
+            ok && self.sim.now() <= deadline,
+            "group formation did not converge within 60 simulated seconds"
+        );
+    }
+
+    /// Starts all configured workloads.
+    pub fn kick(&mut self) {
+        for n in 0..self.sim.world.nodes.len() {
+            Kernel::maybe_kick(&mut self.sim, n);
+        }
+    }
+
+    /// Runs for `d` simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let until = self.sim.now() + d;
+        self.sim.run_until(until);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The fraction of wall time the Ethernet carried bits, since start.
+    pub fn utilization(&self) -> f64 {
+        self.sim.world.net.utilization(self.sim.now())
+    }
+
+    /// Resets throughput counters (for measuring after warm-up).
+    pub fn snapshot_sends(&self) -> u64 {
+        self.sim.world.metrics.sends_ok.get()
+    }
+}

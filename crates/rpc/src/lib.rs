@@ -1,0 +1,430 @@
+//! Amoeba-style RPC over FLIP: the paper's point-to-point baseline.
+//!
+//! Amoeba supports exactly one point-to-point primitive — RPC — and the
+//! paper repeatedly compares group communication against it (a null
+//! group broadcast is "0.1 msec faster than the RPC" on the same
+//! hardware). This crate supplies that baseline: a sans-io,
+//! at-most-once request/response protocol with client retransmission
+//! and server-side duplicate suppression, plus `ForwardRequest` (the
+//! last primitive of the paper's Table 1): a server may bounce a
+//! request to another group member, whose reply goes straight back to
+//! the client.
+//!
+//! The state machines mirror `amoeba-core`'s sans-io style: inputs are
+//! packets and timer expirations; outputs are [`RpcAction`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_rpc::{RpcClient, RpcServer, RpcMsg, RpcAction, ServerEvent};
+//! use amoeba_flip::FlipAddress;
+//! use bytes::Bytes;
+//!
+//! let client_addr = FlipAddress::process(1);
+//! let server_addr = FlipAddress::process(2);
+//! let mut client = RpcClient::new(client_addr);
+//! let mut server = RpcServer::new(server_addr);
+//!
+//! // Client calls; the wire carries a Request.
+//! let actions = client.call(server_addr, Bytes::from_static(b"ping"));
+//! let request = match &actions[0] {
+//!     RpcAction::Send { msg, .. } => msg.clone(),
+//!     _ => unreachable!(),
+//! };
+//!
+//! // Server receives, the application answers.
+//! let (events, _) = server.handle_message(client_addr, request);
+//! let ServerEvent::Request { id, client: c, data } = &events[0];
+//! assert_eq!(&data[..], b"ping");
+//! let reply_actions = server.reply(*id, *c, Bytes::from_static(b"pong"));
+//!
+//! // Client consumes the reply and completes.
+//! let reply = match &reply_actions[0] {
+//!     RpcAction::Send { msg, .. } => msg.clone(),
+//!     _ => unreachable!(),
+//! };
+//! let done = client.handle_message(server_addr, reply);
+//! assert!(done.iter().any(|a| matches!(a, RpcAction::CallDone(Ok(d)) if &d[..] == b"pong")));
+//! ```
+
+use std::collections::HashMap;
+
+use amoeba_flip::FlipAddress;
+use bytes::Bytes;
+
+/// Size of the RPC header above FLIP, matching the paper's 32-byte
+/// Amoeba user header budget.
+pub const RPC_HEADER_LEN: u32 = 32;
+
+/// A packet of the RPC protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcMsg {
+    /// Client → server (or server → delegate, for `ForwardRequest`).
+    Request {
+        /// Client-local call id (dedup across retransmits).
+        id: u64,
+        /// The originating client (replies go here even after forwards).
+        client: FlipAddress,
+        /// Request bytes.
+        data: Bytes,
+    },
+    /// Server → client.
+    Reply {
+        /// Echo of the call id.
+        id: u64,
+        /// Reply bytes.
+        data: Bytes,
+    },
+}
+
+impl RpcMsg {
+    /// Bytes above the FLIP layer (header + payload), for wire/cost
+    /// accounting.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            RpcMsg::Request { data, .. } | RpcMsg::Reply { data, .. } => {
+                RPC_HEADER_LEN + data.len() as u32
+            }
+        }
+    }
+}
+
+/// Output of the client/server state machines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcAction {
+    /// Transmit a packet.
+    Send {
+        /// Destination process.
+        to: FlipAddress,
+        /// The packet.
+        msg: RpcMsg,
+    },
+    /// Arm the retransmission timer.
+    SetTimer {
+        /// Microseconds until expiry.
+        after_us: u64,
+    },
+    /// Disarm the retransmission timer.
+    CancelTimer,
+    /// The blocking call finished.
+    CallDone(Result<Bytes, RpcError>),
+}
+
+/// Why an RPC failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The server never answered.
+    ServerUnreachable,
+    /// A call is already outstanding (the primitive is blocking).
+    Busy,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::ServerUnreachable => write!(f, "rpc server unreachable"),
+            RpcError::Busy => write!(f, "an rpc call is already outstanding"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// What the server application must react to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// A fresh request to answer via [`RpcServer::reply`] (or
+    /// [`RpcServer::forward`]).
+    Request {
+        /// Call id (echo into the reply).
+        id: u64,
+        /// The originating client.
+        client: FlipAddress,
+        /// Request bytes.
+        data: Bytes,
+    },
+}
+
+#[derive(Debug)]
+struct PendingCall {
+    id: u64,
+    server: FlipAddress,
+    data: Bytes,
+    retries: u32,
+}
+
+/// The client half: one blocking call at a time, retransmitted until
+/// the reply arrives or retries run out.
+#[derive(Debug)]
+pub struct RpcClient {
+    my_addr: FlipAddress,
+    next_id: u64,
+    pending: Option<PendingCall>,
+    /// Initial retransmission timeout, µs (doubles per retry).
+    pub retransmit_us: u64,
+    /// Retries before the call fails.
+    pub max_retries: u32,
+}
+
+impl RpcClient {
+    /// Creates a client bound to this process's FLIP address.
+    pub fn new(my_addr: FlipAddress) -> Self {
+        RpcClient { my_addr, next_id: 0, pending: None, retransmit_us: 50_000, max_retries: 8 }
+    }
+
+    /// Starts a call. Completes via [`RpcAction::CallDone`].
+    pub fn call(&mut self, server: FlipAddress, data: Bytes) -> Vec<RpcAction> {
+        if self.pending.is_some() {
+            return vec![RpcAction::CallDone(Err(RpcError::Busy))];
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        self.pending = Some(PendingCall { id, server, data: data.clone(), retries: 0 });
+        vec![
+            RpcAction::Send {
+                to: server,
+                msg: RpcMsg::Request { id, client: self.my_addr, data },
+            },
+            RpcAction::SetTimer { after_us: self.retransmit_us },
+        ]
+    }
+
+    /// Feeds an incoming packet.
+    pub fn handle_message(&mut self, _from: FlipAddress, msg: RpcMsg) -> Vec<RpcAction> {
+        let RpcMsg::Reply { id, data } = msg else { return Vec::new() };
+        match &self.pending {
+            Some(p) if p.id == id => {
+                self.pending = None;
+                vec![RpcAction::CancelTimer, RpcAction::CallDone(Ok(data))]
+            }
+            _ => Vec::new(), // stale or duplicate reply
+        }
+    }
+
+    /// The retransmission timer fired.
+    pub fn handle_timer(&mut self) -> Vec<RpcAction> {
+        let Some(p) = &mut self.pending else { return Vec::new() };
+        p.retries += 1;
+        if p.retries > self.max_retries {
+            self.pending = None;
+            return vec![RpcAction::CallDone(Err(RpcError::ServerUnreachable))];
+        }
+        let backoff = self.retransmit_us << p.retries.min(6);
+        vec![
+            RpcAction::Send {
+                to: p.server,
+                msg: RpcMsg::Request { id: p.id, client: self.my_addr, data: p.data.clone() },
+            },
+            RpcAction::SetTimer { after_us: backoff },
+        ]
+    }
+
+    /// Whether a call is outstanding.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+/// The server half: surfaces fresh requests, suppresses duplicates by
+/// replaying the cached reply (at-most-once execution).
+#[derive(Debug)]
+pub struct RpcServer {
+    my_addr: FlipAddress,
+    /// Per client: highest served id and its cached reply.
+    seen: HashMap<FlipAddress, (u64, Option<Bytes>)>,
+}
+
+impl RpcServer {
+    /// Creates a server bound to this process's FLIP address.
+    pub fn new(my_addr: FlipAddress) -> Self {
+        RpcServer { my_addr, seen: HashMap::new() }
+    }
+
+    /// The server's own address (used when forwarding).
+    pub fn my_addr(&self) -> FlipAddress {
+        self.my_addr
+    }
+
+    /// Feeds an incoming packet. Returns application events plus wire
+    /// actions (cached-reply replays for duplicates).
+    pub fn handle_message(
+        &mut self,
+        _from: FlipAddress,
+        msg: RpcMsg,
+    ) -> (Vec<ServerEvent>, Vec<RpcAction>) {
+        let RpcMsg::Request { id, client, data } = msg else {
+            return (Vec::new(), Vec::new());
+        };
+        match self.seen.get(&client) {
+            Some(&(seen_id, ref cached)) if seen_id == id => {
+                // Duplicate of the call we (maybe) already answered.
+                let actions = cached
+                    .as_ref()
+                    .map(|reply| {
+                        vec![RpcAction::Send {
+                            to: client,
+                            msg: RpcMsg::Reply { id, data: reply.clone() },
+                        }]
+                    })
+                    .unwrap_or_default(); // still executing: stay quiet
+                (Vec::new(), actions)
+            }
+            Some(&(seen_id, _)) if seen_id > id => (Vec::new(), Vec::new()), // ancient
+            _ => {
+                self.seen.insert(client, (id, None));
+                (vec![ServerEvent::Request { id, client, data }], Vec::new())
+            }
+        }
+    }
+
+    /// Answers a request (the application finished executing it).
+    pub fn reply(&mut self, id: u64, client: FlipAddress, data: Bytes) -> Vec<RpcAction> {
+        if let Some(slot) = self.seen.get_mut(&client) {
+            if slot.0 == id {
+                slot.1 = Some(data.clone());
+            }
+        }
+        vec![RpcAction::Send { to: client, msg: RpcMsg::Reply { id, data } }]
+    }
+
+    /// `ForwardRequest`: bounce the request to another member; its
+    /// reply (carrying the original client address) returns directly to
+    /// the caller.
+    pub fn forward(&mut self, id: u64, client: FlipAddress, data: Bytes, to: FlipAddress) -> Vec<RpcAction> {
+        // Forget the call locally: the delegate owns it now.
+        if let Some(slot) = self.seen.get(&client) {
+            if slot.0 == id && slot.1.is_none() {
+                self.seen.remove(&client);
+            }
+        }
+        vec![RpcAction::Send { to, msg: RpcMsg::Request { id, client, data } }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> FlipAddress {
+        FlipAddress::process(n)
+    }
+
+    fn sent(actions: &[RpcAction]) -> Vec<(FlipAddress, RpcMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                RpcAction::Send { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn call_reply_roundtrip() {
+        let mut client = RpcClient::new(addr(1));
+        let mut server = RpcServer::new(addr(2));
+        let actions = client.call(addr(2), Bytes::from_static(b"req"));
+        assert!(client.is_busy());
+        let (to, msg) = sent(&actions).remove(0);
+        assert_eq!(to, addr(2));
+        let (events, extra) = server.handle_message(addr(1), msg);
+        assert!(extra.is_empty());
+        let ServerEvent::Request { id, client: c, data } = &events[0];
+        assert_eq!(&data[..], b"req");
+        let reply_actions = server.reply(*id, *c, Bytes::from_static(b"resp"));
+        let (_, reply) = sent(&reply_actions).remove(0);
+        let done = client.handle_message(addr(2), reply);
+        assert!(matches!(&done[..], [RpcAction::CancelTimer, RpcAction::CallDone(Ok(d))] if &d[..] == b"resp"));
+        assert!(!client.is_busy());
+    }
+
+    #[test]
+    fn busy_client_rejects_second_call() {
+        let mut client = RpcClient::new(addr(1));
+        client.call(addr(2), Bytes::new());
+        let second = client.call(addr(2), Bytes::new());
+        assert!(matches!(&second[..], [RpcAction::CallDone(Err(RpcError::Busy))]));
+    }
+
+    #[test]
+    fn retransmit_then_give_up() {
+        let mut client = RpcClient::new(addr(1));
+        client.max_retries = 3;
+        client.call(addr(2), Bytes::from_static(b"x"));
+        for _ in 0..3 {
+            let actions = client.handle_timer();
+            assert_eq!(sent(&actions).len(), 1, "each timer resends");
+        }
+        let final_actions = client.handle_timer();
+        assert!(matches!(
+            &final_actions[..],
+            [RpcAction::CallDone(Err(RpcError::ServerUnreachable))]
+        ));
+        assert!(!client.is_busy());
+    }
+
+    #[test]
+    fn duplicate_request_replays_cached_reply_without_reexecution() {
+        let mut server = RpcServer::new(addr(2));
+        let req = RpcMsg::Request { id: 5, client: addr(1), data: Bytes::from_static(b"q") };
+        let (events, _) = server.handle_message(addr(1), req.clone());
+        assert_eq!(events.len(), 1);
+        server.reply(5, addr(1), Bytes::from_static(b"a"));
+        // The duplicate must NOT surface a second application event.
+        let (events2, actions2) = server.handle_message(addr(1), req);
+        assert!(events2.is_empty(), "at-most-once execution");
+        let replies = sent(&actions2);
+        assert!(matches!(&replies[0].1, RpcMsg::Reply { id: 5, data } if &data[..] == b"a"));
+    }
+
+    #[test]
+    fn duplicate_while_executing_stays_silent() {
+        let mut server = RpcServer::new(addr(2));
+        let req = RpcMsg::Request { id: 7, client: addr(1), data: Bytes::new() };
+        server.handle_message(addr(1), req.clone());
+        let (events, actions) = server.handle_message(addr(1), req);
+        assert!(events.is_empty());
+        assert!(actions.is_empty(), "no reply exists yet; the client keeps retrying");
+    }
+
+    #[test]
+    fn forward_request_reaches_delegate_and_client_gets_reply() {
+        let mut client = RpcClient::new(addr(1));
+        let mut front = RpcServer::new(addr(2));
+        let mut delegate = RpcServer::new(addr(3));
+        let actions = client.call(addr(2), Bytes::from_static(b"work"));
+        let (_, msg) = sent(&actions).remove(0);
+        let (events, _) = front.handle_message(addr(1), msg);
+        let ServerEvent::Request { id, client: c, data } = events[0].clone();
+        // Front-end forwards to the delegate.
+        let fwd = front.forward(id, c, data, addr(3));
+        let (to, fwd_msg) = sent(&fwd).remove(0);
+        assert_eq!(to, addr(3));
+        let (devents, _) = delegate.handle_message(addr(2), fwd_msg);
+        let ServerEvent::Request { id: did, client: dc, data: ddata } = devents[0].clone();
+        assert_eq!(dc, addr(1), "original client address travels with the request");
+        assert_eq!(&ddata[..], b"work");
+        let reply_actions = delegate.reply(did, dc, Bytes::from_static(b"done"));
+        let (reply_to, reply) = sent(&reply_actions).remove(0);
+        assert_eq!(reply_to, addr(1), "reply goes straight to the client");
+        let done = client.handle_message(addr(3), reply);
+        assert!(done.iter().any(|a| matches!(a, RpcAction::CallDone(Ok(d)) if &d[..] == b"done")));
+    }
+
+    #[test]
+    fn stale_reply_ignored() {
+        let mut client = RpcClient::new(addr(1));
+        client.call(addr(2), Bytes::new());
+        let stale = RpcMsg::Reply { id: 999, data: Bytes::new() };
+        assert!(client.handle_message(addr(2), stale).is_empty());
+        assert!(client.is_busy());
+    }
+
+    #[test]
+    fn wire_size_counts_header_and_payload() {
+        let m = RpcMsg::Request { id: 1, client: addr(1), data: Bytes::from(vec![0; 100]) };
+        assert_eq!(m.wire_size(), RPC_HEADER_LEN + 100);
+        let null = RpcMsg::Reply { id: 1, data: Bytes::new() };
+        assert_eq!(null.wire_size(), RPC_HEADER_LEN);
+    }
+}

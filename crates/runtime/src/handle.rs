@@ -1,0 +1,231 @@
+//! The user-facing API: the paper's blocking primitives (Table 1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_core::{
+    GroupConfig, GroupCore, GroupError, GroupEvent, GroupId, GroupInfo, Seqno,
+};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver};
+
+use crate::fault::FaultPlan;
+use crate::net::LiveNet;
+use crate::node::{drive, Ctl, NodeShared};
+
+/// A live Amoeba "installation": processes created through one `Amoeba`
+/// share its network fabric (and its fault plan).
+#[derive(Debug)]
+pub struct Amoeba {
+    net: Arc<LiveNet>,
+    next_addr: AtomicU64,
+}
+
+impl Amoeba {
+    /// Creates an installation with a seeded, fault-injected network.
+    pub fn new(seed: u64, fault: FaultPlan) -> Self {
+        Amoeba { net: LiveNet::new(seed, fault), next_addr: AtomicU64::new(1) }
+    }
+
+    /// Direct access to the fabric (tests adjust faults mid-run).
+    pub fn net(&self) -> &Arc<LiveNet> {
+        &self.net
+    }
+
+    /// `CreateGroup`: founds a group; the caller becomes member 0 and
+    /// the sequencer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::BadConfig`] for invalid configuration.
+    pub fn create_group(
+        &self,
+        group: GroupId,
+        config: GroupConfig,
+    ) -> Result<GroupHandle, GroupError> {
+        self.spawn_member(group, config, true)
+    }
+
+    /// `JoinGroup`: blocks until admitted (or retries are exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::JoinTimeout`] when no sequencer answers,
+    /// or [`GroupError::BadConfig`] for invalid configuration.
+    pub fn join_group(
+        &self,
+        group: GroupId,
+        config: GroupConfig,
+    ) -> Result<GroupHandle, GroupError> {
+        self.spawn_member(group, config, false)
+    }
+
+    fn spawn_member(
+        &self,
+        group: GroupId,
+        config: GroupConfig,
+        create: bool,
+    ) -> Result<GroupHandle, GroupError> {
+        let addr =
+            amoeba_flip::FlipAddress::process(self.next_addr.fetch_add(1, Ordering::Relaxed));
+        // Plug into the fabric before the protocol starts talking.
+        let data_rx = self.net.register(addr);
+        self.net.join_mcast(group, addr);
+        let (core, actions) = if create {
+            GroupCore::create(group, addr, config)?
+        } else {
+            GroupCore::join(group, addr, config)?
+        };
+        let (events_tx, events_rx) = channel::unbounded();
+        let (ctl_tx, ctl_rx) = channel::unbounded();
+        let shared = NodeShared::new(core, Arc::clone(&self.net), group, addr, events_tx, ctl_tx);
+        let driver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("amoeba-{addr}"))
+                .spawn(move || drive(shared, data_rx, ctl_rx))
+                .expect("spawn driver thread")
+        };
+        shared.run_actions(actions);
+        let handle = GroupHandle { shared, events_rx, driver: Some(driver) };
+        // Both create (synchronous) and join (network round trips)
+        // complete through the JoinDone slot.
+        handle
+            .shared
+            .join_done
+            .wait(Duration::from_secs(120), "JoinGroup")
+            .map(|_| handle)
+    }
+}
+
+/// Why `ReceiveFromGroup` returned without an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveError {
+    /// The member is gone (left, expelled, crashed, or handle dropped).
+    Disconnected,
+    /// No event arrived within the requested timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for ReceiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReceiveError::Disconnected => write!(f, "membership ended"),
+            ReceiveError::Timeout => write!(f, "no event within the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for ReceiveError {}
+
+/// One process's membership of one group: the paper's primitives as
+/// blocking methods. Clone-free by design — the primitives are blocking
+/// and one thread drives each call, exactly the model the paper argues
+/// for (parallelism via multiple threads, each with its own handle).
+#[derive(Debug)]
+pub struct GroupHandle {
+    shared: Arc<NodeShared>,
+    events_rx: Receiver<GroupEvent>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NodeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeShared").field("addr", &self.addr).field("group", &self.group).finish()
+    }
+}
+
+impl GroupHandle {
+    /// `SendToGroup`: blocks until the message is accepted into the
+    /// total order (and, with resilience r > 0, held by r other
+    /// kernels). Returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::MessageTooLarge`], [`GroupError::Busy`] (another
+    /// thread's send is outstanding), [`GroupError::Recovering`], or
+    /// [`GroupError::SequencerUnreachable`] after retry exhaustion.
+    pub fn send_to_group(&self, payload: Bytes) -> Result<Seqno, GroupError> {
+        self.shared
+            .blocking_op(&self.shared.send_done, "SendToGroup", |core| core.send_to_group(payload))
+    }
+
+    /// `ReceiveFromGroup`: blocks for the next totally-ordered event.
+    ///
+    /// # Errors
+    ///
+    /// [`ReceiveError::Disconnected`] once membership has ended and the
+    /// queue is drained.
+    pub fn receive_from_group(&self) -> Result<GroupEvent, ReceiveError> {
+        self.events_rx.recv().map_err(|_| ReceiveError::Disconnected)
+    }
+
+    /// `ReceiveFromGroup` with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ReceiveError::Timeout`] if nothing arrives in `timeout`;
+    /// [`ReceiveError::Disconnected`] once membership has ended.
+    pub fn receive_timeout(&self, timeout: Duration) -> Result<GroupEvent, ReceiveError> {
+        self.events_rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => ReceiveError::Timeout,
+            channel::RecvTimeoutError::Disconnected => ReceiveError::Disconnected,
+        })
+    }
+
+    /// `GetInfoGroup`: a snapshot of this member's view.
+    pub fn info(&self) -> GroupInfo {
+        self.shared.core.lock().info()
+    }
+
+    /// `ResetGroup`: rebuilds the group after failures, requiring at
+    /// least `min_members` survivors. Returns the new view.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::TooFewMembers`] when not enough members answered;
+    /// [`GroupError::NotMember`] if this process is no longer in the
+    /// group.
+    pub fn reset_group(&self, min_members: usize) -> Result<GroupInfo, GroupError> {
+        self.shared
+            .blocking_op(&self.shared.reset_done, "ResetGroup", |core| core.reset(min_members))
+    }
+
+    /// `LeaveGroup`: departs gracefully (a leaving sequencer first
+    /// drains and hands off), then tears down this process's driver.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::Busy`] while another blocking primitive is
+    /// outstanding.
+    pub fn leave_group(mut self) -> Result<(), GroupError> {
+        let result =
+            self.shared.blocking_op(&self.shared.leave_done, "LeaveGroup", |core| core.leave());
+        self.teardown();
+        result
+    }
+
+    /// Simulates a processor crash: the process vanishes without a
+    /// leave — its traffic blackholes and its driver stops. (Testing
+    /// hook; the paper's recovery machinery is the answer to this.)
+    pub fn crash(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.shared.net.unregister(self.shared.addr);
+        let _ = self.shared.ctl_tx.send(Ctl::Shutdown);
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GroupHandle {
+    fn drop(&mut self) {
+        if self.driver.is_some() {
+            self.teardown();
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The in-memory datagram network: endpoints, multicast groups, fault
+//! injection and delivery delay.
+//!
+//! Deliveries below a small threshold happen inline through unbounded
+//! channels (preserving per-link FIFO, like a quiet LAN); longer,
+//! jittered deliveries are carried by short-lived sleeper threads,
+//! which is what makes reordering possible — exactly the adversity the
+//! negative-acknowledgement scheme must absorb.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amoeba_core::GroupId;
+use amoeba_flip::FlipAddress;
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::FaultPlan;
+
+/// A raw datagram as delivered to a node: (source address, bytes).
+pub(crate) type Datagram = (FlipAddress, Bytes);
+
+/// Deliveries with at most this much delay skip the sleeper thread and
+/// go straight through the channel.
+const INLINE_DELAY: Duration = Duration::from_micros(300);
+
+struct Registry {
+    endpoints: HashMap<FlipAddress, Sender<Datagram>>,
+    groups: HashMap<GroupId, Vec<FlipAddress>>,
+    rng: StdRng,
+    fault: FaultPlan,
+}
+
+/// The shared network fabric processes plug into.
+pub struct LiveNet {
+    registry: Mutex<Registry>,
+}
+
+impl std::fmt::Debug for LiveNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.registry.lock();
+        f.debug_struct("LiveNet")
+            .field("endpoints", &reg.endpoints.len())
+            .field("groups", &reg.groups.len())
+            .field("fault", &reg.fault)
+            .finish()
+    }
+}
+
+impl LiveNet {
+    /// Creates the fabric with a seeded fault RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan is invalid.
+    pub fn new(seed: u64, fault: FaultPlan) -> Arc<Self> {
+        fault.validate().expect("valid fault plan");
+        Arc::new(LiveNet {
+            registry: Mutex::new(Registry {
+                endpoints: HashMap::new(),
+                groups: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                fault,
+            }),
+        })
+    }
+
+    /// Registers a process endpoint; returns its datagram receiver.
+    pub(crate) fn register(&self, addr: FlipAddress) -> Receiver<Datagram> {
+        let (tx, rx) = channel::unbounded();
+        self.registry.lock().endpoints.insert(addr, tx);
+        rx
+    }
+
+    /// Removes an endpoint (a "crashed" or departed process): its
+    /// traffic blackholes from now on.
+    pub(crate) fn unregister(&self, addr: FlipAddress) {
+        let mut reg = self.registry.lock();
+        reg.endpoints.remove(&addr);
+        for members in reg.groups.values_mut() {
+            members.retain(|a| *a != addr);
+        }
+    }
+
+    /// Adds an endpoint to a multicast group.
+    pub(crate) fn join_mcast(&self, group: GroupId, addr: FlipAddress) {
+        let mut reg = self.registry.lock();
+        let members = reg.groups.entry(group).or_default();
+        if !members.contains(&addr) {
+            members.push(addr);
+        }
+    }
+
+    /// Sends point-to-point.
+    pub(crate) fn unicast(&self, from: FlipAddress, to: FlipAddress, bytes: Bytes) {
+        self.transmit(from, &[to], bytes);
+    }
+
+    /// Sends to every group member except the sender (multicast does
+    /// not loop back, as on real hardware).
+    pub(crate) fn multicast(&self, from: FlipAddress, group: GroupId, bytes: Bytes) {
+        let targets: Vec<FlipAddress> = {
+            let reg = self.registry.lock();
+            reg.groups
+                .get(&group)
+                .map(|m| m.iter().copied().filter(|a| *a != from).collect())
+                .unwrap_or_default()
+        };
+        self.transmit(from, &targets, bytes);
+    }
+
+    fn transmit(&self, from: FlipAddress, targets: &[FlipAddress], bytes: Bytes) {
+        // Decide each delivery's fate under the lock, execute outside.
+        let mut deliveries: Vec<(Sender<Datagram>, Duration, u32)> = Vec::new();
+        {
+            let mut reg = self.registry.lock();
+            let fault = reg.fault;
+            for &to in targets {
+                let copies = if fault.loss > 0.0 && reg.rng.gen_bool(fault.loss) {
+                    0u32
+                } else if fault.duplicate > 0.0 && reg.rng.gen_bool(fault.duplicate) {
+                    2
+                } else {
+                    1
+                };
+                if copies == 0 {
+                    continue;
+                }
+                let span = fault.max_delay.saturating_sub(fault.min_delay);
+                let jitter = if span.is_zero() {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(reg.rng.gen_range(0..span.as_nanos() as u64))
+                };
+                if let Some(tx) = reg.endpoints.get(&to) {
+                    deliveries.push((tx.clone(), fault.min_delay + jitter, copies));
+                }
+            }
+        }
+        for (tx, delay, copies) in deliveries {
+            for _ in 0..copies {
+                if delay <= INLINE_DELAY {
+                    let _ = tx.send((from, bytes.clone()));
+                } else {
+                    let tx = tx.clone();
+                    let bytes = bytes.clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(delay);
+                        let _ = tx.send((from, bytes));
+                    });
+                }
+            }
+        }
+    }
+
+    /// Replaces the fault plan at runtime (tests heal the network this
+    /// way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new plan is invalid.
+    pub fn set_fault(&self, fault: FaultPlan) {
+        fault.validate().expect("valid fault plan");
+        self.registry.lock().fault = fault;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> FlipAddress {
+        FlipAddress::process(n)
+    }
+
+    #[test]
+    fn unicast_reaches_endpoint() {
+        let net = LiveNet::new(1, FaultPlan::reliable());
+        let rx = net.register(addr(1));
+        net.unicast(addr(2), addr(1), Bytes::from_static(b"hi"));
+        let (from, data) = rx.recv_timeout(Duration::from_secs(1)).expect("delivered");
+        assert_eq!(from, addr(2));
+        assert_eq!(&data[..], b"hi");
+    }
+
+    #[test]
+    fn multicast_excludes_sender() {
+        let net = LiveNet::new(1, FaultPlan::reliable());
+        let g = GroupId(9);
+        let rx1 = net.register(addr(1));
+        let rx2 = net.register(addr(2));
+        net.join_mcast(g, addr(1));
+        net.join_mcast(g, addr(2));
+        net.multicast(addr(1), g, Bytes::from_static(b"m"));
+        assert!(rx2.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(rx1.try_recv().is_err(), "no loopback");
+    }
+
+    #[test]
+    fn unregistered_endpoint_blackholes() {
+        let net = LiveNet::new(1, FaultPlan::reliable());
+        let rx = net.register(addr(1));
+        net.unregister(addr(1));
+        net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let net = LiveNet::new(1, FaultPlan { loss: 1.0, ..FaultPlan::reliable() });
+        let rx = net.register(addr(1));
+        for _ in 0..20 {
+            net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+        }
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn duplication_produces_extra_copies() {
+        let net = LiveNet::new(1, FaultPlan { duplicate: 1.0, ..FaultPlan::reliable() });
+        let rx = net.register(addr(1));
+        net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok(), "second copy expected");
+    }
+}

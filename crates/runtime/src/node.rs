@@ -1,0 +1,218 @@
+//! The per-member driver: a thread that feeds packets and timer
+//! expirations to the sans-io [`GroupCore`] and executes its actions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amoeba_core::{
+    decode_wire_msg, encode_wire_msg, Action, Dest, GroupCore, GroupError, GroupEvent,
+    GroupId, GroupInfo, Seqno, TimerKind,
+};
+use amoeba_flip::FlipAddress;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::net::{Datagram, LiveNet};
+
+/// A one-shot completion slot for a blocking primitive.
+pub(crate) struct Slot<T> {
+    value: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot { value: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    pub(crate) fn put(&self, v: T) {
+        *self.value.lock() = Some(v);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a value arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `deadline` — the protocol's own retry budgets bound
+    /// every operation, so an expiry here is a harness bug, not a
+    /// legitimate outcome.
+    pub(crate) fn wait(&self, deadline: Duration, what: &str) -> T {
+        let mut guard = self.value.lock();
+        let end = Instant::now() + deadline;
+        while guard.is_none() {
+            if self.cv.wait_until(&mut guard, end).timed_out() {
+                panic!("blocking {what} did not complete within {deadline:?}");
+            }
+        }
+        guard.take().expect("checked above")
+    }
+
+    fn clear(&self) {
+        *self.value.lock() = None;
+    }
+}
+
+pub(crate) enum Ctl {
+    /// Timer table changed; recompute the select deadline.
+    Kick,
+    /// Stop the driver.
+    Shutdown,
+}
+
+/// State shared between the driver thread and the API handle.
+pub(crate) struct NodeShared {
+    pub(crate) core: Mutex<GroupCore>,
+    pub(crate) net: Arc<LiveNet>,
+    pub(crate) group: GroupId,
+    pub(crate) addr: FlipAddress,
+    pub(crate) timers: Mutex<HashMap<TimerKind, (u64, Instant)>>,
+    timer_gen: Mutex<u64>,
+    pub(crate) events_tx: Sender<GroupEvent>,
+    pub(crate) ctl_tx: Sender<Ctl>,
+    pub(crate) send_done: Slot<Result<Seqno, GroupError>>,
+    pub(crate) join_done: Slot<Result<GroupInfo, GroupError>>,
+    pub(crate) leave_done: Slot<Result<(), GroupError>>,
+    pub(crate) reset_done: Slot<Result<GroupInfo, GroupError>>,
+}
+
+impl NodeShared {
+    pub(crate) fn new(
+        core: GroupCore,
+        net: Arc<LiveNet>,
+        group: GroupId,
+        addr: FlipAddress,
+        events_tx: Sender<GroupEvent>,
+        ctl_tx: Sender<Ctl>,
+    ) -> Arc<Self> {
+        Arc::new(NodeShared {
+            core: Mutex::new(core),
+            net,
+            group,
+            addr,
+            timers: Mutex::new(HashMap::new()),
+            timer_gen: Mutex::new(0),
+            events_tx,
+            ctl_tx,
+            send_done: Slot::new(),
+            join_done: Slot::new(),
+            leave_done: Slot::new(),
+            reset_done: Slot::new(),
+        })
+    }
+
+    /// Executes protocol actions. Never called while holding the core
+    /// lock (sends and slot notifications must not deadlock the driver).
+    pub(crate) fn run_actions(&self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { dest, msg } => {
+                    let bytes = encode_wire_msg(&msg);
+                    match dest {
+                        Dest::Unicast(to) => self.net.unicast(self.addr, to, bytes),
+                        Dest::Group => self.net.multicast(self.addr, self.group, bytes),
+                    }
+                }
+                Action::SetTimer { kind, after_us } => {
+                    let gen = {
+                        let mut g = self.timer_gen.lock();
+                        *g += 1;
+                        *g
+                    };
+                    let at = Instant::now() + Duration::from_micros(after_us);
+                    self.timers.lock().insert(kind, (gen, at));
+                    let _ = self.ctl_tx.send(Ctl::Kick);
+                }
+                Action::CancelTimer { kind } => {
+                    self.timers.lock().remove(&kind);
+                }
+                Action::Deliver(ev) => {
+                    let _ = self.events_tx.send(ev);
+                }
+                Action::SendDone(r) => self.send_done.put(r),
+                Action::JoinDone(r) => self.join_done.put(r),
+                Action::LeaveDone(r) => self.leave_done.put(r),
+                Action::ResetDone(r) => self.reset_done.put(r),
+            }
+        }
+    }
+
+    /// Runs a blocking primitive: clears its slot, applies `op` to the
+    /// core, executes the resulting actions, and waits for completion.
+    pub(crate) fn blocking_op<T>(
+        &self,
+        slot: &Slot<T>,
+        what: &str,
+        op: impl FnOnce(&mut GroupCore) -> Vec<Action>,
+    ) -> T {
+        slot.clear();
+        let actions = {
+            let mut core = self.core.lock();
+            op(&mut core)
+        };
+        self.run_actions(actions);
+        slot.wait(Duration::from_secs(120), what)
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timers.lock().values().map(|&(_, at)| at).min()
+    }
+
+    fn fire_expired(&self) {
+        let now = Instant::now();
+        let expired: Vec<TimerKind> = {
+            let mut timers = self.timers.lock();
+            let kinds: Vec<TimerKind> = timers
+                .iter()
+                .filter(|(_, &(_, at))| at <= now)
+                .map(|(&k, _)| k)
+                .collect();
+            for k in &kinds {
+                timers.remove(k);
+            }
+            kinds
+        };
+        for kind in expired {
+            let actions = {
+                let mut core = self.core.lock();
+                core.handle_timer(kind)
+            };
+            self.run_actions(actions);
+        }
+    }
+}
+
+/// The driver loop: packets, control messages and timers.
+pub(crate) fn drive(shared: Arc<NodeShared>, data_rx: Receiver<Datagram>, ctl_rx: Receiver<Ctl>) {
+    loop {
+        let timeout = shared
+            .next_deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(100));
+        channel::select! {
+            recv(data_rx) -> d => {
+                let Ok((from, bytes)) = d else { return };
+                match decode_wire_msg(&mut bytes.clone()) {
+                    Ok(msg) => {
+                        let actions = {
+                            let mut core = shared.core.lock();
+                            core.handle_message(from, msg)
+                        };
+                        shared.run_actions(actions);
+                    }
+                    Err(_) => { /* garbled packet: the protocol's loss
+                                   machinery recovers, as on real wires */ }
+                }
+            }
+            recv(ctl_rx) -> c => {
+                match c {
+                    Ok(Ctl::Kick) => {}
+                    Ok(Ctl::Shutdown) | Err(_) => return,
+                }
+            }
+            default(timeout) => {}
+        }
+        shared.fire_expired();
+    }
+}

@@ -1,0 +1,497 @@
+//! Atomic state transfer for joining members — the extension the paper
+//! wished it had.
+//!
+//! §5: "the system did not have good support for a process (re)joining
+//! a given group. A library for atomic state transfer as provided in
+//! Isis would have again simplified building these fault-tolerant
+//! programs." This module is that library, built purely on the public
+//! group primitives (no protocol changes): proof of the paper's other
+//! §5 claim, that user-level layers compose well on these primitives.
+//!
+//! # How the cut works
+//!
+//! A [`Replica`] owns a [`GroupHandle`] plus application state that is
+//! a deterministic function of the delivered operation stream. A joiner
+//! broadcasts a *state request* marker; because the marker is totally
+//! ordered at some seqno S, "the state at S" is well defined and
+//! identical at every member. The lowest-numbered other member answers
+//! with a snapshot taken exactly when it delivers S (chunked to fit the
+//! 8000-byte message cap). The joiner restores the snapshot and then
+//! applies the operations it buffered with seqno > S — bitwise
+//! convergence with no pause in the group's normal traffic.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use amoeba_core::{GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, MemberId, Seqno};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::handle::{Amoeba, GroupHandle, ReceiveError};
+
+/// Application state kept in lockstep by the ordered operation stream.
+pub trait GroupState: Default {
+    /// Applies one ordered operation.
+    fn apply(&mut self, seqno: Seqno, origin: MemberId, op: &Bytes);
+    /// Serializes the full state.
+    fn snapshot(&self) -> Bytes;
+    /// Replaces the state from a snapshot.
+    fn restore(&mut self, snapshot: &Bytes);
+}
+
+const MARKER: u8 = 0xA5;
+const KIND_REQUEST: u8 = 1;
+const KIND_CHUNK: u8 = 2;
+/// Payload budget per snapshot chunk (the protocol caps messages at
+/// 8000 bytes; leave room for the marker header).
+const CHUNK: usize = 7_000;
+
+enum Marker {
+    Request { nonce: u64 },
+    Chunk { nonce: u64, index: u16, count: u16, data: Bytes },
+}
+
+fn encode_request(nonce: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(10);
+    b.put_u8(MARKER);
+    b.put_u8(KIND_REQUEST);
+    b.put_u64(nonce);
+    b.freeze()
+}
+
+fn encode_chunk(nonce: u64, index: u16, count: u16, data: &[u8]) -> Bytes {
+    let mut b = BytesMut::with_capacity(14 + data.len());
+    b.put_u8(MARKER);
+    b.put_u8(KIND_CHUNK);
+    b.put_u64(nonce);
+    b.put_u16(index);
+    b.put_u16(count);
+    b.put_slice(data);
+    b.freeze()
+}
+
+fn decode_marker(payload: &Bytes) -> Option<Marker> {
+    let mut buf = payload.clone();
+    if buf.remaining() < 2 || buf.get_u8() != MARKER {
+        return None;
+    }
+    match buf.get_u8() {
+        KIND_REQUEST if buf.remaining() >= 8 => Some(Marker::Request { nonce: buf.get_u64() }),
+        KIND_CHUNK if buf.remaining() >= 12 => {
+            let nonce = buf.get_u64();
+            let index = buf.get_u16();
+            let count = buf.get_u16();
+            Some(Marker::Chunk { nonce, index, count, data: buf.copy_to_bytes(buf.remaining()) })
+        }
+        _ => None,
+    }
+}
+
+/// Why a replica operation failed.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The underlying group primitive failed.
+    Group(GroupError),
+    /// The event stream ended.
+    Receive(ReceiveError),
+    /// State transfer did not complete in time (no live member
+    /// answered the snapshot request).
+    TransferTimeout,
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::Group(e) => write!(f, "group primitive failed: {e}"),
+            ReplicaError::Receive(e) => write!(f, "event stream ended: {e}"),
+            ReplicaError::TransferTimeout => write!(f, "state transfer timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<GroupError> for ReplicaError {
+    fn from(e: GroupError) -> Self {
+        ReplicaError::Group(e)
+    }
+}
+
+impl From<ReceiveError> for ReplicaError {
+    fn from(e: ReceiveError) -> Self {
+        ReplicaError::Receive(e)
+    }
+}
+
+/// A state-machine replica on a group: ordered operations in,
+/// deterministic state out, with join-time state transfer.
+#[derive(Debug)]
+pub struct Replica<S: GroupState> {
+    handle: GroupHandle,
+    state: S,
+}
+
+impl<S: GroupState> Replica<S> {
+    /// Founds the group with empty state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `CreateGroup` failures.
+    pub fn create(
+        amoeba: &Amoeba,
+        group: GroupId,
+        config: GroupConfig,
+    ) -> Result<Self, ReplicaError> {
+        let handle = amoeba.create_group(group, config)?;
+        Ok(Replica { handle, state: S::default() })
+    }
+
+    /// Joins the group *and* acquires the state: requests a snapshot
+    /// cut at a totally-ordered point, buffers later operations, and
+    /// converges before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates join failures; [`ReplicaError::TransferTimeout`] when
+    /// no member answers within `timeout`.
+    pub fn join(
+        amoeba: &Amoeba,
+        group: GroupId,
+        config: GroupConfig,
+        timeout: Duration,
+    ) -> Result<Self, ReplicaError> {
+        let handle = amoeba.join_group(group, config)?;
+        let me = handle.info().me;
+        let nonce = me.0 as u64 ^ 0x5354_5346; // deterministic per member
+        handle.send_to_group(encode_request(nonce))?;
+
+        let mut state = S::default();
+        let mut cut: Option<Seqno> = None;
+        let mut buffered: BTreeMap<Seqno, (MemberId, Bytes)> = BTreeMap::new();
+        let mut chunks: BTreeMap<u16, Bytes> = BTreeMap::new();
+        let mut chunk_count: Option<u16> = None;
+        let deadline = Instant::now() + timeout;
+
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ReplicaError::TransferTimeout);
+            }
+            let ev = match handle.receive_timeout(remaining) {
+                Ok(ev) => ev,
+                Err(ReceiveError::Timeout) => return Err(ReplicaError::TransferTimeout),
+                Err(e) => return Err(e.into()),
+            };
+            let GroupEvent::Message { seqno, origin, payload } = ev else { continue };
+            match decode_marker(&payload) {
+                Some(Marker::Request { nonce: n }) if n == nonce && origin == me => {
+                    // Our own request: this is the cut point.
+                    cut = Some(seqno);
+                }
+                Some(Marker::Chunk { nonce: n, index, count, data }) if n == nonce => {
+                    chunk_count = Some(count);
+                    chunks.insert(index, data);
+                }
+                Some(_) => {} // someone else's transfer
+                None => {
+                    // An ordinary operation: applicable only once we
+                    // know the cut; ops after the cut are buffered.
+                    match cut {
+                        Some(c) if seqno > c => {
+                            buffered.insert(seqno, (origin, payload));
+                        }
+                        _ => {} // before our cut: covered by the snapshot
+                    }
+                }
+            }
+            if let Some(count) = chunk_count {
+                if chunks.len() == count as usize {
+                    let mut snapshot = BytesMut::new();
+                    for (_, part) in std::mem::take(&mut chunks) {
+                        snapshot.put_slice(&part);
+                    }
+                    state.restore(&snapshot.freeze());
+                    for (seqno, (origin, op)) in buffered {
+                        state.apply(seqno, origin, &op);
+                    }
+                    return Ok(Replica { handle, state });
+                }
+            }
+        }
+    }
+
+    /// Submits an operation into the total order (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `SendToGroup` failures.
+    pub fn submit(&self, op: Bytes) -> Result<Seqno, ReplicaError> {
+        debug_assert_ne!(op.first(), Some(&MARKER), "0xA5-prefixed payloads are reserved");
+        Ok(self.handle.send_to_group(op)?)
+    }
+
+    /// Processes the next ordered event (applying operations and
+    /// answering other members' state requests). Returns `false` on
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a closed event stream.
+    pub fn pump(&mut self, timeout: Duration) -> Result<bool, ReplicaError> {
+        match self.handle.receive_timeout(timeout) {
+            Ok(GroupEvent::Message { seqno, origin, payload }) => {
+                match decode_marker(&payload) {
+                    Some(Marker::Request { nonce }) => {
+                        self.maybe_answer_request(origin, nonce)?;
+                    }
+                    Some(Marker::Chunk { .. }) => {} // someone's transfer
+                    None => self.state.apply(seqno, origin, &payload),
+                }
+                Ok(true)
+            }
+            Ok(_) => Ok(true), // membership events need no state change
+            Err(ReceiveError::Timeout) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Pumps until the stream is quiet for `quiet`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a closed event stream.
+    pub fn pump_until_quiet(&mut self, quiet: Duration) -> Result<(), ReplicaError> {
+        while self.pump(quiet)? {}
+        Ok(())
+    }
+
+    /// The joiner's snapshot is served by the lowest-numbered live
+    /// member other than the requester — deterministic, so exactly one
+    /// member answers.
+    fn maybe_answer_request(&self, requester: MemberId, nonce: u64) -> Result<(), ReplicaError> {
+        let info = self.handle.info();
+        let responder = info.members.iter().map(|m| m.id).find(|&id| id != requester);
+        if responder != Some(info.me) {
+            return Ok(());
+        }
+        let snapshot = self.state.snapshot();
+        let parts: Vec<&[u8]> = if snapshot.is_empty() {
+            vec![&[]]
+        } else {
+            snapshot.chunks(CHUNK).collect()
+        };
+        let count = parts.len() as u16;
+        for (i, part) in parts.into_iter().enumerate() {
+            self.handle.send_to_group(encode_chunk(nonce, i as u16, count, part))?;
+        }
+        Ok(())
+    }
+
+    /// The replicated state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The underlying group handle.
+    pub fn handle(&self) -> &GroupHandle {
+        &self.handle
+    }
+
+    /// `GetInfoGroup` passthrough.
+    pub fn info(&self) -> GroupInfo {
+        self.handle.info()
+    }
+
+    /// Leaves the group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `LeaveGroup` failures.
+    pub fn leave(self) -> Result<(), ReplicaError> {
+        Ok(self.handle.leave_group()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    /// A tiny deterministic register machine for tests: ops are
+    /// "key=value" strings; the snapshot is the sorted rendering.
+    #[derive(Debug, Default, PartialEq)]
+    struct KvState {
+        entries: BTreeMap<String, String>,
+        applied: u64,
+    }
+
+    impl GroupState for KvState {
+        fn apply(&mut self, _seqno: Seqno, _origin: MemberId, op: &Bytes) {
+            let text = String::from_utf8_lossy(op);
+            if let Some((k, v)) = text.split_once('=') {
+                self.entries.insert(k.into(), v.into());
+            }
+            self.applied += 1;
+        }
+
+        fn snapshot(&self) -> Bytes {
+            let mut out = String::new();
+            for (k, v) in &self.entries {
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+                out.push('\n');
+            }
+            out.push_str(&format!("#applied={}\n", self.applied));
+            Bytes::from(out)
+        }
+
+        fn restore(&mut self, snapshot: &Bytes) {
+            self.entries.clear();
+            self.applied = 0;
+            for line in String::from_utf8_lossy(snapshot).lines() {
+                if let Some(n) = line.strip_prefix("#applied=") {
+                    self.applied = n.parse().unwrap_or(0);
+                } else if let Some((k, v)) = line.split_once('=') {
+                    self.entries.insert(k.into(), v.into());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn late_joiner_converges_via_state_transfer() {
+        let amoeba = Amoeba::new(51, FaultPlan::reliable());
+        let gid = GroupId(9);
+        let mut founder: Replica<KvState> =
+            Replica::create(&amoeba, gid, GroupConfig::default()).expect("create");
+
+        // Build up history the joiner never saw.
+        for i in 0..40 {
+            founder.submit(Bytes::from(format!("k{i}=v{i}"))).expect("submit");
+        }
+        founder.pump_until_quiet(Duration::from_millis(300)).expect("pump");
+        assert_eq!(founder.state().entries.len(), 40);
+
+        // A second replica joins mid-life. Its join triggers the
+        // snapshot protocol; pump the founder concurrently so it can
+        // answer.
+        let joiner_thread = std::thread::spawn({
+            move || {
+                Replica::<KvState>::join(
+                    &amoeba,
+                    gid,
+                    GroupConfig::default(),
+                    Duration::from_secs(30),
+                )
+            }
+        });
+        // Keep serving until the joiner returns.
+        let start = Instant::now();
+        let joiner = loop {
+            founder.pump(Duration::from_millis(50)).expect("founder pump");
+            if joiner_thread.is_finished() {
+                break joiner_thread.join().expect("thread").expect("join+transfer");
+            }
+            assert!(start.elapsed() < Duration::from_secs(60), "transfer stuck");
+        };
+        assert_eq!(joiner.state().entries, founder.state().entries);
+        assert_eq!(joiner.state().applied, 40, "snapshot carries the op count");
+    }
+
+    #[test]
+    fn joiner_applies_operations_after_the_cut() {
+        let amoeba = Amoeba::new(52, FaultPlan::reliable());
+        let gid = GroupId(10);
+        let mut founder: Replica<KvState> =
+            Replica::create(&amoeba, gid, GroupConfig::default()).expect("create");
+        for i in 0..10 {
+            founder.submit(Bytes::from(format!("pre{i}=x"))).expect("submit");
+        }
+
+        let joiner_thread = std::thread::spawn({
+            move || {
+                Replica::<KvState>::join(
+                    &amoeba,
+                    gid,
+                    GroupConfig::default(),
+                    Duration::from_secs(30),
+                )
+                .map(|j| (j, amoeba))
+            }
+        });
+        // While the transfer is in flight, more writes land; the joiner
+        // must apply the post-cut ones on top of the snapshot.
+        let start = Instant::now();
+        let mut extra = 0;
+        let (joiner, _amoeba) = loop {
+            if extra < 5 {
+                founder.submit(Bytes::from(format!("post{extra}=y"))).expect("submit");
+                extra += 1;
+            }
+            founder.pump(Duration::from_millis(30)).expect("founder pump");
+            if joiner_thread.is_finished() {
+                break joiner_thread.join().expect("thread").expect("join");
+            }
+            assert!(start.elapsed() < Duration::from_secs(60), "transfer stuck");
+        };
+        let mut joiner = joiner;
+        founder.pump_until_quiet(Duration::from_millis(400)).expect("founder quiet");
+        joiner.pump_until_quiet(Duration::from_millis(400)).expect("joiner quiet");
+        assert_eq!(joiner.state().entries, founder.state().entries);
+        assert_eq!(joiner.state().entries.len(), 15);
+    }
+
+    #[test]
+    fn multi_chunk_snapshot_survives_transfer() {
+        let amoeba = Amoeba::new(53, FaultPlan::reliable());
+        let gid = GroupId(11);
+        let mut founder: Replica<KvState> =
+            Replica::create(&amoeba, gid, GroupConfig::default()).expect("create");
+        // ~60 entries × ~120 bytes ⇒ a snapshot well over one 7000-byte
+        // chunk.
+        for i in 0..60 {
+            let big = "v".repeat(100);
+            founder.submit(Bytes::from(format!("key-number-{i:04}={big}"))).expect("submit");
+        }
+        founder.pump_until_quiet(Duration::from_millis(300)).expect("pump");
+        assert!(founder.state().snapshot().len() > CHUNK);
+
+        let joiner_thread = std::thread::spawn({
+            move || {
+                Replica::<KvState>::join(
+                    &amoeba,
+                    gid,
+                    GroupConfig::default(),
+                    Duration::from_secs(30),
+                )
+            }
+        });
+        let start = Instant::now();
+        let joiner = loop {
+            founder.pump(Duration::from_millis(50)).expect("founder pump");
+            if joiner_thread.is_finished() {
+                break joiner_thread.join().expect("thread").expect("join");
+            }
+            assert!(start.elapsed() < Duration::from_secs(60), "transfer stuck");
+        };
+        assert_eq!(joiner.state().entries, founder.state().entries);
+        assert_eq!(joiner.state().entries.len(), 60);
+    }
+
+    #[test]
+    fn marker_codec_roundtrips() {
+        match decode_marker(&encode_request(42)) {
+            Some(Marker::Request { nonce }) => assert_eq!(nonce, 42),
+            _ => panic!("request marker lost"),
+        }
+        match decode_marker(&encode_chunk(7, 2, 5, b"abc")) {
+            Some(Marker::Chunk { nonce, index, count, data }) => {
+                assert_eq!((nonce, index, count), (7, 2, 5));
+                assert_eq!(&data[..], b"abc");
+            }
+            _ => panic!("chunk marker lost"),
+        }
+        assert!(decode_marker(&Bytes::from_static(b"plain-operation")).is_none());
+        assert!(decode_marker(&Bytes::new()).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Parallel computation on group communication — the paper's other
+//! application class (§5): "parallel computations … all of them run
+//! with a resilience degree of zero".
+//!
+//! A coordinator broadcasts work; every worker computes its share and
+//! broadcasts a partial result; because results are totally ordered,
+//! every worker observes the same reduction without any extra
+//! synchronization (the "lockstep" programming model of §2.2).
+//!
+//! ```text
+//! cargo run --example parallel_compute
+//! ```
+
+use std::time::Duration;
+
+use amoeba::core::{GroupConfig, GroupEvent, GroupId, MemberId};
+use amoeba::runtime::{Amoeba, FaultPlan, GroupHandle};
+use bytes::Bytes;
+
+const WORKERS: usize = 4;
+const RANGE: u64 = 1_000_000;
+
+/// Sums the primes-ish (odd) numbers in a slice of the range — any
+/// embarrassingly parallel kernel works.
+fn compute_share(worker: usize) -> u64 {
+    let span = RANGE / WORKERS as u64;
+    let lo = worker as u64 * span;
+    let hi = if worker == WORKERS - 1 { RANGE } else { lo + span };
+    (lo..hi).filter(|n| n % 2 == 1).sum()
+}
+
+fn run_worker(
+    handle: GroupHandle,
+    my_index: usize,
+) -> Result<u64, Box<dyn std::error::Error + Send + Sync>> {
+    // Wait for the "go" broadcast from the coordinator.
+    loop {
+        if let GroupEvent::Message { payload, origin, .. } =
+            handle.receive_timeout(Duration::from_secs(10))?
+        {
+            assert_eq!(origin, MemberId(0), "work announcement comes from the coordinator");
+            assert_eq!(&payload[..], b"go");
+            break;
+        }
+    }
+    // Compute and publish our share.
+    let share = compute_share(my_index);
+    handle.send_to_group(Bytes::from(format!("{my_index}:{share}")))?;
+    // Reduce: collect all shares in delivery order (identical on every
+    // worker — the total order is the barrier).
+    let mut total = 0u64;
+    let mut seen = 0;
+    while seen < WORKERS {
+        if let GroupEvent::Message { payload, .. } =
+            handle.receive_timeout(Duration::from_secs(10))?
+        {
+            let text = String::from_utf8_lossy(&payload);
+            if let Some((_, share)) = text.split_once(':') {
+                total += share.parse::<u64>()?;
+                seen += 1;
+            }
+        }
+    }
+    handle.leave_group()?;
+    Ok(total)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let amoeba = Amoeba::new(3, FaultPlan::reliable());
+    let group = GroupId(2);
+    let coordinator = amoeba.create_group(group, GroupConfig::default())?;
+
+    let mut joined = Vec::new();
+    for i in 0..WORKERS {
+        joined.push((i, amoeba.join_group(group, GroupConfig::default())?));
+    }
+    println!("{} workers joined", WORKERS);
+
+    let threads: Vec<_> = joined
+        .into_iter()
+        .map(|(i, handle)| std::thread::spawn(move || run_worker(handle, i)))
+        .collect();
+
+    // Start the computation with a single ordered broadcast.
+    coordinator.send_to_group(Bytes::from_static(b"go"))?;
+
+    let expected: u64 = (0..RANGE).filter(|n| n % 2 == 1).sum();
+    for t in threads {
+        let total = t.join().expect("worker thread").map_err(|e| e.to_string())?;
+        assert_eq!(total, expected, "a worker computed a different reduction");
+    }
+    println!("all {WORKERS} workers agree: sum = {expected}");
+    coordinator.leave_group()?;
+    Ok(())
+}

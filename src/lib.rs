@@ -1,0 +1,48 @@
+//! # amoeba — the Amoeba group communication system, in Rust
+//!
+//! A full reproduction of M. Frans Kaashoek and Andrew S. Tanenbaum,
+//! *An Evaluation of the Amoeba Group Communication System*, ICDCS 1996:
+//! sequencer-based, totally-ordered reliable multicast with negative
+//! acknowledgements and user-selectable fault tolerance, together with
+//! every substrate the paper's evaluation rests on.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the protocol itself (sans-io state machine);
+//! * [`runtime`] — a live multi-threaded runtime with the paper's
+//!   blocking API and fault injection;
+//! * [`kernel`] — the simulated Amoeba kernel on a calibrated model of
+//!   the paper's testbed (20-MHz MC68030s, 10 Mbit/s Ethernet, Lance
+//!   interfaces);
+//! * [`flip`] — the FLIP datagram layer;
+//! * [`rpc`] — the point-to-point RPC baseline;
+//! * [`net`] — the Ethernet/NIC/CPU hardware models;
+//! * [`sim`] — the deterministic discrete-event engine.
+//!
+//! # Quick start (live runtime)
+//!
+//! ```
+//! use amoeba::runtime::{Amoeba, FaultPlan};
+//! use amoeba::core::{GroupConfig, GroupId, GroupEvent};
+//! use bytes::Bytes;
+//!
+//! let amoeba = Amoeba::new(1, FaultPlan::reliable());
+//! let a = amoeba.create_group(GroupId(1), GroupConfig::default())?;
+//! let b = amoeba.join_group(GroupId(1), GroupConfig::default())?;
+//! b.send_to_group(Bytes::from_static(b"totally ordered"))?;
+//! loop {
+//!     if let GroupEvent::Message { payload, .. } = a.receive_from_group()? {
+//!         assert_eq!(&payload[..], b"totally ordered");
+//!         break;
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use amoeba_core as core;
+pub use amoeba_flip as flip;
+pub use amoeba_kernel as kernel;
+pub use amoeba_net as net;
+pub use amoeba_rpc as rpc;
+pub use amoeba_runtime as runtime;
+pub use amoeba_sim as sim;

@@ -1,0 +1,170 @@
+//! Live-runtime integration: membership churn, graceful sequencer
+//! handoff, crash detection and `ResetGroup` recovery — all under real
+//! threads.
+
+use std::time::Duration;
+
+use amoeba::core::{GroupConfig, GroupError, GroupEvent, GroupId};
+use amoeba::runtime::{Amoeba, FaultPlan, GroupHandle};
+use bytes::Bytes;
+
+fn next_message(handle: &GroupHandle) -> String {
+    loop {
+        if let GroupEvent::Message { payload, .. } = handle.receive_timeout(Duration::from_secs(20)).expect("event") {
+            return String::from_utf8_lossy(&payload).into_owned()
+        }
+    }
+}
+
+/// Fast-failure config so crash tests finish quickly.
+fn snappy() -> GroupConfig {
+    GroupConfig {
+        send_retransmit_us: 30_000,
+        send_max_retries: 4,
+        nack_retry_us: 20_000,
+        sync_interval_us: 200_000,
+        sync_round_us: 60_000,
+        sync_max_retries: 3,
+        join_retry_us: 50_000,
+        join_max_retries: 6,
+        invite_round_us: 50_000,
+        invite_rounds: 3,
+        recovery_watchdog_us: 1_000_000,
+        ..GroupConfig::default()
+    }
+}
+
+#[test]
+fn member_leaves_and_group_continues() {
+    let amoeba = Amoeba::new(31, FaultPlan::reliable());
+    let gid = GroupId(1);
+    let a = amoeba.create_group(gid, snappy()).expect("create");
+    let b = amoeba.join_group(gid, snappy()).expect("join b");
+    let c = amoeba.join_group(gid, snappy()).expect("join c");
+    b.send_to_group(Bytes::from_static(b"before")).expect("send");
+    c.leave_group().expect("leave");
+    // Survivors observe the ordered leave event.
+    loop {
+        if let GroupEvent::Left { forced: false, .. } = a.receive_timeout(Duration::from_secs(10)).expect("event") { break }
+    }
+    b.send_to_group(Bytes::from_static(b"after")).expect("send");
+    assert_eq!(a.info().num_members(), 2);
+    assert_eq!(next_message(&b), "before");
+    assert_eq!(next_message(&b), "after");
+}
+
+#[test]
+fn sequencer_hands_off_gracefully_live() {
+    let amoeba = Amoeba::new(32, FaultPlan::reliable());
+    let gid = GroupId(2);
+    let a = amoeba.create_group(gid, snappy()).expect("create"); // sequencer
+    let b = amoeba.join_group(gid, snappy()).expect("join b");
+    let c = amoeba.join_group(gid, snappy()).expect("join c");
+    b.send_to_group(Bytes::from_static(b"one")).expect("send");
+    a.leave_group().expect("sequencer leave (drain + handoff)");
+    // b (lowest surviving id) inherits the role.
+    loop {
+        if let GroupEvent::SequencerChanged { new_sequencer, .. } = b.receive_timeout(Duration::from_secs(20)).expect("event") {
+            assert_eq!(new_sequencer, b.info().me);
+            break;
+        }
+    }
+    assert!(b.info().is_sequencer);
+    // The group keeps ordering through the new sequencer.
+    c.send_to_group(Bytes::from_static(b"two")).expect("send");
+    assert_eq!(next_message(&c), "one");
+    assert_eq!(next_message(&c), "two");
+}
+
+#[test]
+fn crash_of_sequencer_detected_and_recovered() {
+    let amoeba = Amoeba::new(33, FaultPlan::reliable());
+    let gid = GroupId(3);
+    let a = amoeba.create_group(gid, snappy()).expect("create");
+    let b = amoeba.join_group(gid, snappy()).expect("join b");
+    let c = amoeba.join_group(gid, snappy()).expect("join c");
+    b.send_to_group(Bytes::from_static(b"pre-crash")).expect("send");
+
+    a.crash(); // the sequencer vanishes
+
+    // b's next send fails after retry exhaustion…
+    let err = b.send_to_group(Bytes::from_static(b"doomed")).expect_err("sequencer is dead");
+    assert_eq!(err, GroupError::SequencerUnreachable);
+    // …so the application rebuilds the group.
+    let info = b.reset_group(2).expect("recovery");
+    assert_eq!(info.num_members(), 2);
+    assert_eq!(info.view, amoeba::core::ViewId(2));
+
+    // Both survivors work again.
+    b.send_to_group(Bytes::from_static(b"post-crash")).expect("send");
+    let mut seen_c = Vec::new();
+    while seen_c.len() < 2 {
+        if let GroupEvent::Message { payload, .. } = c.receive_timeout(Duration::from_secs(20)).expect("event") {
+            seen_c.push(String::from_utf8_lossy(&payload).into_owned());
+        }
+    }
+    assert_eq!(seen_c, vec!["pre-crash", "post-crash"]);
+}
+
+#[test]
+fn auto_reset_recovers_without_explicit_call() {
+    let config = GroupConfig { auto_reset: true, auto_reset_min_members: 2, ..snappy() };
+    let amoeba = Amoeba::new(34, FaultPlan::reliable());
+    let gid = GroupId(4);
+    let a = amoeba.create_group(gid, config.clone()).expect("create");
+    let b = amoeba.join_group(gid, config.clone()).expect("join b");
+    let c = amoeba.join_group(gid, config).expect("join c");
+    a.crash();
+    // The failed send triggers suspicion; auto_reset rebuilds in the
+    // background; the ViewInstalled event announces it.
+    let _ = b.send_to_group(Bytes::from_static(b"x"));
+    loop {
+        if let GroupEvent::ViewInstalled { view, members, .. } = c.receive_timeout(Duration::from_secs(30)).expect("event") {
+            assert_eq!(view, amoeba::core::ViewId(2));
+            assert_eq!(members.len(), 2);
+            break;
+        }
+    }
+    // Retry goes through.
+    b.send_to_group(Bytes::from_static(b"recovered")).expect("send after auto-reset");
+    assert_eq!(next_message(&c), "recovered");
+}
+
+#[test]
+fn resilient_message_survives_sequencer_crash_live() {
+    // The paper's guarantee, live: r = 1 send completes, sequencer
+    // dies, recovery preserves it.
+    let config = GroupConfig { resilience: 1, ..snappy() };
+    let amoeba = Amoeba::new(35, FaultPlan::reliable());
+    let gid = GroupId(5);
+    let a = amoeba.create_group(gid, config.clone()).expect("create");
+    let b = amoeba.join_group(gid, config.clone()).expect("join b");
+    let c = amoeba.join_group(gid, config).expect("join c");
+    b.send_to_group(Bytes::from_static(b"acknowledged")).expect("resilient send");
+    a.crash();
+    b.reset_group(2).expect("recovery");
+    // Both survivors must deliver the acknowledged message.
+    assert_eq!(next_message(&b), "acknowledged");
+    assert_eq!(next_message(&c), "acknowledged");
+}
+
+#[test]
+fn reset_with_impossible_quorum_fails_live() {
+    let amoeba = Amoeba::new(36, FaultPlan::reliable());
+    let gid = GroupId(6);
+    let a = amoeba.create_group(gid, snappy()).expect("create");
+    let b = amoeba.join_group(gid, snappy()).expect("join");
+    a.crash();
+    let err = b.reset_group(3).expect_err("only one survivor");
+    assert!(matches!(err, GroupError::TooFewMembers { alive: 1, needed: 3 }));
+}
+
+#[test]
+fn join_into_dead_group_times_out() {
+    let amoeba = Amoeba::new(37, FaultPlan::reliable());
+    let gid = GroupId(7);
+    let a = amoeba.create_group(gid, snappy()).expect("create");
+    a.crash();
+    let err = amoeba.join_group(gid, snappy()).expect_err("no sequencer to admit us");
+    assert_eq!(err, GroupError::JoinTimeout);
+}

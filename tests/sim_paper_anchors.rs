@@ -1,0 +1,177 @@
+//! Guard rails on the reproduction itself: quick simulated runs must
+//! keep landing on the paper's headline numbers (within tolerance), and
+//! the simulator must stay deterministic. If a refactor drifts the
+//! calibration, these fail before EXPERIMENTS.md goes stale.
+
+use amoeba::core::{GroupConfig, GroupId, Method};
+use amoeba::kernel::{CostModel, SimWorld, Workload};
+use amoeba::sim::SimDuration;
+
+fn delay_world(members: usize, method: Method, resilience: u32, seed: u64) -> SimWorld {
+    let config = GroupConfig { method, resilience, ..GroupConfig::default() };
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), seed);
+    let group = GroupId(1);
+    for _ in 0..members {
+        w.add_node();
+    }
+    w.create_group(0, group, config.clone());
+    for n in 1..members {
+        w.join_group(n, group, config.clone());
+    }
+    w.run_until_ready();
+    w
+}
+
+fn mean_delay(members: usize, size: u32, method: Method, r: u32, sends: u64) -> f64 {
+    let mut w = delay_world(members, method, r, 7);
+    w.set_workload(members - 1, Workload::Sender { size, remaining: sends });
+    w.kick();
+    w.run_for(SimDuration::from_micros(sends * 120_000 + 1_000_000));
+    assert_eq!(w.sim.world.metrics.sends_ok.get(), sends);
+    w.sim.world.metrics.send_delay_us.median()
+}
+
+#[test]
+fn anchor_null_broadcast_group2_is_2_7ms() {
+    let d = mean_delay(2, 0, Method::Pb, 0, 100);
+    assert!((2_500.0..2_950.0).contains(&d), "paper: 2.7 ms; got {d:.0} µs");
+}
+
+#[test]
+fn anchor_null_broadcast_group30_is_2_8ms() {
+    let d = mean_delay(30, 0, Method::Pb, 0, 100);
+    assert!((2_600.0..3_100.0).contains(&d), "paper: 2.8 ms; got {d:.0} µs");
+}
+
+#[test]
+fn anchor_delay_extrapolates_gently_to_100_members() {
+    // Paper: "the delay for a broadcast to a group of 100 nodes should
+    // be 3.2 msec" (extrapolated at ≈ 4 µs per member).
+    let d = mean_delay(100, 0, Method::Pb, 0, 50);
+    assert!((2_800.0..3_600.0).contains(&d), "paper extrapolates 3.2 ms; got {d:.0} µs");
+}
+
+#[test]
+fn anchor_bb_beats_pb_dramatically_at_8000_bytes() {
+    let pb = mean_delay(3, 8_000, Method::Pb, 0, 30);
+    let bb = mean_delay(3, 8_000, Method::Bb, 0, 30);
+    assert!(
+        bb < pb * 0.75,
+        "paper: BB 'dramatically better' for large messages; PB {pb:.0} vs BB {bb:.0} µs"
+    );
+}
+
+#[test]
+fn anchor_resilience_r1_costs_about_4_2ms() {
+    let d = mean_delay(2, 0, Method::Pb, 1, 60);
+    assert!((4_000.0..5_100.0).contains(&d), "paper: 4.2 ms at r=1; got {d:.0} µs");
+}
+
+#[test]
+fn anchor_each_ack_adds_about_600us() {
+    let d4 = mean_delay(5, 0, Method::Pb, 4, 40);
+    let d8 = mean_delay(9, 0, Method::Pb, 8, 40);
+    let per_ack = (d8 - d4) / 4.0;
+    assert!(
+        (450.0..850.0).contains(&per_ack),
+        "paper: ≈600 µs per acknowledgement; got {per_ack:.0} µs"
+    );
+}
+
+#[test]
+fn anchor_peak_throughput_near_815() {
+    let config = GroupConfig { method: Method::Pb, ..GroupConfig::default() };
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), 9);
+    let group = GroupId(1);
+    for _ in 0..8 {
+        w.add_node();
+    }
+    w.create_group(0, group, config.clone());
+    for n in 1..8 {
+        w.join_group(n, group, config.clone());
+    }
+    w.run_until_ready();
+    for n in 0..8 {
+        w.set_workload(n, Workload::Sender { size: 0, remaining: u64::MAX });
+    }
+    w.kick();
+    w.run_for(SimDuration::from_secs(1));
+    let before = w.snapshot_sends();
+    w.run_for(SimDuration::from_secs(3));
+    let rate = (w.snapshot_sends() - before) as f64 / 3.0;
+    assert!(
+        (700.0..950.0).contains(&rate),
+        "paper: 815 broadcasts/s peak; got {rate:.0}"
+    );
+}
+
+#[test]
+fn anchor_lance_overflow_collapses_4kb_throughput() {
+    let measure = |senders: usize, size: u32| {
+        let config = GroupConfig { method: Method::Pb, ..GroupConfig::default() };
+        let mut w = SimWorld::new(CostModel::mc68030_ether10(), 11);
+        let group = GroupId(1);
+        for _ in 0..senders {
+            w.add_node();
+        }
+        w.create_group(0, group, config.clone());
+        for n in 1..senders {
+            w.join_group(n, group, config.clone());
+        }
+        w.run_until_ready();
+        for n in 0..senders {
+            w.set_workload(n, Workload::Sender { size, remaining: u64::MAX });
+        }
+        w.kick();
+        w.run_for(SimDuration::from_secs(1));
+        let before = w.snapshot_sends();
+        w.run_for(SimDuration::from_secs(3));
+        (w.snapshot_sends() - before) as f64 / 3.0
+    };
+    let few = measure(2, 4_096);
+    let many = measure(14, 4_096);
+    assert!(
+        many < few * 0.9,
+        "paper: ≥11 senders of 4 KB overflow the 32-slot Lance ring and \
+         throughput drops ({few:.0}/s at 2 senders vs {many:.0}/s at 14)"
+    );
+}
+
+#[test]
+fn anchor_null_rpc_is_2_8ms_and_slower_than_group_send() {
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), 13);
+    let client = w.add_node();
+    let server = w.add_node();
+    let server_addr = w.sim.world.nodes[server].addr;
+    w.set_workload(server, Workload::RpcEcho);
+    w.set_workload(client, Workload::RpcPinger { size: 0, remaining: 100, server: server_addr });
+    w.kick();
+    w.run_for(SimDuration::from_secs(3));
+    let rpc = w.sim.world.metrics.rpc_delay_us.median();
+    assert!((2_600.0..3_100.0).contains(&rpc), "paper: 2.8 ms null RPC; got {rpc:.0} µs");
+    let group = mean_delay(2, 0, Method::Pb, 0, 100);
+    assert!(
+        group < rpc,
+        "paper: group send is (slightly) faster than RPC; {group:.0} vs {rpc:.0} µs"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let run = |seed: u64| {
+        let mut w = delay_world(5, Method::Pb, 0, seed);
+        for n in 0..5 {
+            w.set_workload(n, Workload::Sender { size: 1024, remaining: 100 });
+        }
+        w.kick();
+        w.run_for(SimDuration::from_secs(5));
+        (
+            w.sim.world.metrics.sends_ok.get(),
+            w.sim.world.metrics.send_delay_us.median().to_bits(),
+            w.sim.events_executed(),
+            w.sim.world.net.medium.stats.frames,
+        )
+    };
+    assert_eq!(run(42), run(42), "same seed must reproduce exactly");
+    assert_ne!(run(42).2, run(43).2, "different seeds should differ");
+}
