@@ -1,0 +1,36 @@
+//! Keeps the `examples/` directory honest.
+//!
+//! `cargo test` already *compiles* every example of this package (so a
+//! broken example fails the tier-1 gate), and CI builds and runs them
+//! explicitly. What neither catches is an example being silently
+//! deleted or renamed — its compile coverage would vanish without any
+//! red. This test pins the advertised set.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const ADVERTISED: [&str; 4] = [
+    "fault_tolerant_directory",
+    "parallel_compute",
+    "quickstart",
+    "replicated_kv",
+];
+
+#[test]
+fn advertised_examples_exist_and_nothing_is_uncovered() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let on_disk: BTreeSet<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let path = e.expect("readable dir entry").path();
+            (path.extension().is_some_and(|x| x == "rs"))
+                .then(|| path.file_stem().expect("stem").to_string_lossy().into_owned())
+        })
+        .collect();
+    let advertised: BTreeSet<String> = ADVERTISED.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        on_disk, advertised,
+        "examples/ drifted from the advertised set — update README.md, \
+         .github/workflows/ci.yml and this test together"
+    );
+}

@@ -1,0 +1,149 @@
+//! A minimal, dependency-free stand-in for `criterion`.
+//!
+//! Implements the macro/entry-point surface the workspace's benches
+//! use (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `Throughput`, `black_box`, `Bencher::iter`) with
+//! a simple timed loop and plain-text ns/iter reporting — no
+//! statistics, plots, or saved baselines. Running under `cargo test`
+//! (which passes `--test` to `harness = false` targets) executes
+//! nothing, keeping the tier-1 gate fast.
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration label used to report a derived rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over a short calibrated loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up once, then run for a fixed short budget.
+        black_box(f());
+        let budget = Duration::from_millis(60);
+        let start = Instant::now();
+        let mut n = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            n += 1;
+        }
+        self.iters_done = n.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the work-per-iteration label for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's loop is time-bounded,
+    /// so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.ns_per_iter();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 * 1e9 / ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<40} {ns:>12.0} ns/iter{rate}");
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for `harness = false` bench targets. Under
+/// `cargo test` (which passes `--test`) this runs nothing.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,473 @@
+//! Unbounded MPMC channels with disconnect semantics, plus the
+//! machinery behind the [`select!`](crate::select) macro.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The sending half is gone and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why `recv_timeout` returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+/// Why `try_recv` returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty.
+    Empty,
+    /// All senders are gone and the queue is drained.
+    Disconnected,
+}
+
+/// All receivers are gone; carries the rejected value back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    /// One-shot wakers registered by `select!` waiters; drained (and
+    /// woken) on every send and on disconnect.
+    wakers: Vec<Arc<SelectWaker>>,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake_all(inner: &mut Inner<T>) {
+        for w in inner.wakers.drain(..) {
+            w.notify();
+        }
+    }
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel (cloneable: MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            wakers: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value; fails only when every receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying the value back when the channel
+    /// has no receivers left.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        if inner.receivers == 0 {
+            return Err(SendError(value));
+        }
+        inner.queue.push_back(value);
+        Shared::wake_all(&mut inner);
+        drop(inner);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel lock").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            Shared::wake_all(&mut inner);
+            drop(inner);
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or every sender disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once all senders are gone and the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.cv.wait(inner).expect("channel lock");
+        }
+    }
+
+    /// Blocks up to `timeout` for a value.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when nothing arrives in time;
+    /// [`RecvTimeoutError::Disconnected`] once all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("channel lock");
+            inner = guard;
+        }
+    }
+
+    /// Pops a value without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when the queue is momentarily empty;
+    /// [`TryRecvError::Disconnected`] once all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        match inner.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// `select!` support: `Some(result)` when an arm would fire now,
+    /// `None` when the arm must keep waiting.
+    #[doc(hidden)]
+    pub fn poll_select(&self) -> Option<Result<T, RecvError>> {
+        match self.try_recv() {
+            Ok(v) => Some(Ok(v)),
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+            Err(TryRecvError::Empty) => None,
+        }
+    }
+
+    /// `select!` support: registers a one-shot waker fired on the next
+    /// send or disconnect. Idempotent per waker, so the select loop can
+    /// re-register on every iteration without duplicating entries.
+    #[doc(hidden)]
+    pub fn register_waker(&self, waker: &Arc<SelectWaker>) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        if !inner.wakers.iter().any(|w| Arc::ptr_eq(w, waker)) {
+            inner.wakers.push(Arc::clone(waker));
+        }
+    }
+
+    /// `select!` support: drops a waker registration. Without this, a
+    /// select that resolves through the other arm or the timeout would
+    /// leak its waker into the list until the next send (which may
+    /// never come on an idle channel).
+    #[doc(hidden)]
+    pub fn deregister_waker(&self, waker: &Arc<SelectWaker>) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        inner.wakers.retain(|w| !Arc::ptr_eq(w, waker));
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel lock").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel lock");
+        inner.receivers -= 1;
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// One-shot wakeup used by `select!` to sleep on several channels.
+#[doc(hidden)]
+pub struct SelectWaker {
+    notified: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    /// Creates an unsignalled waker.
+    pub fn new() -> Self {
+        SelectWaker { notified: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Clears the signal before re-registering.
+    pub fn reset(&self) {
+        *self.notified.lock().expect("waker lock") = false;
+    }
+
+    fn notify(&self) {
+        *self.notified.lock().expect("waker lock") = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until signalled or `deadline`; `false` means timed out.
+    pub fn wait_until(&self, deadline: Instant) -> bool {
+        let mut notified = self.notified.lock().expect("waker lock");
+        loop {
+            if *notified {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(notified, deadline - now)
+                .expect("waker lock");
+            notified = guard;
+        }
+    }
+}
+
+impl Default for SelectWaker {
+    fn default() -> Self {
+        SelectWaker::new()
+    }
+}
+
+/// Outcome of a two-arm select (which arm fired, or the default).
+#[doc(hidden)]
+pub enum Sel2<A, B> {
+    /// First `recv` arm.
+    A(A),
+    /// Second `recv` arm.
+    B(B),
+    /// The `default(timeout)` arm.
+    Default,
+}
+
+/// `crossbeam_channel::select!`, restricted to the shape this
+/// workspace uses: exactly two `recv` arms followed by one
+/// `default(timeout)` arm.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $v1:pat => $b1:block
+        recv($r2:expr) -> $v2:pat => $b2:block
+        default($t:expr) => $b3:block
+    ) => {{
+        let __r1 = &$r1;
+        let __r2 = &$r2;
+        let __timeout: ::std::time::Duration = $t;
+        let __deadline = ::std::time::Instant::now() + __timeout;
+        let __waker = ::std::sync::Arc::new($crate::channel::SelectWaker::new());
+        let __out = loop {
+            if let Some(r) = __r1.poll_select() {
+                break $crate::channel::Sel2::A(r);
+            }
+            if let Some(r) = __r2.poll_select() {
+                break $crate::channel::Sel2::B(r);
+            }
+            __waker.reset();
+            __r1.register_waker(&__waker);
+            __r2.register_waker(&__waker);
+            // Re-poll after registering so a send racing with the
+            // registration cannot be missed.
+            if let Some(r) = __r1.poll_select() {
+                break $crate::channel::Sel2::A(r);
+            }
+            if let Some(r) = __r2.poll_select() {
+                break $crate::channel::Sel2::B(r);
+            }
+            if !__waker.wait_until(__deadline) {
+                break $crate::channel::Sel2::Default;
+            }
+        };
+        // Before the arms run (they may `return` out of the caller):
+        // drop our registrations so idle selects cannot accumulate
+        // stale wakers on the channels.
+        __r1.deregister_waker(&__waker);
+        __r2.deregister_waker(&__waker);
+        match __out {
+            $crate::channel::Sel2::A($v1) => $b1,
+            $crate::channel::Sel2::B($v2) => $b2,
+            $crate::channel::Sel2::Default => $b3,
+        }
+    }};
+}
+
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnect_drains_then_errors() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_takes_ready_arm() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx1.send(5).unwrap();
+        let hit = select! {
+            recv(rx1) -> v => { assert_eq!(v, Ok(5)); 1 }
+            recv(rx2) -> _v => { 2 }
+            default(Duration::from_millis(5)) => { 3 }
+        };
+        assert_eq!(hit, 1);
+    }
+
+    #[test]
+    fn select_falls_to_default_on_timeout() {
+        let (_tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let hit = select! {
+            recv(rx1) -> _v => { 1 }
+            recv(rx2) -> _v => { 2 }
+            default(Duration::from_millis(10)) => { 3 }
+        };
+        assert_eq!(hit, 3);
+    }
+
+    #[test]
+    fn select_wakes_on_late_send() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx1.send(9).unwrap();
+        });
+        let hit = select! {
+            recv(rx1) -> v => { assert_eq!(v, Ok(9)); 1 }
+            recv(rx2) -> _v => { 2 }
+            default(Duration::from_secs(5)) => { 3 }
+        };
+        assert_eq!(hit, 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timed_out_selects_do_not_leak_wakers() {
+        let (_tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        for _ in 0..50 {
+            let hit = select! {
+                recv(rx1) -> _v => { 1 }
+                recv(rx2) -> _v => { 2 }
+                default(Duration::from_millis(1)) => { 3 }
+            };
+            assert_eq!(hit, 3);
+        }
+        // An idle driver loop selects forever; stale wakers must not
+        // accumulate (they are deregistered on the way out).
+        assert_eq!(rx1.shared.inner.lock().unwrap().wakers.len(), 0);
+        assert_eq!(rx2.shared.inner.lock().unwrap().wakers.len(), 0);
+    }
+
+    #[test]
+    fn select_reports_disconnect() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        drop(tx1);
+        let hit = select! {
+            recv(rx1) -> v => { assert_eq!(v, Err(RecvError)); 1 }
+            recv(rx2) -> _v => { 2 }
+            default(Duration::from_millis(5)) => { 3 }
+        };
+        assert_eq!(hit, 1);
+    }
+}

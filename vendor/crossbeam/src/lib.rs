@@ -1,0 +1,9 @@
+//! A minimal, dependency-free stand-in for `crossbeam`.
+//!
+//! Implements the subset the workspace uses: unbounded MPMC channels
+//! (`send`, `recv`, `recv_timeout`, `try_recv`, clone/disconnect
+//! semantics) and a `select!` macro covering the runtime driver's
+//! shape — two `recv` arms plus a `default(timeout)` arm. Built on
+//! `std::sync` primitives; correctness over peak throughput.
+
+pub mod channel;

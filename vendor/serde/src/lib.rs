@@ -1,0 +1,15 @@
+//! A minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` —
+//! no serializer crate is wired up — so the derives here are no-ops and
+//! the traits are empty markers. If a future PR adds a real data
+//! format, replace this vendored stub with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods: no data
+/// format is wired up in this offline workspace).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

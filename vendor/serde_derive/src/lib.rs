@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stub: they accept any item and emit nothing, which is exactly what
+//! this workspace needs (the traits are only ever derived, never used
+//! as bounds or called).
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
