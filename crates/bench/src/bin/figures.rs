@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [ids...]     ids: table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 rpc
+//! figures [--quick] [ids...]
+//! ids: table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 rpc ablation batch_sweep
 //! ```
 
 use amoeba_bench::experiments;

@@ -8,6 +8,7 @@
 //! the sequencer.
 
 mod ablation;
+mod batch_sweep;
 mod delay;
 mod parallel;
 mod rpc;
@@ -15,6 +16,7 @@ mod table3;
 mod throughput;
 
 pub use ablation::ablation_method_switch;
+pub use batch_sweep::batch_sweep;
 pub use delay::{fig1_delay_pb, fig3_delay_bb, fig7_delay_resilience};
 pub use parallel::fig6_parallel_groups;
 pub use rpc::rpc_baseline;
@@ -93,7 +95,19 @@ pub(crate) fn measure_throughput(
     scale: Scale,
     seed: u64,
 ) -> f64 {
-    let mut w = build_group(senders, &config(method, resilience), seed);
+    measure_throughput_cfg(senders, size, config(method, resilience), scale, seed)
+}
+
+/// [`measure_throughput`] with a fully explicit configuration (the
+/// batching experiments sweep knobs beyond method/resilience).
+pub(crate) fn measure_throughput_cfg(
+    senders: usize,
+    size: u32,
+    cfg: GroupConfig,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
+    let mut w = build_group(senders, &cfg, seed);
     for n in 0..senders {
         w.set_workload(n, Workload::Sender { size, remaining: u64::MAX });
     }
@@ -118,6 +132,7 @@ pub fn all(scale: Scale) -> Vec<Figure> {
         fig8_throughput_resilience(scale),
         rpc_baseline(scale),
         ablation_method_switch(scale),
+        batch_sweep(scale),
     ]
 }
 
@@ -134,6 +149,7 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Figure> {
         "fig8" => fig8_throughput_resilience(scale),
         "rpc" => rpc_baseline(scale),
         "ablation" => ablation_method_switch(scale),
+        "batch_sweep" | "batch" => batch_sweep(scale),
         _ => return None,
     })
 }

@@ -18,7 +18,9 @@
 //!
 //! The absolute microsecond numbers come from the calibrated
 //! [`amoeba_kernel::CostModel`]; the *claims under test* are the shapes
-//! (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+//! (see `DESIGN.md` §4 and `EXPERIMENTS.md`). The `batch_sweep`
+//! experiment goes beyond the paper, measuring the batching layer of
+//! `DESIGN.md` §6 against the ≥ 2× throughput bar.
 
 pub mod experiments;
 pub mod report;

@@ -12,7 +12,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use amoeba_flip::FlipAddress;
 
 use crate::ids::{GroupId, MemberId, Seqno, ViewId};
-use crate::message::{Body, Hdr, Sequenced, SequencedKind, WireMsg};
+use crate::message::{BatchItem, BatchReq, Body, Hdr, Sequenced, SequencedKind, WireMsg};
 use crate::view::MemberMeta;
 
 /// Failure to decode a packet.
@@ -107,6 +107,12 @@ const T_INVITE_ACK: u8 = 16;
 const T_NEW_VIEW: u8 = 17;
 const T_PING: u8 = 18;
 const T_PONG: u8 = 19;
+const T_BCAST_BATCH: u8 = 20;
+const T_BCAST_REQ_BATCH: u8 = 21;
+
+// Item tags inside a BcastBatch frame.
+const I_ENTRY: u8 = 1;
+const I_ACCEPT: u8 = 2;
 
 fn put_body(buf: &mut BytesMut, body: &Body) {
     match body {
@@ -118,6 +124,32 @@ fn put_body(buf: &mut BytesMut, body: &Body) {
         Body::BcastData { entry } => {
             buf.put_u8(T_BCAST_DATA);
             put_sequenced(buf, entry);
+        }
+        Body::BcastBatch { items } => {
+            buf.put_u8(T_BCAST_BATCH);
+            buf.put_u16(items.len() as u16);
+            for item in items {
+                match item {
+                    BatchItem::Entry(entry) => {
+                        buf.put_u8(I_ENTRY);
+                        put_sequenced(buf, entry);
+                    }
+                    BatchItem::Accept { seqno, origin, sender_seq } => {
+                        buf.put_u8(I_ACCEPT);
+                        buf.put_u64(seqno.0);
+                        buf.put_u32(origin.0);
+                        buf.put_u64(*sender_seq);
+                    }
+                }
+            }
+        }
+        Body::BcastReqBatch { reqs } => {
+            buf.put_u8(T_BCAST_REQ_BATCH);
+            buf.put_u16(reqs.len() as u16);
+            for req in reqs {
+                buf.put_u64(req.sender_seq);
+                put_bytes(buf, &req.payload);
+            }
         }
         Body::BcastOrig { sender_seq, payload } => {
             buf.put_u8(T_BCAST_ORIG);
@@ -209,6 +241,38 @@ fn get_body(buf: &mut impl Buf) -> Result<Body, DecodeError> {
             Body::BcastReq { sender_seq, payload: get_bytes(buf)? }
         }
         T_BCAST_DATA => Body::BcastData { entry: get_sequenced(buf)? },
+        T_BCAST_BATCH => {
+            need(buf, 2)?;
+            let n = buf.get_u16() as usize;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 1)?;
+                items.push(match buf.get_u8() {
+                    I_ENTRY => BatchItem::Entry(get_sequenced(buf)?),
+                    I_ACCEPT => {
+                        need(buf, 20)?;
+                        BatchItem::Accept {
+                            seqno: Seqno(buf.get_u64()),
+                            origin: MemberId(buf.get_u32()),
+                            sender_seq: buf.get_u64(),
+                        }
+                    }
+                    other => return Err(DecodeError::BadKindTag(other)),
+                });
+            }
+            Body::BcastBatch { items }
+        }
+        T_BCAST_REQ_BATCH => {
+            need(buf, 2)?;
+            let n = buf.get_u16() as usize;
+            let mut reqs = Vec::with_capacity(n);
+            for _ in 0..n {
+                need(buf, 8)?;
+                let sender_seq = buf.get_u64();
+                reqs.push(BatchReq { sender_seq, payload: get_bytes(buf)? });
+            }
+            Body::BcastReqBatch { reqs }
+        }
         T_BCAST_ORIG => {
             need(buf, 8)?;
             let sender_seq = buf.get_u64();
@@ -462,6 +526,25 @@ mod tests {
             },
         });
         roundtrip(Body::BcastOrig { sender_seq: 8, payload: Bytes::new() });
+        roundtrip(Body::BcastBatch { items: Vec::new() });
+        roundtrip(Body::BcastBatch {
+            items: vec![
+                BatchItem::Entry(app.clone()),
+                BatchItem::Accept { seqno: Seqno(10), origin: MemberId(2), sender_seq: 3 },
+                BatchItem::Entry(Sequenced {
+                    seqno: Seqno(11),
+                    kind: SequencedKind::Leave { member: MemberId(5), forced: false },
+                }),
+            ],
+        });
+        roundtrip(Body::BcastReqBatch { reqs: Vec::new() });
+        roundtrip(Body::BcastReqBatch {
+            reqs: vec![
+                BatchReq { sender_seq: 1, payload: Bytes::from_static(b"a") },
+                BatchReq { sender_seq: 2, payload: Bytes::new() },
+                BatchReq { sender_seq: 3, payload: Bytes::from_static(b"ccc") },
+            ],
+        });
         roundtrip(Body::Accept { seqno: Seqno(4), origin: MemberId(0), sender_seq: 6 });
         roundtrip(Body::Tentative { entry: app, resilience: 3 });
         roundtrip(Body::TentAck { seqno: Seqno(11) });
@@ -519,6 +602,48 @@ mod tests {
                 bytes.len()
             );
         }
+    }
+
+    #[test]
+    fn batch_truncation_is_detected_everywhere() {
+        let msg = WireMsg {
+            hdr: hdr(),
+            body: Body::BcastBatch {
+                items: vec![
+                    BatchItem::Entry(Sequenced {
+                        seqno: Seqno(9),
+                        kind: SequencedKind::App {
+                            origin: MemberId(1),
+                            sender_seq: 2,
+                            payload: Bytes::from_static(b"data"),
+                        },
+                    }),
+                    BatchItem::Accept { seqno: Seqno(10), origin: MemberId(2), sender_seq: 3 },
+                ],
+            },
+        };
+        let bytes = encode_wire_msg(&msg);
+        for cut in 0..bytes.len() {
+            let mut slice = bytes.slice(0..cut);
+            assert!(decode_wire_msg(&mut slice).is_err(), "{cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn bad_batch_item_tag_rejected() {
+        let msg = WireMsg {
+            hdr: hdr(),
+            body: Body::BcastBatch {
+                items: vec![BatchItem::Accept {
+                    seqno: Seqno(1),
+                    origin: MemberId(0),
+                    sender_seq: 0,
+                }],
+            },
+        };
+        let mut raw = encode_wire_msg(&msg).to_vec();
+        raw[32 + 1 + 2] = 99; // first item tag (after header, body tag, count)
+        assert_eq!(decode_wire_msg(&mut &raw[..]), Err(DecodeError::BadKindTag(99)));
     }
 
     #[test]

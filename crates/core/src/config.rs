@@ -9,6 +9,76 @@ pub const GROUP_HEADER_LEN: u32 = 28;
 /// (paper: 32 bytes).
 pub const USER_HEADER_LEN: u32 = 32;
 
+/// Wire-size budget (above the FLIP layer) for one batch frame: the
+/// Ethernet MTU minus the link and FLIP headers (1514 − 16 − 40). A
+/// batch packed within this budget never straddles the fragmentation
+/// limit, so the "one interrupt per batch" amortization the batching
+/// layer promises actually holds on the wire (see DESIGN.md §6).
+pub const BATCH_FRAME_BUDGET: u32 = 1458;
+
+/// The share of [`BATCH_FRAME_BUDGET`] available to batch items: the
+/// frame budget minus the group header and the 2-byte item count. Both
+/// the packer ([`crate::pack_batch_items`]) and the sequencer's
+/// flush-before-overflow bookkeeping use this single definition, so
+/// the "never straddle the fragmentation limit" guarantee cannot drift
+/// between them.
+pub const BATCH_ITEMS_BUDGET: u32 = BATCH_FRAME_BUDGET - GROUP_HEADER_LEN - 2;
+
+/// Sequencer batching policy (DESIGN.md §6).
+///
+/// With batching on, the sequencer coalesces stamped entries (PB) and
+/// short accepts (BB) into one `BcastBatch` frame instead of
+/// multicasting each message separately, amortizing one multicast and
+/// one receive interrupt per member over the whole batch. Senders with
+/// `send_window` > 1 correspondingly coalesce queued requests into
+/// `BcastReqBatch` frames. `Off` (the default) reproduces the paper's
+/// one-multicast-per-message behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// No batching: every stamped message is its own multicast (the
+    /// paper's protocol, and the default).
+    Off,
+    /// Coalesce up to `max_batch` messages per batch frame.
+    On {
+        /// Entries per batch at which the sequencer flushes immediately
+        /// (the *size* trigger). Also bounded by [`BATCH_FRAME_BUDGET`].
+        max_batch: usize,
+        /// Age of the oldest batched entry at which the sequencer
+        /// flushes regardless of fill, µs (the *timer* trigger; bounds
+        /// the latency cost of batching).
+        flush_us: u64,
+    },
+}
+
+impl BatchPolicy {
+    /// Whether batching is enabled.
+    pub fn is_on(self) -> bool {
+        matches!(self, BatchPolicy::On { .. })
+    }
+
+    /// The size trigger (1 when off — every "batch" is one message).
+    pub fn max_batch(self) -> usize {
+        match self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::On { max_batch, .. } => max_batch,
+        }
+    }
+
+    /// The timer trigger in µs (0 when off).
+    pub fn flush_us(self) -> u64 {
+        match self {
+            BatchPolicy::Off => 0,
+            BatchPolicy::On { flush_us, .. } => flush_us,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::Off
+    }
+}
+
 /// Which broadcast method `SendToGroup` uses (paper §3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Method {
@@ -72,6 +142,16 @@ pub struct GroupConfig {
     /// at 8000 bytes because multicast flow control was an open problem
     /// (§4); we default to the same bound.
     pub max_message: usize,
+    /// Sequencer batching policy (DESIGN.md §6). Default [`BatchPolicy::Off`]
+    /// reproduces the paper's per-message multicasts exactly.
+    pub batch: BatchPolicy,
+    /// Sender pipelining window: how many `SendToGroup` requests may be
+    /// outstanding (submitted but not yet stamped) per member. The
+    /// paper's blocking API is window 1 (the default); a larger window
+    /// lets a sender stream requests and, with batching on, lets queued
+    /// requests coalesce into one `BcastReqBatch` frame. Completions
+    /// are reported one `SendDone` per request, in stamping order.
+    pub send_window: usize,
     /// History buffer capacity in messages (paper's experiments: 128).
     /// When full, new application messages are refused until
     /// acknowledgement floors advance (senders retry on timers).
@@ -135,6 +215,8 @@ impl Default for GroupConfig {
         GroupConfig {
             resilience: 0,
             method: Method::default(),
+            batch: BatchPolicy::Off,
+            send_window: 1,
             max_message: 8_000,
             history_cap: 128,
             history_high_water: 96,
@@ -163,6 +245,18 @@ impl GroupConfig {
         GroupConfig { resilience: r, ..Default::default() }
     }
 
+    /// A configuration with sequencer batching of up to `max_batch`
+    /// messages (200 µs flush timer), a matching sender pipelining
+    /// window, and defaults otherwise. This is the "throughput" preset
+    /// the `batch_sweep` experiment measures.
+    pub fn with_batching(max_batch: usize) -> Self {
+        GroupConfig {
+            batch: BatchPolicy::On { max_batch, flush_us: 200 },
+            send_window: max_batch.max(1),
+            ..Default::default()
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -180,6 +274,20 @@ impl GroupConfig {
         }
         if self.invite_rounds == 0 {
             return Err("invite_rounds must be at least 1".into());
+        }
+        if self.send_window == 0 {
+            return Err("send_window must be at least 1".into());
+        }
+        if self.send_window > self.history_cap {
+            return Err("send_window must not exceed history_cap".into());
+        }
+        if let BatchPolicy::On { max_batch, flush_us } = self.batch {
+            if max_batch < 2 {
+                return Err("batch max_batch must be at least 2 (use BatchPolicy::Off)".into());
+            }
+            if flush_us == 0 {
+                return Err("batch flush_us must be positive".into());
+            }
         }
         Ok(())
     }
@@ -231,6 +339,49 @@ mod tests {
     #[test]
     fn with_resilience_sets_r() {
         assert_eq!(GroupConfig::with_resilience(3).resilience, 3);
+    }
+
+    #[test]
+    fn default_batching_is_off_and_window_one() {
+        // The paper anchors depend on this: BatchPolicy::Off must keep
+        // every default-config run bit-identical to the seed protocol.
+        let c = GroupConfig::default();
+        assert_eq!(c.batch, BatchPolicy::Off);
+        assert_eq!(c.send_window, 1);
+        assert!(!c.batch.is_on());
+        assert_eq!(c.batch.max_batch(), 1);
+        assert_eq!(c.batch.flush_us(), 0);
+    }
+
+    #[test]
+    fn with_batching_preset() {
+        let c = GroupConfig::with_batching(8);
+        assert!(c.batch.is_on());
+        assert_eq!(c.batch.max_batch(), 8);
+        assert_eq!(c.send_window, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn batching_validation() {
+        let c = GroupConfig { send_window: 0, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+
+        let base = GroupConfig::default();
+        let c = GroupConfig { send_window: base.history_cap + 1, ..base };
+        assert!(c.validate().is_err());
+
+        let c = GroupConfig {
+            batch: BatchPolicy::On { max_batch: 1, flush_us: 100 },
+            ..GroupConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = GroupConfig {
+            batch: BatchPolicy::On { max_batch: 4, flush_us: 0 },
+            ..GroupConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

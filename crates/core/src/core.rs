@@ -4,7 +4,7 @@
 //! role always, and the sequencer role when it holds that office. It is
 //! strictly sans-io — see [`crate::action`].
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use amoeba_flip::FlipAddress;
 use bytes::Bytes;
@@ -42,7 +42,9 @@ pub(crate) struct JoinState {
     pub(crate) retries: u32,
 }
 
-/// A blocking `SendToGroup` in flight.
+/// One `SendToGroup` in flight. With `send_window` 1 there is at most
+/// one (the paper's blocking API); a pipelining sender queues up to the
+/// window.
 #[derive(Debug)]
 pub(crate) struct PendingSend {
     pub(crate) sender_seq: u64,
@@ -50,6 +52,11 @@ pub(crate) struct PendingSend {
     pub(crate) retries: u32,
     /// The method chosen for this message (resolved, never `Dynamic`).
     pub(crate) method: crate::config::Method,
+    /// Member role: the request has been transmitted (false while it is
+    /// coalescing behind in-flight traffic, DESIGN.md §6). Sequencer
+    /// role: the message has been stamped (false while admission is
+    /// blocked on a full history buffer).
+    pub(crate) submitted: bool,
 }
 
 /// The Amoeba group communication protocol, as a deterministic state
@@ -109,10 +116,14 @@ pub struct GroupCore {
     /// Open gap we have nacked (cleared when it closes).
     pub(crate) nack_open: Option<(Seqno, Seqno)>,
     pub(crate) nack_retries: u32,
+    /// Highest floor this member has explicitly reported (batching
+    /// watermark acks; see [`GroupCore::maybe_report_floor`]).
+    pub(crate) last_reported_floor: Seqno,
 
     // ---- sending (member role) ----
     pub(crate) sender_seq: u64,
-    pub(crate) pending_send: Option<PendingSend>,
+    /// Sends in flight, oldest first (≤ `config.send_window`).
+    pub(crate) pending_sends: VecDeque<PendingSend>,
     /// A voluntary leave awaiting its ack.
     pub(crate) pending_leave: bool,
 
@@ -165,8 +176,9 @@ impl GroupCore {
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
             nack_retries: 0,
+            last_reported_floor: Seqno::ZERO,
             sender_seq: 0,
-            pending_send: None,
+            pending_sends: VecDeque::new(),
             pending_leave: false,
             seq_state: Some(SequencerState::new(&config)),
             recovery_attempt: 0,
@@ -214,8 +226,9 @@ impl GroupCore {
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
             nack_retries: 0,
+            last_reported_floor: Seqno::ZERO,
             sender_seq: 0,
-            pending_send: None,
+            pending_sends: VecDeque::new(),
             pending_leave: false,
             seq_state: None,
             recovery_attempt: 0,
@@ -248,7 +261,7 @@ impl GroupCore {
                 return self.take_actions();
             }
         }
-        if self.pending_send.is_some() || self.pending_leave {
+        if self.pending_sends.len() >= self.config.send_window || self.pending_leave {
             self.push(Action::SendDone(Err(GroupError::Busy)));
             return self.take_actions();
         }
@@ -260,18 +273,37 @@ impl GroupCore {
             return self.take_actions();
         }
         self.sender_seq += 1;
+        let sender_seq = self.sender_seq;
         let method = self.config.method.pick(payload.len() as u32);
-        self.pending_send = Some(PendingSend {
-            sender_seq: self.sender_seq,
-            payload: payload.clone(),
-            retries: 0,
-            method,
-        });
         if self.is_sequencer() {
+            self.pending_sends.push_back(PendingSend {
+                sender_seq,
+                payload,
+                retries: 0,
+                method,
+                submitted: false,
+            });
             self.sequencer_local_send();
         } else {
-            self.parked.insert((self.me, self.sender_seq), payload);
-            self.transmit_pending_send();
+            self.parked.insert((self.me, sender_seq), payload.clone());
+            // Nagle-style coalescing (DESIGN.md §6): with batching on, a
+            // PB request queues behind in-flight traffic and rides the
+            // next BcastReqBatch instead of taking its own frame. BB
+            // payload multicasts always travel immediately (the group
+            // needs the data no matter when the accept comes).
+            let coalesce = self.config.batch.is_on()
+                && !matches!(method, crate::config::Method::Bb)
+                && self.pending_sends.iter().any(|p| p.submitted);
+            self.pending_sends.push_back(PendingSend {
+                sender_seq,
+                payload,
+                retries: 0,
+                method,
+                submitted: !coalesce,
+            });
+            if !coalesce {
+                self.transmit_request(sender_seq);
+            }
             self.push(Action::SetTimer {
                 kind: TimerKind::SendRetransmit,
                 after_us: self.config.send_retransmit_us,
@@ -294,7 +326,7 @@ impl GroupCore {
                 return self.take_actions();
             }
         }
-        if self.pending_send.is_some() || self.pending_leave {
+        if !self.pending_sends.is_empty() || self.pending_leave {
             self.push(Action::LeaveDone(Err(GroupError::Busy)));
             return self.take_actions();
         }
@@ -355,6 +387,12 @@ impl GroupCore {
         self.my_addr
     }
 
+    /// The group configuration this member runs with (drivers read the
+    /// batching and pipelining knobs from here).
+    pub fn config(&self) -> &GroupConfig {
+        &self.config
+    }
+
     /// Whether this member currently holds the sequencer role.
     pub fn is_sequencer(&self) -> bool {
         self.seq_state.is_some()
@@ -397,6 +435,8 @@ impl GroupCore {
                 self.handle_bcast_req(msg.hdr, sender_seq, payload)
             }
             Body::BcastData { entry } => self.handle_bcast_data(entry),
+            Body::BcastBatch { items } => self.handle_bcast_batch(items),
+            Body::BcastReqBatch { reqs } => self.handle_bcast_req_batch(msg.hdr, reqs),
             Body::BcastOrig { sender_seq, payload } => {
                 self.handle_bcast_orig(msg.hdr, sender_seq, payload)
             }
@@ -445,6 +485,7 @@ impl GroupCore {
             TimerKind::SyncRound => self.on_sync_round_timeout(),
             TimerKind::SyncInterval => self.on_sync_interval(),
             TimerKind::TentativeResend => self.on_tentative_resend(),
+            TimerKind::BatchFlush => self.on_batch_flush(),
             TimerKind::JoinRetry => self.on_join_retry(),
             TimerKind::StatusReply => self.on_status_reply(),
             TimerKind::InviteRound => self.on_invite_round(),
@@ -672,17 +713,25 @@ impl GroupCore {
         s
     }
 
-    /// Completes the blocking send if `origin`/`sender_seq` identify it.
+    /// Completes a pending send if `origin`/`sender_seq` identify one.
+    /// A completion is also the signal that frees coalesced requests to
+    /// go on the wire (DESIGN.md §6).
     pub(crate) fn maybe_complete_send(&mut self, origin: MemberId, sender_seq: u64, seqno: Seqno) {
         if origin != self.me {
             return;
         }
-        let done = matches!(&self.pending_send, Some(p) if p.sender_seq == sender_seq);
-        if done {
-            self.pending_send = None;
-            self.parked.remove(&(origin, sender_seq));
+        let Some(idx) = self.pending_sends.iter().position(|p| p.sender_seq == sender_seq)
+        else {
+            return;
+        };
+        self.pending_sends.remove(idx);
+        self.parked.remove(&(origin, sender_seq));
+        if self.pending_sends.is_empty() {
             self.push(Action::CancelTimer { kind: TimerKind::SendRetransmit });
-            self.push(Action::SendDone(Ok(seqno)));
+        }
+        self.push(Action::SendDone(Ok(seqno)));
+        if !self.is_sequencer() {
+            self.flush_queued_requests();
         }
     }
 

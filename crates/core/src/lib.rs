@@ -28,6 +28,16 @@
 //! (`amoeba-runtime`, offering the paper's blocking API under real
 //! concurrency and fault injection).
 //!
+//! Beyond the paper, [`BatchPolicy`] adds sequencer batching and
+//! sender pipelining (`BcastBatch`/`BcastReqBatch` frames, a
+//! `send_window` of in-flight requests, watermark floor reports) that
+//! lift the sequencer-bound throughput ceiling ≥ 2× while keeping the
+//! default (`BatchPolicy::Off`) bit-identical to the 1996 protocol.
+//!
+//! The protocol walkthrough is DESIGN.md §2, the batching/pipelining
+//! design DESIGN.md §6, and the crate's place in the stack DESIGN.md
+//! §1 (all at the repository root).
+//!
 //! # Quick start
 //!
 //! ```
@@ -49,6 +59,8 @@
 //! # Ok::<(), amoeba_core::GroupError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod action;
 mod codec;
 mod config;
@@ -69,14 +81,18 @@ mod view;
 
 pub use action::{Action, Dest};
 pub use codec::{decode_wire_msg, encode_wire_msg, DecodeError};
-pub use config::{GroupConfig, Method, GROUP_HEADER_LEN, USER_HEADER_LEN};
+pub use config::{
+    BatchPolicy, GroupConfig, Method, BATCH_FRAME_BUDGET, GROUP_HEADER_LEN, USER_HEADER_LEN,
+};
 pub use core::GroupCore;
 pub use error::GroupError;
 pub use event::GroupEvent;
 pub use history::HistoryBuffer;
 pub use ids::{GroupId, MemberId, Seqno, ViewId};
 pub use info::GroupInfo;
-pub use message::{Body, Hdr, Sequenced, SequencedKind, WireMsg};
+pub use message::{
+    pack_batch_items, BatchItem, BatchReq, Body, Hdr, Sequenced, SequencedKind, WireMsg,
+};
 pub use stats::CoreStats;
 pub use timer::TimerKind;
 pub use view::{GroupView, MemberMeta};

@@ -1,5 +1,6 @@
 //! The member role: the receive side of the broadcast protocol (PB and
-//! BB), tentative buffering for resilience, and send retransmission.
+//! BB, single frames and batches), tentative buffering for resilience,
+//! send pipelining/coalescing, and send retransmission.
 
 use bytes::Bytes;
 
@@ -7,7 +8,7 @@ use crate::action::{Action, Dest};
 use crate::config::Method;
 use crate::core::{GroupCore, Mode};
 use crate::ids::{MemberId, Seqno};
-use crate::message::{Body, Hdr, Sequenced, SequencedKind};
+use crate::message::{BatchItem, BatchReq, Body, Hdr, Sequenced, SequencedKind};
 use crate::timer::TimerKind;
 
 impl GroupCore {
@@ -27,6 +28,7 @@ impl GroupCore {
             self.parked.remove(&(*origin, *sender_seq));
         }
         self.ingest_sequenced(entry);
+        self.maybe_report_floor();
     }
 
     /// A tentative (r > 0) stamped entry: buffer it, gate delivery on
@@ -113,6 +115,7 @@ impl GroupCore {
             let entry =
                 Sequenced { seqno, kind: SequencedKind::App { origin, sender_seq, payload } };
             self.ingest_sequenced(entry);
+            self.maybe_report_floor();
             return;
         }
         // Accept without data: remember it and ask for the payload.
@@ -185,13 +188,59 @@ impl GroupCore {
     }
 
     // ------------------------------------------------------------------
+    // Receive path: batch frames
+    // ------------------------------------------------------------------
+
+    /// A sequencer batch frame: unpack and process each item as if it
+    /// had arrived in its own packet (DESIGN.md §6). The amortization is
+    /// physical (one multicast, one interrupt), not semantic — ordering
+    /// and dedup behave exactly as for the unbatched frames.
+    pub(crate) fn handle_bcast_batch(&mut self, items: Vec<BatchItem>) {
+        for item in items {
+            match item {
+                BatchItem::Entry(entry) => self.handle_bcast_data(entry),
+                BatchItem::Accept { seqno, origin, sender_seq } => {
+                    self.handle_accept(seqno, origin, sender_seq)
+                }
+            }
+        }
+    }
+
+    /// Watermark acknowledgement (batching only): a member that only
+    /// receives never piggybacks its delivery floor on outgoing
+    /// requests, so under a pipelined load the sequencer's history
+    /// fills against it and flow control stalls the whole group until
+    /// the next sync round. With batching on, a passive member reports
+    /// its floor (a bare `Status`) every quarter-history of deliveries,
+    /// keeping the garbage-collection watermark moving at a cost of one
+    /// short frame per `history_cap / 4` messages. `BatchPolicy::Off`
+    /// keeps the paper's sync-round-only behaviour.
+    pub(crate) fn maybe_report_floor(&mut self) {
+        if !self.config.batch.is_on()
+            || self.is_sequencer()
+            || !matches!(self.mode, Mode::Normal)
+        {
+            return;
+        }
+        let floor = self.next_expected.prev();
+        let threshold = (self.config.history_cap as u64 / 4).max(1);
+        if floor.0 >= self.last_reported_floor.0.saturating_add(threshold) {
+            self.last_reported_floor = floor;
+            let msg = self.make_msg(Body::Status);
+            self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Send path (non-sequencer)
     // ------------------------------------------------------------------
 
-    /// Puts the pending send on the wire (first attempt and retries).
-    pub(crate) fn transmit_pending_send(&mut self) {
-        let Some(p) = &self.pending_send else { return };
-        let (sender_seq, payload, method) = (p.sender_seq, p.payload.clone(), p.method);
+    /// Puts one queued request on the wire (first attempt path).
+    pub(crate) fn transmit_request(&mut self, sender_seq: u64) {
+        let Some(p) = self.pending_sends.iter().find(|p| p.sender_seq == sender_seq) else {
+            return;
+        };
+        let (payload, method) = (p.payload.clone(), p.method);
         match method {
             Method::Pb | Method::Dynamic { .. } => {
                 let msg = self.make_msg(Body::BcastReq { sender_seq, payload });
@@ -204,33 +253,128 @@ impl GroupCore {
         }
     }
 
+    /// Transmits every request still waiting for the wire (coalesced
+    /// behind in-flight traffic), batching PB requests into
+    /// `BcastReqBatch` frames. Called when a completion frees the
+    /// pipeline and from the retransmit timer.
+    pub(crate) fn flush_queued_requests(&mut self) {
+        let queued: Vec<u64> = self
+            .pending_sends
+            .iter()
+            .filter(|p| !p.submitted)
+            .map(|p| p.sender_seq)
+            .collect();
+        if queued.is_empty() {
+            return;
+        }
+        for p in self.pending_sends.iter_mut() {
+            p.submitted = true;
+        }
+        self.transmit_requests(&queued);
+    }
+
+    /// Puts the given queued requests on the wire **in `sender_seq`
+    /// order** (the sequencer's FIFO admission depends on it),
+    /// coalescing runs of adjacent PB requests into `BcastReqBatch`
+    /// frames that stay within the batch frame budget. A BB request
+    /// flushes the accumulated PB run first, then multicasts its
+    /// payload, so a mixed-method window never overtakes itself.
+    pub(crate) fn transmit_requests(&mut self, sender_seqs: &[u64]) {
+        let mut pb_run: Vec<BatchReq> = Vec::new();
+        for &sender_seq in sender_seqs {
+            let Some(p) = self.pending_sends.iter().find(|p| p.sender_seq == sender_seq)
+            else {
+                continue;
+            };
+            match p.method {
+                Method::Bb => {
+                    self.send_pb_run(std::mem::take(&mut pb_run));
+                    self.transmit_request(sender_seq);
+                }
+                Method::Pb | Method::Dynamic { .. } => {
+                    pb_run.push(BatchReq { sender_seq, payload: p.payload.clone() })
+                }
+            }
+        }
+        self.send_pb_run(pb_run);
+    }
+
+    /// Ships one in-order run of PB requests: packed `BcastReqBatch`
+    /// frames, with a lone request degrading to a plain `BcastReq`.
+    fn send_pb_run(&mut self, reqs: Vec<BatchReq>) {
+        if reqs.is_empty() {
+            return;
+        }
+        let seq_addr = self.view.sequencer_meta().addr;
+        // With batching off every request ships as its own plain
+        // BcastReq, even from a pipelined window — `BatchPolicy::Off`
+        // means no batch frames on the wire, period.
+        let max_batch = if self.config.batch.is_on() {
+            self.config.batch.max_batch().max(self.config.send_window)
+        } else {
+            1
+        };
+        for frame in crate::message::pack_batch_items(reqs, max_batch, BatchReq::wire_size) {
+            if frame.len() == 1 {
+                let req = frame.into_iter().next().expect("len checked");
+                let msg = self.make_msg(Body::BcastReq {
+                    sender_seq: req.sender_seq,
+                    payload: req.payload,
+                });
+                self.send_to(Dest::Unicast(seq_addr), msg);
+            } else {
+                self.stats.req_batches_out += 1;
+                let msg = self.make_msg(Body::BcastReqBatch { reqs: frame });
+                self.send_to(Dest::Unicast(seq_addr), msg);
+            }
+        }
+    }
+
     /// The send (or leave) request timer fired.
     pub(crate) fn on_send_retransmit(&mut self) {
         if !matches!(self.mode, Mode::Normal) {
             return;
         }
-        if self.pending_send.is_some() {
+        if !self.pending_sends.is_empty() {
             if self.is_sequencer() {
                 // We were waiting out our own full history buffer.
                 self.sequencer_local_send();
-                if self.pending_send.is_some() {
-                    return; // still blocked; timer re-armed inside
-                }
-                return;
+                return; // if still blocked, the timer was re-armed inside
             }
-            let p = self.pending_send.as_mut().expect("checked above");
-            p.retries += 1;
-            let retries = p.retries;
+            let head = self.pending_sends.front_mut().expect("checked above");
+            head.retries += 1;
+            let retries = head.retries;
             if retries > self.config.send_max_retries {
-                self.pending_send = None;
-                self.push(Action::SendDone(Err(
-                    crate::error::GroupError::SequencerUnreachable,
-                )));
+                // The sequencer is not answering: every queued send is
+                // equally stuck. Fail them all, oldest first.
+                while self.pending_sends.pop_front().is_some() {
+                    self.push(Action::SendDone(Err(
+                        crate::error::GroupError::SequencerUnreachable,
+                    )));
+                }
                 self.suspect_sequencer();
                 return;
             }
             self.stats.send_retries += 1;
-            self.transmit_pending_send();
+            // Retransmit the head plus the PB tail (one cheap batch
+            // frame). BB tail payloads are *not* re-multicast — the
+            // sequencer admits strictly in order anyway, so a BB tail
+            // entry retries once it becomes the head; this keeps retry
+            // wire cost from scaling with the window (the seed resent
+            // exactly one frame here).
+            let resend: Vec<u64> = self
+                .pending_sends
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| {
+                    *i == 0 || !matches!(p.method, Method::Bb)
+                })
+                .map(|(_, p)| p.sender_seq)
+                .collect();
+            for p in self.pending_sends.iter_mut() {
+                p.submitted = true;
+            }
+            self.transmit_requests(&resend);
             let backoff = self.config.send_retransmit_us << retries.min(6);
             self.push(Action::SetTimer { kind: TimerKind::SendRetransmit, after_us: backoff });
         } else if self.pending_leave && !self.is_sequencer() {

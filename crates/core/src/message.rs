@@ -1,4 +1,8 @@
 //! Wire messages of the group protocol.
+//!
+//! Batch frames (`BcastBatch` / `BcastReqBatch`, DESIGN.md §6) carry
+//! several protocol messages in one packet so that one multicast and
+//! one receive interrupt are amortized over the whole batch.
 
 use amoeba_flip::FlipAddress;
 use bytes::Bytes;
@@ -91,6 +95,103 @@ impl SequencedKind {
     }
 }
 
+/// One element of a sequencer batch frame (`BcastBatch`).
+///
+/// A batch mixes the two shapes the sequencer multicasts per message:
+/// full stamped entries (the PB path, where the sequencer relays the
+/// payload) and short accepts (the BB path, where the payload already
+/// travelled on the origin's multicast). See DESIGN.md §6 for the
+/// PB/BB × batching interaction matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    /// A full stamped entry (PB: payload rides in the batch).
+    Entry(Sequenced),
+    /// A short accept for a payload that travelled separately (BB).
+    Accept {
+        /// The assigned sequence number.
+        seqno: Seqno,
+        /// The member whose message was accepted.
+        origin: MemberId,
+        /// The origin's request number.
+        sender_seq: u64,
+    },
+}
+
+impl BatchItem {
+    /// Bytes this item contributes inside a batch frame: a 1-byte item
+    /// tag plus the content (mirrors [`Body::body_size`] accounting).
+    pub fn wire_size(&self) -> u32 {
+        1 + match self {
+            BatchItem::Entry(entry) => 8 + entry.kind.wire_size(),
+            BatchItem::Accept { .. } => 20,
+        }
+    }
+
+    /// The seqno this item stamps (for flush bookkeeping and tests).
+    pub fn seqno(&self) -> Seqno {
+        match self {
+            BatchItem::Entry(entry) => entry.seqno,
+            BatchItem::Accept { seqno, .. } => *seqno,
+        }
+    }
+}
+
+/// One queued request inside a `BcastReqBatch` frame: what a pipelining
+/// sender would have put in a standalone `BcastReq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReq {
+    /// Sender-local request number (for duplicate suppression).
+    pub sender_seq: u64,
+    /// Application bytes.
+    pub payload: Bytes,
+}
+
+impl BatchReq {
+    /// Bytes this request contributes inside a request-batch frame.
+    pub fn wire_size(&self) -> u32 {
+        8 + USER_HEADER_LEN + self.payload.len() as u32
+    }
+}
+
+/// Packs `items` into frames that never straddle the fragmentation
+/// limit: each returned frame either stays within
+/// [`crate::config::BATCH_FRAME_BUDGET`] (counting the group header and the 2-byte
+/// item count) or is a singleton whose lone item is itself oversized
+/// (it fragments exactly as the unbatched protocol would). Order and
+/// multiset of items are preserved. `max_batch` additionally caps the
+/// items per frame.
+pub fn pack_batch_items<T>(
+    items: Vec<T>,
+    max_batch: usize,
+    item_size: impl Fn(&T) -> u32,
+) -> Vec<Vec<T>> {
+    let budget = crate::config::BATCH_ITEMS_BUDGET;
+    let mut frames: Vec<Vec<T>> = Vec::new();
+    let mut current: Vec<T> = Vec::new();
+    let mut current_bytes = 0u32;
+    for item in items {
+        let size = item_size(&item);
+        let fits = current.len() < max_batch.max(1)
+            && current_bytes.saturating_add(size) <= budget;
+        if !current.is_empty() && !fits {
+            frames.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+        current_bytes += size;
+        current.push(item);
+        // An item alone over budget ships alone (it will fragment, as
+        // the unbatched protocol's packet for it would have).
+        if current_bytes > budget {
+            frames.push(std::mem::take(&mut current));
+            current_bytes = 0;
+        }
+    }
+    if !current.is_empty() {
+        frames.push(current);
+    }
+    frames
+}
+
 /// A group protocol packet body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Body {
@@ -114,6 +215,21 @@ pub enum Body {
         sender_seq: u64,
         /// Application bytes.
         payload: Bytes,
+    },
+    /// Sequencer → group: one frame carrying several stamped messages
+    /// (full entries and/or short accepts), in seqno order — the
+    /// batching layer's data path (DESIGN.md §6). Also used unicast to
+    /// answer retransmission requests in bulk.
+    BcastBatch {
+        /// The batched items, ascending by seqno.
+        items: Vec<BatchItem>,
+    },
+    /// Member → sequencer: several queued PB requests in one frame (a
+    /// pipelining sender coalesces its window while an earlier request
+    /// is still in flight).
+    BcastReqBatch {
+        /// The queued requests, ascending by `sender_seq`.
+        reqs: Vec<BatchReq>,
     },
     /// Sequencer → group: short accept stamping a previously multicast
     /// (BB) payload, or finalizing a tentative (r > 0) broadcast.
@@ -262,6 +378,12 @@ impl Body {
                 USER_HEADER_LEN + payload.len() as u32
             }
             Body::BcastData { entry } => entry.kind.wire_size(),
+            Body::BcastBatch { items } => {
+                2 + items.iter().map(BatchItem::wire_size).sum::<u32>()
+            }
+            Body::BcastReqBatch { reqs } => {
+                2 + reqs.iter().map(BatchReq::wire_size).sum::<u32>()
+            }
             Body::Tentative { entry, .. } => entry.kind.wire_size() + 4,
             Body::Accept { .. } => 16,
             Body::TentAck { .. } => 8,
@@ -285,6 +407,8 @@ impl Body {
         match self {
             Body::BcastReq { .. } => "bcast_req",
             Body::BcastData { .. } => "bcast_data",
+            Body::BcastBatch { .. } => "bcast_batch",
+            Body::BcastReqBatch { .. } => "bcast_req_batch",
             Body::BcastOrig { .. } => "bcast_orig",
             Body::Accept { .. } => "accept",
             Body::Tentative { .. } => "tentative",
@@ -366,10 +490,79 @@ mod tests {
             Body::BcastReq { sender_seq: 0, payload: Bytes::new() },
             Body::Status,
             Body::Accept { seqno: Seqno(1), origin: MemberId(0), sender_seq: 0 },
+            Body::BcastBatch { items: Vec::new() },
+            Body::BcastReqBatch { reqs: Vec::new() },
             Body::Ping { nonce: 0 },
             Body::Pong { nonce: 0 },
         ];
         let tags: HashSet<_> = bodies.iter().map(|b| b.tag()).collect();
         assert_eq!(tags.len(), bodies.len());
+    }
+
+    fn entry_item(seqno: u64, payload_len: usize) -> BatchItem {
+        BatchItem::Entry(Sequenced {
+            seqno: Seqno(seqno),
+            kind: SequencedKind::App {
+                origin: MemberId(1),
+                sender_seq: seqno,
+                payload: Bytes::from(vec![0u8; payload_len]),
+            },
+        })
+    }
+
+    #[test]
+    fn batch_beats_per_message_framing() {
+        // The whole point: N null messages in one batch cost far less
+        // wire than N BcastData packets (each with its own 28-byte
+        // group header and, on the real wire, its own interrupt).
+        let items: Vec<BatchItem> = (1..=8).map(|s| entry_item(s, 0)).collect();
+        let batched = WireMsg { hdr: hdr(), body: Body::BcastBatch { items } }.wire_size();
+        let unbatched: u32 = (1..=8)
+            .map(|s| {
+                let BatchItem::Entry(entry) = entry_item(s, 0) else { unreachable!() };
+                WireMsg { hdr: hdr(), body: Body::BcastData { entry } }.wire_size()
+            })
+            .sum();
+        assert!(batched < unbatched, "batched {batched} vs unbatched {unbatched}");
+    }
+
+    #[test]
+    fn pack_respects_max_batch_and_order() {
+        let items: Vec<BatchItem> = (1..=10).map(|s| entry_item(s, 0)).collect();
+        let frames = pack_batch_items(items, 4, BatchItem::wire_size);
+        assert_eq!(frames.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        let seqnos: Vec<u64> =
+            frames.iter().flatten().map(|i| i.seqno().0).collect();
+        assert_eq!(seqnos, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pack_never_straddles_the_fragmentation_limit() {
+        // Mixed sizes: frames with 2+ items stay under the budget.
+        let items: Vec<BatchItem> =
+            (1..=12).map(|s| entry_item(s, (s as usize * 137) % 1200)).collect();
+        let frames = pack_batch_items(items, 64, BatchItem::wire_size);
+        for frame in &frames {
+            if frame.len() >= 2 {
+                let wire = WireMsg {
+                    hdr: hdr(),
+                    body: Body::BcastBatch { items: frame.clone() },
+                }
+                .wire_size();
+                assert!(wire <= crate::config::BATCH_FRAME_BUDGET, "frame of {wire} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_ships_oversized_items_alone() {
+        // A 4000-byte entry cannot fit the budget: it must travel as a
+        // singleton (fragmenting like the unbatched packet would), and
+        // its neighbours must still coalesce.
+        let items =
+            vec![entry_item(1, 10), entry_item(2, 4000), entry_item(3, 10), entry_item(4, 10)];
+        let frames = pack_batch_items(items, 64, BatchItem::wire_size);
+        assert_eq!(frames.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 1, 2]);
+        assert_eq!(frames[1][0].seqno(), Seqno(2));
     }
 }

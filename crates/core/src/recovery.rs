@@ -300,6 +300,10 @@ impl GroupCore {
                 self.push(Action::CancelTimer { kind: TimerKind::SyncRound });
                 self.push(Action::CancelTimer { kind: TimerKind::SyncInterval });
                 self.push(Action::CancelTimer { kind: TimerKind::TentativeResend });
+                // A dropped pending batch is harmless: its entries are
+                // in the (now truncated) history, and survivors nack
+                // anything they are missing below the horizon.
+                self.push(Action::CancelTimer { kind: TimerKind::BatchFlush });
             }
         }
 
@@ -316,16 +320,23 @@ impl GroupCore {
             self.send_nack(self.next_expected, horizon);
         }
 
-        // Resubmit the interrupted send (same sender_seq: the new
-        // sequencer's duplicate filter keeps this exactly-once).
-        if self.pending_send.is_some() {
+        // Resubmit interrupted sends (same sender_seqs, in order: the
+        // new sequencer's duplicate filter keeps this exactly-once).
+        if !self.pending_sends.is_empty() {
             if self.is_sequencer() {
+                for p in self.pending_sends.iter_mut() {
+                    p.retries = 0;
+                    p.submitted = false; // not stamped in this incarnation
+                }
                 self.sequencer_local_send();
             } else {
-                if let Some(p) = &mut self.pending_send {
+                for p in self.pending_sends.iter_mut() {
                     p.retries = 0;
+                    p.submitted = true;
                 }
-                self.transmit_pending_send();
+                let all: Vec<u64> =
+                    self.pending_sends.iter().map(|p| p.sender_seq).collect();
+                self.transmit_requests(&all);
                 self.push(Action::SetTimer {
                     kind: TimerKind::SendRetransmit,
                     after_us: self.config.send_retransmit_us,
@@ -379,7 +390,7 @@ impl GroupCore {
     }
 
     fn fail_pending_ops(&mut self) {
-        if self.pending_send.take().is_some() {
+        while self.pending_sends.pop_front().is_some() {
             self.push(Action::SendDone(Err(GroupError::NotMember)));
         }
         if self.pending_leave {

@@ -1,5 +1,5 @@
-//! The sequencer role: stamping, history, flow control, resilience
-//! acknowledgements, sync rounds and failure detection.
+//! The sequencer role: stamping, history, flow control, batching,
+//! resilience acknowledgements, sync rounds and failure detection.
 //!
 //! "The sequencer performs a simple and computationally unintensive task
 //! and can therefore process many hundreds of messages per second"
@@ -13,7 +13,7 @@ use crate::action::Dest;
 use crate::config::GroupConfig;
 use crate::core::{GroupCore, Mode};
 use crate::ids::{MemberId, Seqno};
-use crate::message::{Body, Hdr, Sequenced, SequencedKind};
+use crate::message::{BatchItem, Body, Hdr, Sequenced, SequencedKind};
 use crate::timer::TimerKind;
 
 /// A resilient broadcast awaiting its acknowledgements (paper §3.1).
@@ -29,6 +29,33 @@ pub(crate) struct PendingAccept {
     pub(crate) resends: u32,
 }
 
+/// Per-origin duplicate-suppression record.
+///
+/// `strict` enforces FIFO admission: a request whose `sender_seq` jumps
+/// past `seen + 1` is *not* stamped — the origin's in-order
+/// retransmission (the whole unstamped tail in one `BcastReqBatch`)
+/// will present it again behind its predecessors. This is what keeps
+/// pipelined windows sender-FIFO even when an earlier request frame is
+/// lost. The flag starts false after a recovery rebuild (the surviving
+/// history may legitimately have holes below the origin's next
+/// request) and latches true at the first stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DupState {
+    /// Highest `sender_seq` stamped for this origin.
+    pub(crate) seen: u64,
+    /// The seqno that highest request received.
+    pub(crate) seqno: Seqno,
+    /// Enforce in-order admission (see above).
+    pub(crate) strict: bool,
+    /// Requests below `seen` skipped when a non-strict (post-recovery)
+    /// resync admitted a forward jump: they stay admittable out of
+    /// order so a reordered resubmission cannot wedge an older pending
+    /// send. Within one view epoch this cannot re-stamp a completed
+    /// request (pre-recovery duplicates fail the epoch check), and
+    /// entries clear as they are stamped.
+    pub(crate) gaps: std::collections::BTreeSet<u64>,
+}
+
 /// Sequencer-side state, present on exactly one member per group.
 #[derive(Debug)]
 pub(crate) struct SequencerState {
@@ -37,9 +64,14 @@ pub(crate) struct SequencerState {
     /// Highest in-order seqno each member has acknowledged (via
     /// piggyback or status replies).
     pub(crate) floors: BTreeMap<MemberId, Seqno>,
-    /// Duplicate suppression: per member, the highest `sender_seq`
-    /// stamped and the seqno it received.
-    pub(crate) dup: BTreeMap<MemberId, (u64, Seqno)>,
+    /// Duplicate suppression, per origin.
+    pub(crate) dup: BTreeMap<MemberId, DupState>,
+    /// Stamped items awaiting the next batch flush (batching on;
+    /// DESIGN.md §6). Entries here are already in the history and
+    /// delivered locally — the batch only delays their multicast.
+    pub(crate) batch: Vec<crate::message::BatchItem>,
+    /// Running wire size of `batch` (flush-before-overflow bookkeeping).
+    pub(crate) batch_bytes: u32,
     /// Tentative broadcasts awaiting acknowledgements, by seqno.
     pub(crate) pending_acc: BTreeMap<Seqno, PendingAccept>,
     /// The globally acknowledged floor (history ≤ this is discarded).
@@ -67,6 +99,8 @@ impl SequencerState {
             next_seqno: Seqno::ZERO.next(),
             floors: BTreeMap::new(),
             dup: BTreeMap::new(),
+            batch: Vec::new(),
+            batch_bytes: 0,
             pending_acc: BTreeMap::new(),
             gc_floor: Seqno::ZERO,
             sync: None,
@@ -84,6 +118,8 @@ impl SequencerState {
             next_seqno,
             floors: BTreeMap::new(),
             dup: BTreeMap::new(),
+            batch: Vec::new(),
+            batch_bytes: 0,
             pending_acc: BTreeMap::new(),
             gc_floor: conservative_floor,
             sync: None,
@@ -122,11 +158,37 @@ impl GroupCore {
     /// Returns the stamped entry. Callers decide how it reaches the
     /// other members (full data multicast, short accept, or tentative).
     pub(crate) fn sequence_entry(&mut self, kind: SequencedKind) -> Sequenced {
+        // A resync jump can skip at most the origin's pending tail —
+        // one send window (256 floors the cap for mixed-config groups).
+        let gap_cap = (self.config.send_window as u64).max(256);
         let ss = self.seq_state.as_mut().expect("sequence_entry requires the sequencer role");
         let seqno = ss.next_seqno;
         ss.next_seqno = seqno.next();
         if let SequencedKind::App { origin, sender_seq, .. } = &kind {
-            ss.dup.insert(*origin, (*sender_seq, seqno));
+            // First contact starts non-strict: if the origin's very
+            // first stamped request jumps past sender_seq 1 (an earlier
+            // frame of its window was lost), the skipped range is
+            // recorded as gaps below so the retransmission can still be
+            // stamped.
+            let d = ss.dup.entry(*origin).or_insert_with(|| DupState {
+                seen: 0,
+                seqno: Seqno::ZERO,
+                strict: false,
+                gaps: BTreeSet::new(),
+            });
+            if *sender_seq > d.seen {
+                if !d.strict {
+                    // Non-strict resync jumped over these: keep them
+                    // admittable, bounded by the pending-tail cap.
+                    let lo = (d.seen + 1).max(sender_seq.saturating_sub(gap_cap));
+                    d.gaps.extend(lo..*sender_seq);
+                }
+                d.seen = *sender_seq;
+                d.seqno = seqno;
+            } else {
+                d.gaps.remove(sender_seq);
+            }
+            d.strict = true;
         }
         let entry = Sequenced { seqno, kind };
         self.history.insert(entry.clone());
@@ -154,32 +216,64 @@ impl GroupCore {
     }
 
     /// `SendToGroup` invoked *on* the sequencer: no request packet is
-    /// needed; stamp locally and multicast.
+    /// needed; stamp locally and multicast (or batch).
     pub(crate) fn sequencer_local_send(&mut self) {
-        let Some(pending) = &self.pending_send else { return };
-        let sender_seq = pending.sender_seq;
-        let payload = pending.payload.clone();
-        if !self.admission_check() {
-            // Buffer full: retry on the send timer like everyone else.
-            self.push(crate::action::Action::SetTimer {
-                kind: TimerKind::SendRetransmit,
-                after_us: self.config.send_retransmit_us,
-            });
-            return;
-        }
         let me = self.me;
-        let entry = self.sequence_entry(SequencedKind::App {
-            origin: me,
-            sender_seq,
-            payload,
-        });
         let r = self.config.resilience;
-        if r == 0 {
-            self.broadcast_entry(entry.clone());
-            self.maybe_complete_send(me, sender_seq, entry.seqno);
-        } else {
-            self.begin_tentative(entry, r);
-            // Completion happens when the acks arrive (handle_tent_ack).
+        loop {
+            let Some((sender_seq, payload)) = self
+                .pending_sends
+                .iter()
+                .find(|p| !p.submitted)
+                .map(|p| (p.sender_seq, p.payload.clone()))
+            else {
+                return;
+            };
+            // A resubmission after recovery may already be stamped in
+            // the surviving history (we held the fullest prefix):
+            // complete it instead of stamping a duplicate.
+            let prior = self
+                .seq_state
+                .as_ref()
+                .and_then(|ss| ss.dup.get(&me))
+                .and_then(|d| {
+                    if d.seen < sender_seq {
+                        return None;
+                    }
+                    if d.seen == sender_seq {
+                        return Some(d.seqno);
+                    }
+                    self.stamped_seqno(me, sender_seq)
+                });
+            if let Some(seqno) = prior {
+                self.maybe_complete_send(me, sender_seq, seqno);
+                continue;
+            }
+            if !self.admission_check() {
+                // Buffer full: retry on the send timer like everyone else.
+                self.push(crate::action::Action::SetTimer {
+                    kind: TimerKind::SendRetransmit,
+                    after_us: self.config.send_retransmit_us,
+                });
+                return;
+            }
+            if let Some(p) =
+                self.pending_sends.iter_mut().find(|p| p.sender_seq == sender_seq)
+            {
+                p.submitted = true;
+            }
+            let entry = self.sequence_entry(SequencedKind::App {
+                origin: me,
+                sender_seq,
+                payload,
+            });
+            if r == 0 {
+                self.dispatch_stamped_entry(entry.clone());
+                self.maybe_complete_send(me, sender_seq, entry.seqno);
+            } else {
+                self.begin_tentative(entry, r);
+                // Completion happens when the acks arrive (handle_tent_ack).
+            }
         }
     }
 
@@ -192,7 +286,7 @@ impl GroupCore {
         if !self.view.contains(origin) {
             return;
         }
-        if self.duplicate_reply(origin, sender_seq) {
+        if !self.admit_request(origin, sender_seq) {
             return;
         }
         if !self.admission_check() {
@@ -201,9 +295,18 @@ impl GroupCore {
         let entry = self.sequence_entry(SequencedKind::App { origin, sender_seq, payload });
         let r = self.config.resilience;
         if r == 0 {
-            self.broadcast_entry(entry);
+            self.dispatch_stamped_entry(entry);
         } else {
             self.begin_tentative(entry, r);
+        }
+    }
+
+    /// A coalesced frame of PB requests from a pipelining sender:
+    /// admit each in order (the whole point of request batching is that
+    /// the tail cannot overtake the head).
+    pub(crate) fn handle_bcast_req_batch(&mut self, hdr: Hdr, reqs: Vec<crate::message::BatchReq>) {
+        for req in reqs {
+            self.handle_bcast_req(hdr, req.sender_seq, req.payload);
         }
     }
 
@@ -215,11 +318,14 @@ impl GroupCore {
         sender_seq: u64,
         payload: Bytes,
     ) {
+        if !matches!(self.mode, Mode::Normal) {
+            return;
+        }
         let origin = hdr.sender;
         if !self.view.contains(origin) {
             return;
         }
-        if self.duplicate_reply(origin, sender_seq) {
+        if !self.admit_request(origin, sender_seq) {
             return;
         }
         if !self.admission_check() {
@@ -228,8 +334,17 @@ impl GroupCore {
         let entry = self.sequence_entry(SequencedKind::App { origin, sender_seq, payload });
         let r = self.config.resilience;
         if r == 0 {
-            let accept = self.make_msg(Body::Accept { seqno: entry.seqno, origin, sender_seq });
-            self.send_to(Dest::Group, accept);
+            if self.config.batch.is_on() {
+                self.enqueue_batch_item(BatchItem::Accept {
+                    seqno: entry.seqno,
+                    origin,
+                    sender_seq,
+                });
+            } else {
+                let accept =
+                    self.make_msg(Body::Accept { seqno: entry.seqno, origin, sender_seq });
+                self.send_to(Dest::Group, accept);
+            }
         } else {
             // With r > 0 the tentative carries the payload again — a
             // deliberate simplification (the paper only evaluates r > 0
@@ -238,28 +353,86 @@ impl GroupCore {
         }
     }
 
-    /// If (origin, sender_seq) was already stamped, re-answer with the
-    /// accept (the origin evidently missed it) and report `true`.
-    fn duplicate_reply(&mut self, origin: MemberId, sender_seq: u64) -> bool {
+    /// Admission control against the duplicate filter. Returns `true`
+    /// when the request is fresh and next-in-order (the caller stamps
+    /// it). Duplicates are re-answered; out-of-order jumps are dropped
+    /// under strict FIFO (the origin's in-order retransmission will
+    /// resubmit them behind their predecessors).
+    fn admit_request(&mut self, origin: MemberId, sender_seq: u64) -> bool {
         let ss = self.seq_state.as_ref().expect("sequencer role");
-        match ss.dup.get(&origin) {
-            Some(&(seen, seqno)) if seen == sender_seq => {
-                // Re-answer point-to-point; the data itself can be
-                // re-fetched via RetransReq if the origin lacks it.
-                if let Some(meta) = self.view.member(origin) {
-                    let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
-                    self.send_to(Dest::Unicast(meta.addr), msg);
-                }
-                true
+        let Some(d) = ss.dup.get(&origin) else {
+            // First contact (fresh member, or a post-recovery rebuild
+            // that retained nothing for this origin): accept as-is.
+            return true;
+        };
+        let (seen, seqno) = (d.seen, d.seqno);
+        if sender_seq == seen + 1 || (!d.strict && sender_seq > seen) {
+            return true;
+        }
+        if sender_seq == seen {
+            // Exact duplicate: re-answer point-to-point; the data can
+            // be re-fetched via RetransReq if the origin lacks it.
+            if let Some(meta) = self.view.member(origin) {
+                let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+                self.send_to(Dest::Unicast(meta.addr), msg);
             }
-            Some(&(seen, _)) if seen > sender_seq => true, // ancient duplicate: ignore
-            _ => false,
+            return false;
+        }
+        if sender_seq < seen {
+            if d.gaps.contains(&sender_seq) {
+                // Skipped by a non-strict resync: still stampable.
+                return true;
+            }
+            // Older than the newest stamp. If it is still in history it
+            // was stamped — re-answer its accept. If it has been
+            // garbage-collected, every member (the origin included)
+            // delivered it, so the origin cannot be waiting on it:
+            // this is a late network duplicate, and stamping it again
+            // would break exactly-once. Ignore.
+            if let (Some(seqno), Some(meta)) =
+                (self.stamped_seqno(origin, sender_seq), self.view.member(origin))
+            {
+                let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+                self.send_to(Dest::Unicast(meta.addr), msg);
+            }
+            return false;
+        }
+        // sender_seq > seen + 1 under strict FIFO: an earlier request
+        // of this origin's window is still missing. Drop; the origin's
+        // retransmit timer resends its whole unstamped tail in order.
+        false
+    }
+
+    /// The seqno at which `(origin, sender_seq)` was stamped, if the
+    /// entry is still in the history.
+    fn stamped_seqno(&self, origin: MemberId, sender_seq: u64) -> Option<Seqno> {
+        self.history.iter().find_map(|e| match &e.kind {
+            SequencedKind::App { origin: o, sender_seq: s, .. }
+                if *o == origin && *s == sender_seq =>
+            {
+                Some(e.seqno)
+            }
+            _ => None,
+        })
+    }
+
+    /// Routes a freshly stamped r = 0 entry to the group: batched when
+    /// the policy is on, its own `BcastData` multicast otherwise.
+    pub(crate) fn dispatch_stamped_entry(&mut self, entry: Sequenced) {
+        if self.config.batch.is_on() {
+            self.enqueue_batch_item(BatchItem::Entry(entry));
+        } else {
+            self.broadcast_entry(entry);
         }
     }
 
     /// Multicasts a stamped entry as full data (PB path / retransmission
-    /// fan-out). Skipped when no *other* member exists to hear it.
+    /// fan-out / control events). Control entries flush the pending
+    /// batch first so the wire never carries a higher seqno before a
+    /// batched lower one. Skipped when no *other* member exists to hear
+    /// it.
     pub(crate) fn broadcast_entry(&mut self, entry: Sequenced) {
+        self.flush_batch();
         let me = self.me;
         if !self.view.members().iter().any(|m| m.id != me) {
             return;
@@ -268,9 +441,80 @@ impl GroupCore {
         self.send_to(Dest::Group, msg);
     }
 
+    // ------------------------------------------------------------------
+    // Sequencer batching (DESIGN.md §6)
+    // ------------------------------------------------------------------
+
+    /// Appends a stamped item to the pending batch, flushing first if
+    /// the item would overflow the size trigger or the frame budget,
+    /// and flushing after if the size trigger is reached. The first
+    /// item of a batch arms the flush timer.
+    pub(crate) fn enqueue_batch_item(&mut self, item: BatchItem) {
+        let budget = crate::config::BATCH_ITEMS_BUDGET;
+        let max_batch = self.config.batch.max_batch();
+        let size = item.wire_size();
+        let flush_us = self.config.batch.flush_us();
+        let ss = self.seq_state.as_mut().expect("sequencer role");
+        if !ss.batch.is_empty() && ss.batch_bytes.saturating_add(size) > budget {
+            self.flush_batch();
+        }
+        let ss = self.seq_state.as_mut().expect("sequencer role");
+        let was_empty = ss.batch.is_empty();
+        ss.batch_bytes += size;
+        ss.batch.push(item);
+        let full = ss.batch.len() >= max_batch || ss.batch_bytes > budget;
+        if full {
+            self.flush_batch();
+        } else if was_empty {
+            self.push(crate::action::Action::SetTimer {
+                kind: TimerKind::BatchFlush,
+                after_us: flush_us,
+            });
+        }
+    }
+
+    /// Multicasts the pending batch (no-op when empty). A singleton
+    /// batch degrades to the plain per-message frame, so a lone message
+    /// under a light load costs exactly what the unbatched protocol
+    /// charges.
+    pub(crate) fn flush_batch(&mut self) {
+        let Some(ss) = self.seq_state.as_mut() else { return };
+        if ss.batch.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut ss.batch);
+        ss.batch_bytes = 0;
+        self.push(crate::action::Action::CancelTimer { kind: TimerKind::BatchFlush });
+        let me = self.me;
+        if !self.view.members().iter().any(|m| m.id != me) {
+            return; // singleton group: local delivery already happened
+        }
+        if items.len() == 1 {
+            let msg = match items.into_iter().next().expect("len checked") {
+                BatchItem::Entry(entry) => self.make_msg(Body::BcastData { entry }),
+                BatchItem::Accept { seqno, origin, sender_seq } => {
+                    self.make_msg(Body::Accept { seqno, origin, sender_seq })
+                }
+            };
+            self.send_to(Dest::Group, msg);
+            return;
+        }
+        self.stats.batches_out += 1;
+        self.stats.batched_entries += items.len() as u64;
+        let msg = self.make_msg(Body::BcastBatch { items });
+        self.send_to(Dest::Group, msg);
+    }
+
+    /// The batch flush timer fired (the *timer* trigger).
+    pub(crate) fn on_batch_flush(&mut self) {
+        self.flush_batch();
+    }
+
     /// Starts the resilient path for a freshly stamped entry: tentative
-    /// multicast, then wait for the `r` lowest-numbered members.
+    /// multicast, then wait for the `r` lowest-numbered members. Any
+    /// pending batch flushes first (ordering on the wire).
     pub(crate) fn begin_tentative(&mut self, entry: Sequenced, r: u32) {
+        self.flush_batch();
         let (origin, sender_seq) = match &entry.kind {
             SequencedKind::App { origin, sender_seq, .. } => (*origin, *sender_seq),
             _ => (self.me, 0), // control entries use the plain path
@@ -369,6 +613,10 @@ impl GroupCore {
         if !self.is_sequencer() {
             return; // only the sequencer serves retransmissions
         }
+        // Watermark trigger: a nack proves a member is waiting on
+        // seqnos that may still sit in the pending batch — flush it
+        // before serving from history.
+        self.flush_batch();
         let dest = self
             .view
             .member(from_member)
@@ -376,19 +624,57 @@ impl GroupCore {
             .unwrap_or(from_addr);
         let mut served = 0u64;
         let entries: Vec<Sequenced> = self.history.range(lo, hi).cloned().collect();
-        for entry in entries {
-            let tentative = self
-                .seq_state
-                .as_ref()
-                .is_some_and(|ss| ss.pending_acc.contains_key(&entry.seqno));
-            let body = if tentative {
-                Body::Tentative { entry, resilience: self.config.resilience }
-            } else {
-                Body::BcastData { entry }
-            };
-            let msg = self.make_msg(body);
-            self.send_to(Dest::Unicast(dest), msg);
-            served += 1;
+        if self.config.batch.is_on() {
+            // Serve in bulk: pack the catch-up into batch frames (one
+            // interrupt per frame at the receiver instead of one per
+            // entry). Tentative entries keep their own frames — the
+            // resilience metadata cannot ride in a batch item.
+            let mut plain: Vec<BatchItem> = Vec::new();
+            for entry in entries {
+                served += 1;
+                let tentative = self
+                    .seq_state
+                    .as_ref()
+                    .is_some_and(|ss| ss.pending_acc.contains_key(&entry.seqno));
+                if tentative {
+                    let msg = self
+                        .make_msg(Body::Tentative { entry, resilience: self.config.resilience });
+                    self.send_to(Dest::Unicast(dest), msg);
+                } else {
+                    plain.push(BatchItem::Entry(entry));
+                }
+            }
+            let max_batch = self.config.batch.max_batch();
+            for frame in
+                crate::message::pack_batch_items(plain, max_batch, BatchItem::wire_size)
+            {
+                let msg = if frame.len() == 1 {
+                    let BatchItem::Entry(entry) =
+                        frame.into_iter().next().expect("len checked")
+                    else {
+                        unreachable!("retransmission packs entries only")
+                    };
+                    self.make_msg(Body::BcastData { entry })
+                } else {
+                    self.make_msg(Body::BcastBatch { items: frame })
+                };
+                self.send_to(Dest::Unicast(dest), msg);
+            }
+        } else {
+            for entry in entries {
+                let tentative = self
+                    .seq_state
+                    .as_ref()
+                    .is_some_and(|ss| ss.pending_acc.contains_key(&entry.seqno));
+                let body = if tentative {
+                    Body::Tentative { entry, resilience: self.config.resilience }
+                } else {
+                    Body::BcastData { entry }
+                };
+                let msg = self.make_msg(body);
+                self.send_to(Dest::Unicast(dest), msg);
+                served += 1;
+            }
         }
         self.stats.retransmissions += served;
     }
@@ -446,6 +732,10 @@ impl GroupCore {
     /// its floor. Used periodically, under buffer pressure, and to
     /// detect dead members.
     pub(crate) fn sequencer_start_sync_round(&mut self) {
+        // Watermark trigger: the round's horizon advertises every
+        // stamped seqno, so anything still batched must hit the wire
+        // first or the whole group nacks it.
+        self.flush_batch();
         let me = self.me;
         let members: Vec<MemberId> =
             self.view.members().iter().map(|m| m.id).filter(|&id| id != me).collect();
@@ -576,7 +866,13 @@ impl GroupCore {
                 })
                 .last()
                 .unwrap_or(Seqno::ZERO);
-            ss.dup.insert(origin, (sender_seq, seqno));
+            // Not strict: with r = 0 a completed send may not have
+            // survived the recovery, so the origin's next request can
+            // legitimately jump past the rebuilt `seen`.
+            ss.dup.insert(
+                origin,
+                DupState { seen: sender_seq, seqno, strict: false, gaps: BTreeSet::new() },
+            );
         }
         for m in self.view.members() {
             ss.floors.insert(m.id, conservative_floor);

@@ -34,6 +34,12 @@ pub struct CoreStats {
     pub recoveries_led: u64,
     /// Duplicate sequenced entries discarded.
     pub duplicates: u64,
+    /// Batch frames multicast by the sequencer (batching on).
+    pub batches_out: u64,
+    /// Messages carried inside those batch frames.
+    pub batched_entries: u64,
+    /// Request-batch frames sent by a pipelining sender.
+    pub req_batches_out: u64,
 }
 
 #[cfg(test)]

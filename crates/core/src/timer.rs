@@ -20,6 +20,11 @@ pub enum TimerKind {
     /// Sequencer: re-multicast tentative broadcasts lacking
     /// acknowledgements.
     TentativeResend,
+    /// Sequencer: the oldest batched entry has waited `flush_us`; flush
+    /// the pending batch regardless of fill (the *timer* trigger of
+    /// DESIGN.md §6 — the other triggers, size and watermark, flush
+    /// inline without a timer).
+    BatchFlush,
     /// Joiner: the join request went unanswered; retry.
     JoinRetry,
     /// Member: send the deferred (staggered) status reply. Replies to a

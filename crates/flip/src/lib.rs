@@ -22,7 +22,9 @@
 //!
 //! The crate is pure data and logic (sans-io): both the discrete-event
 //! kernel (`amoeba-kernel`) and the live threaded runtime
-//! (`amoeba-runtime`) drive it.
+//! (`amoeba-runtime`) drive it. Its place in the stack is DESIGN.md §1
+//! (repository root); the 8000-byte message cap it fragments under is
+//! DESIGN.md §2.
 //!
 //! # Example
 //!

@@ -44,6 +44,14 @@ pub struct CostModel {
     /// Extra send-side work per destination of a multicast (the paper's
     /// "each node adds 4 microseconds to the delay").
     pub mcast_per_dest: u64,
+    /// Marginal group-layer cost of each message *beyond the first*
+    /// carried in a batch frame (`BcastBatch` unpacking at a member,
+    /// `BcastReqBatch` stamping at the sequencer). The first message
+    /// pays the full per-packet cost (`group_rx`/`group_seq`); the rest
+    /// pay only the in-layer work — header parse, history insert,
+    /// ordering bookkeeping — with no driver/FLIP/interrupt share.
+    /// That asymmetry is the whole batching argument (DESIGN.md §6).
+    pub group_batch_item: u64,
     /// memcpy cost in nanoseconds per byte (MC68030-era memory speed).
     pub copy_ns_per_byte: u64,
     /// RPC layer per request/reply at each end (baseline comparison).
@@ -73,6 +81,7 @@ impl CostModel {
             ether_tx: 150,
             ether_rx: 160,
             mcast_per_dest: 4,
+            group_batch_item: 70,
             copy_ns_per_byte: 160,
             rpc_layer: 140,
             timer_dispatch: 20,
@@ -85,12 +94,22 @@ impl CostModel {
     }
 
     /// Group-layer cost of processing one fully reassembled packet at a
-    /// node (sequencer role considered).
+    /// node (sequencer role considered). Batch frames charge the full
+    /// per-packet cost once plus [`CostModel::group_batch_item`] per
+    /// additional message they carry.
     pub fn group_layer_rx(&self, is_sequencer: bool, body: &Body) -> u64 {
         match body {
             Body::BcastReq { .. } | Body::BcastOrig { .. } if is_sequencer => self.group_seq,
+            Body::BcastReqBatch { reqs } if is_sequencer => {
+                self.group_seq + self.group_batch_item * reqs.len().saturating_sub(1) as u64
+            }
             Body::BcastData { .. } | Body::Tentative { .. } => self.group_rx,
-            Body::BcastReq { .. } | Body::BcastOrig { .. } => self.group_ctl,
+            Body::BcastBatch { items } => {
+                self.group_rx + self.group_batch_item * items.len().saturating_sub(1) as u64
+            }
+            Body::BcastReq { .. } | Body::BcastOrig { .. } | Body::BcastReqBatch { .. } => {
+                self.group_ctl
+            }
             _ => self.group_ctl,
         }
     }
@@ -123,6 +142,39 @@ mod tests {
         let breq = Body::BcastReq { sender_seq: 1, payload: bytes::Bytes::new() };
         assert_eq!(c.group_layer_rx(true, &breq), c.group_seq);
         assert_eq!(c.group_layer_rx(false, &breq), c.group_ctl);
+    }
+
+    #[test]
+    fn batch_frames_amortize_the_per_packet_cost() {
+        use amoeba_core::{BatchItem, MemberId, Sequenced, SequencedKind};
+        let c = CostModel::mc68030_ether10();
+        let item = |s: u64| {
+            BatchItem::Entry(Sequenced {
+                seqno: Seqno(s),
+                kind: SequencedKind::App {
+                    origin: MemberId(1),
+                    sender_seq: s,
+                    payload: bytes::Bytes::new(),
+                },
+            })
+        };
+        let batch8 = Body::BcastBatch { items: (1..=8).map(item).collect() };
+        let one = Body::BcastData {
+            entry: Sequenced {
+                seqno: Seqno(1),
+                kind: SequencedKind::App {
+                    origin: MemberId(1),
+                    sender_seq: 1,
+                    payload: bytes::Bytes::new(),
+                },
+            },
+        };
+        let batched = c.group_layer_rx(false, &batch8);
+        let unbatched = 8 * c.group_layer_rx(false, &one);
+        assert!(batched < unbatched, "batched {batched} vs 8 singles {unbatched}");
+        // Marginal items must still cost something — batching is an
+        // amortization, not a free lunch.
+        assert!(batched > c.group_layer_rx(false, &one));
     }
 
     #[test]

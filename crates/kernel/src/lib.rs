@@ -11,9 +11,13 @@
 //! it): per-layer processing costs and copies, the Lance's 32-frame
 //! receive ring, CSMA/CD contention, fragmentation above one Ethernet
 //! frame, the sequencer's history buffer, and blocking one-at-a-time
-//! user sends. What is simplified: FLIP's locate (routing is static on
-//! the single segment) and cryptographic addresses — neither is
-//! exercised by any experiment.
+//! user sends (or, with a `send_window` > 1, pipelined sends and the
+//! batch frames of DESIGN.md §6). What is simplified: FLIP's locate
+//! (routing is static on the single segment) and cryptographic
+//! addresses — neither is exercised by any experiment.
+//!
+//! This crate is the "simulated" half of DESIGN.md §3 (repository
+//! root); the calibration it rests on is EXPERIMENTS.md.
 
 mod cost;
 mod node;

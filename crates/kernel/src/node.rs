@@ -75,8 +75,19 @@ pub struct SimNode {
     pub(crate) draining: bool,
     /// Application events queued behind the receive thread.
     pub(crate) rx_backlog: u32,
-    /// When the current blocking send/call was issued.
+    /// When the current blocking RPC call was issued.
     pub(crate) issued_at: Option<SimTime>,
+    /// Group sends in flight (issued, not yet completed). Bounded by
+    /// the group's `send_window`; 1 reproduces the paper's blocking
+    /// sender loop.
+    pub(crate) in_flight: u32,
+    /// Issue timestamps of in-flight sends, oldest first (completions
+    /// are FIFO in failure-free runs, which is what the delay metric
+    /// measures).
+    pub(crate) issued_q: std::collections::VecDeque<SimTime>,
+    /// The application thread is mid-way through issuing a send (guards
+    /// against re-entrant kicks).
+    pub(crate) issuing: bool,
     /// Admission completed (JoinDone(Ok) observed).
     pub ready: bool,
     /// Measurement counters.
@@ -98,6 +109,9 @@ impl SimNode {
             draining: false,
             rx_backlog: 0,
             issued_at: None,
+            in_flight: 0,
+            issued_q: std::collections::VecDeque::new(),
+            issuing: false,
             ready: false,
             stats: NodeStats::default(),
         }

@@ -330,16 +330,27 @@ impl Kernel {
     // Application side
     // ------------------------------------------------------------------
 
-    /// Starts the node's workload if it is ready and idle.
+    /// Starts (or continues) the node's workload: a sending thread
+    /// issues whenever its group's `send_window` has room — window 1 is
+    /// the paper's blocking loop, larger windows pipeline.
     pub(crate) fn maybe_kick(sim: &mut Sim, n: usize) {
-        if !sim.world.nodes[n].ready || sim.world.nodes[n].issued_at.is_some() {
+        if !sim.world.nodes[n].ready || sim.world.nodes[n].issuing {
             return;
         }
         match sim.world.nodes[n].workload {
             Workload::Sender { size, remaining } if remaining > 0 => {
-                Self::app_issue_send(sim, n, size);
+                let window = sim.world.nodes[n]
+                    .core
+                    .as_ref()
+                    .map(|c| c.config().send_window)
+                    .unwrap_or(1);
+                if (sim.world.nodes[n].in_flight as usize) < window {
+                    Self::app_issue_send(sim, n, size);
+                }
             }
-            Workload::RpcPinger { size, remaining, server } if remaining > 0 => {
+            Workload::RpcPinger { size, remaining, server }
+                if remaining > 0 && sim.world.nodes[n].issued_at.is_none() =>
+            {
                 Self::app_issue_rpc(sim, n, size, server);
             }
             _ => {}
@@ -350,7 +361,7 @@ impl Kernel {
         if let Workload::Sender { remaining, .. } = &mut sim.world.nodes[n].workload {
             *remaining -= 1;
         }
-        sim.world.nodes[n].issued_at = Some(sim.now()); // re-entry guard
+        sim.world.nodes[n].issuing = true; // re-entry guard
         // U1 (call entry) + the user→kernel copy…
         let c = sim.world.cost;
         let user_cost = c.user_send_entry + c.copy_cost(size);
@@ -366,7 +377,8 @@ impl Kernel {
                 // behind ReceiveFromGroup processing) — backdate to the
                 // start of this job, as the paper's measurement loop does.
                 let issued = sim.now() - SimDuration::from_micros(user_cost);
-                sim.world.nodes[n].issued_at = Some(issued);
+                sim.world.nodes[n].issued_q.push_back(issued);
+                sim.world.nodes[n].in_flight += 1;
                 // …then G1, then the protocol runs.
                 amoeba_net::Net::cpu_run(
                     sim,
@@ -378,6 +390,12 @@ impl Kernel {
                         let Some(core) = sim.world.nodes[n].core.as_mut() else { return };
                         let actions = core.send_to_group(payload);
                         Self::execute_group_actions(sim, n, actions);
+                        // The sender thread is free again: with window
+                        // room left it loops straight into the next
+                        // SendToGroup (pipelining); with window 1 it is
+                        // blocked and this kick is a no-op.
+                        sim.world.nodes[n].issuing = false;
+                        Self::maybe_kick(sim, n);
                     },
                 );
             },
@@ -393,7 +411,9 @@ impl Kernel {
             CpuPriority::User,
             SimDuration::from_micros(cost),
             move |sim| {
-                if let Some(issued) = sim.world.nodes[n].issued_at.take() {
+                if let Some(issued) = sim.world.nodes[n].issued_q.pop_front() {
+                    sim.world.nodes[n].in_flight =
+                        sim.world.nodes[n].in_flight.saturating_sub(1);
                     let delay = (sim.now() - issued).as_micros() as f64;
                     if ok {
                         sim.world.metrics.send_delay_us.record(delay);

@@ -9,7 +9,9 @@
 //! details are *load-bearing* for the paper's results — the 4-Kbyte
 //! throughput collapse comes from the 32-slot ring, and the multi-group
 //! aggregate limit (~61 % utilization) comes from CSMA/CD contention — so
-//! they are modelled explicitly rather than abstracted away.
+//! they are modelled explicitly rather than abstracted away. The
+//! stack's layer map is DESIGN.md §1 and the simulated driver built on
+//! this crate is DESIGN.md §3 (repository root).
 //!
 //! # Architecture
 //!

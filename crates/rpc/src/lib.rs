@@ -11,7 +11,9 @@
 //! the client.
 //!
 //! The state machines mirror `amoeba-core`'s sans-io style: inputs are
-//! packets and timer expirations; outputs are [`RpcAction`]s.
+//! packets and timer expirations; outputs are [`RpcAction`]s. See
+//! DESIGN.md §1 (repository root) for where this baseline sits in the
+//! stack and DESIGN.md §4 claim 5 for the comparison it anchors.
 //!
 //! # Example
 //!

@@ -141,14 +141,50 @@ impl GroupHandle {
     /// total order (and, with resilience r > 0, held by r other
     /// kernels). Returns its sequence number.
     ///
+    /// Concurrent callers on the same handle serialize: one sender
+    /// drives the pipeline at a time, a second blocks until the first
+    /// completes (the paper's one-thread-per-call model).
+    ///
     /// # Errors
     ///
-    /// [`GroupError::MessageTooLarge`], [`GroupError::Busy`] (another
-    /// thread's send is outstanding), [`GroupError::Recovering`], or
+    /// [`GroupError::MessageTooLarge`], [`GroupError::Recovering`], or
     /// [`GroupError::SequencerUnreachable`] after retry exhaustion.
     pub fn send_to_group(&self, payload: Bytes) -> Result<Seqno, GroupError> {
-        self.shared
-            .blocking_op(&self.shared.send_done, "SendToGroup", |core| core.send_to_group(payload))
+        let _sender = self.shared.send_lock.lock();
+        self.shared.submit_send(payload);
+        self.shared.wait_send()
+    }
+
+    /// Pipelined `SendToGroup`: streams `payloads` keeping up to the
+    /// group's `send_window` requests in flight (with batching on,
+    /// queued requests coalesce into `BcastReqBatch` frames — see
+    /// DESIGN.md §6). Blocks until every payload has completed and
+    /// returns one result per payload, in completion order (equal to
+    /// submission order on a loss-free fabric).
+    ///
+    /// With `send_window` 1 (the default) this degrades to a loop of
+    /// blocking [`GroupHandle::send_to_group`] calls.
+    pub fn send_pipelined(
+        &self,
+        payloads: impl IntoIterator<Item = Bytes>,
+    ) -> Vec<Result<Seqno, GroupError>> {
+        let _sender = self.shared.send_lock.lock();
+        let window = self.shared.core.lock().config().send_window.max(1);
+        let mut results = Vec::new();
+        let mut outstanding = 0usize;
+        for payload in payloads {
+            if outstanding >= window {
+                results.push(self.shared.wait_send());
+                outstanding -= 1;
+            }
+            self.shared.submit_send(payload);
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            results.push(self.shared.wait_send());
+            outstanding -= 1;
+        }
+        results
     }
 
     /// `ReceiveFromGroup`: blocks for the next totally-ordered event.

@@ -13,7 +13,9 @@
 //! The paper (§5) concludes that "the flexibility and modularity of
 //! user-level implementations of protocols is likely to outweigh the
 //! potential performance loss" — this crate is that user-level
-//! implementation.
+//! implementation. It is the "live" half of DESIGN.md §3 (repository
+//! root); `GroupHandle::send_pipelined` exposes the batching and
+//! pipelining knobs of DESIGN.md §6.
 //!
 //! # Example
 //!

@@ -71,7 +71,18 @@ pub(crate) struct NodeShared {
     timer_gen: Mutex<u64>,
     pub(crate) events_tx: Sender<GroupEvent>,
     pub(crate) ctl_tx: Sender<Ctl>,
-    pub(crate) send_done: Slot<Result<Seqno, GroupError>>,
+    /// Send completions, FIFO: every submitted `SendToGroup` produces
+    /// exactly one message here, so a pipelining caller pairs them with
+    /// its submissions in order (a channel, not a [`Slot`], because a
+    /// `send_window` > 1 can have several completions in flight).
+    pub(crate) send_done_tx: Sender<Result<Seqno, GroupError>>,
+    pub(crate) send_done_rx: Receiver<Result<Seqno, GroupError>>,
+    /// Serializes API-level senders: with `send_window` > 1 the core
+    /// happily admits two threads' sends, but the FIFO completion
+    /// channel would then hand thread A thread B's result. One sender
+    /// drives the pipeline at a time (the paper's one-thread-per-call
+    /// model); a second caller waits instead of racing.
+    pub(crate) send_lock: Mutex<()>,
     pub(crate) join_done: Slot<Result<GroupInfo, GroupError>>,
     pub(crate) leave_done: Slot<Result<(), GroupError>>,
     pub(crate) reset_done: Slot<Result<GroupInfo, GroupError>>,
@@ -86,6 +97,7 @@ impl NodeShared {
         events_tx: Sender<GroupEvent>,
         ctl_tx: Sender<Ctl>,
     ) -> Arc<Self> {
+        let (send_done_tx, send_done_rx) = channel::unbounded();
         Arc::new(NodeShared {
             core: Mutex::new(core),
             net,
@@ -95,7 +107,9 @@ impl NodeShared {
             timer_gen: Mutex::new(0),
             events_tx,
             ctl_tx,
-            send_done: Slot::new(),
+            send_done_tx,
+            send_done_rx,
+            send_lock: Mutex::new(()),
             join_done: Slot::new(),
             leave_done: Slot::new(),
             reset_done: Slot::new(),
@@ -130,7 +144,9 @@ impl NodeShared {
                 Action::Deliver(ev) => {
                     let _ = self.events_tx.send(ev);
                 }
-                Action::SendDone(r) => self.send_done.put(r),
+                Action::SendDone(r) => {
+                    let _ = self.send_done_tx.send(r);
+                }
                 Action::JoinDone(r) => self.join_done.put(r),
                 Action::LeaveDone(r) => self.leave_done.put(r),
                 Action::ResetDone(r) => self.reset_done.put(r),
@@ -153,6 +169,29 @@ impl NodeShared {
         };
         self.run_actions(actions);
         slot.wait(Duration::from_secs(120), what)
+    }
+
+    /// Submits one `SendToGroup`. Exactly one completion will arrive on
+    /// the send-done channel (possibly `Err(Busy)` synchronously when
+    /// the pipelining window is full).
+    pub(crate) fn submit_send(&self, payload: bytes::Bytes) {
+        let actions = {
+            let mut core = self.core.lock();
+            core.send_to_group(payload)
+        };
+        self.run_actions(actions);
+    }
+
+    /// Waits for the next send completion, FIFO with submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 120 s — the protocol's retry budgets bound every
+    /// send, so an expiry here is a harness bug (see [`Slot::wait`]).
+    pub(crate) fn wait_send(&self) -> Result<Seqno, GroupError> {
+        self.send_done_rx
+            .recv_timeout(Duration::from_secs(120))
+            .unwrap_or_else(|_| panic!("blocking SendToGroup did not complete within 120s"))
     }
 
     fn next_deadline(&self) -> Option<Instant> {

@@ -19,6 +19,10 @@
 //! * [`net`] — the Ethernet/NIC/CPU hardware models;
 //! * [`sim`] — the deterministic discrete-event engine.
 //!
+//! The layer map is DESIGN.md §1 (repository root), the protocol
+//! itself DESIGN.md §2, and the batching/pipelining performance knobs
+//! (`BatchPolicy`, `send_window`) DESIGN.md §6.
+//!
 //! # Quick start (live runtime)
 //!
 //! ```

@@ -9,7 +9,8 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-const ADVERTISED: [&str; 4] = [
+const ADVERTISED: [&str; 5] = [
+    "batched_throughput",
     "fault_tolerant_directory",
     "parallel_compute",
     "quickstart",

@@ -3,8 +3,9 @@
 //! total-order property under randomized loss/duplication schedules.
 
 use amoeba::core::{
-    decode_wire_msg, encode_wire_msg, Body, GroupId, Hdr, HistoryBuffer, MemberId, Seqno,
-    Sequenced, SequencedKind, ViewId, WireMsg,
+    decode_wire_msg, encode_wire_msg, pack_batch_items, BatchItem, BatchReq, Body, GroupId, Hdr,
+    HistoryBuffer, MemberId, Seqno, Sequenced, SequencedKind, ViewId, WireMsg,
+    BATCH_FRAME_BUDGET,
 };
 use amoeba::flip::{split_lens, FlipAddress, FragKey, Reassembler};
 use bytes::Bytes;
@@ -72,6 +73,24 @@ fn arb_body() -> impl Strategy<Value = Body> {
         (0u32..1000, arb_member()).prop_map(|(attempt, coord)| Body::Invite { attempt, coord }),
         (any::<u64>(), any::<u64>()).prop_map(|(n, _)| Body::Ping { nonce: n }),
         (any::<u64>(), any::<u64>()).prop_map(|(n, _)| Body::Pong { nonce: n }),
+        proptest::collection::vec(arb_batch_item(), 0..12)
+            .prop_map(|items| Body::BcastBatch { items }),
+        proptest::collection::vec(
+            (any::<u64>(), arb_payload())
+                .prop_map(|(sender_seq, payload)| BatchReq { sender_seq, payload }),
+            0..8,
+        )
+        .prop_map(|reqs| Body::BcastReqBatch { reqs }),
+    ]
+}
+
+fn arb_batch_item() -> impl Strategy<Value = BatchItem> {
+    prop_oneof![
+        (arb_seqno(), arb_kind())
+            .prop_map(|(seqno, kind)| BatchItem::Entry(Sequenced { seqno, kind })),
+        (arb_seqno(), arb_member(), any::<u64>()).prop_map(|(seqno, origin, sender_seq)| {
+            BatchItem::Accept { seqno, origin, sender_seq }
+        }),
     ]
 }
 
@@ -106,6 +125,47 @@ proptest! {
     fn codec_never_panics_on_garbage(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
         // Arbitrary bytes must decode to Ok or Err, never panic.
         let _ = decode_wire_msg(&mut &raw[..]);
+    }
+
+    #[test]
+    fn packed_batches_never_straddle_the_fragmentation_limit(
+        items in proptest::collection::vec(arb_batch_item(), 0..64),
+        max_batch in 1usize..32,
+        hdr_bits in any::<u64>(),
+    ) {
+        // The sequencer's flush logic promises (DESIGN.md §6): a frame
+        // with 2+ items encodes within one Ethernet frame's budget (so
+        // "one interrupt per batch" is physically true), order and
+        // multiset of items are preserved, and a lone oversized item
+        // ships alone.
+        let frames = pack_batch_items(items.clone(), max_batch, BatchItem::wire_size);
+        let hdr = Hdr {
+            group: GroupId(hdr_bits),
+            view: ViewId(hdr_bits as u32),
+            sender: MemberId(3),
+            last_delivered: Seqno(hdr_bits >> 8),
+            gc_floor: Seqno(hdr_bits >> 9),
+        };
+        let mut reassembled = Vec::new();
+        for frame in frames {
+            prop_assert!(!frame.is_empty(), "no empty frames");
+            prop_assert!(frame.len() <= max_batch);
+            let msg = WireMsg { hdr, body: Body::BcastBatch { items: frame.clone() } };
+            if frame.len() >= 2 {
+                prop_assert!(
+                    msg.wire_size() <= BATCH_FRAME_BUDGET,
+                    "a {}-item frame of {} bytes straddles the limit",
+                    frame.len(),
+                    msg.wire_size()
+                );
+            }
+            // Every packed frame must round-trip through the codec.
+            let bytes = encode_wire_msg(&msg);
+            let decoded = decode_wire_msg(&mut bytes.clone()).expect("frame decodes");
+            prop_assert_eq!(decoded, msg);
+            reassembled.extend(frame);
+        }
+        prop_assert_eq!(reassembled, items, "pack must preserve order and multiset");
     }
 
     #[test]
