@@ -61,5 +61,36 @@ fn bench_live_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_live_broadcast, bench_live_throughput);
+/// Pipelined sends with batching on: the send window keeps requests in
+/// flight and the sequencer coalesces stamps into batch frames — the
+/// live runtime's peak-throughput shape (DESIGN.md §6). The flush
+/// timer is tightened to 1 µs (flush at the next driver-loop tick): the 200 µs preset is calibrated for
+/// the paper's 10 Mbit/s model, three orders of magnitude slower than
+/// this in-memory fabric, and a partial batch would otherwise idle the
+/// whole window on every round.
+fn bench_live_pipelined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("pipelined_sends_x100", |b| {
+        let amoeba = Amoeba::new(11, FaultPlan::reliable());
+        let gid = GroupId(1);
+        let cfg = GroupConfig {
+            batch: amoeba_core::BatchPolicy::On { max_batch: 16, flush_us: 1 },
+            send_window: 16,
+            ..GroupConfig::default()
+        };
+        let a = amoeba.create_group(gid, cfg.clone()).expect("create");
+        let bm = amoeba.join_group(gid, cfg).expect("join");
+        let payload = Bytes::from_static(b"x");
+        b.iter(|| {
+            let results = bm.send_pipelined((0..100).map(|_| payload.clone()));
+            assert!(results.iter().all(Result::is_ok));
+        });
+        black_box(&a);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_broadcast, bench_live_throughput, bench_live_pipelined);
 criterion_main!(benches);

@@ -4,10 +4,10 @@
 //! `cargo bench -p amoeba-bench --bench protocol_micro`
 
 use amoeba_core::{
-    decode_wire_msg, encode_wire_msg, Body, GroupConfig, GroupCore, GroupId, Hdr,
-    HistoryBuffer, MemberId, Seqno, Sequenced, SequencedKind, ViewId, WireMsg,
+    decode_wire_msg, encode_wire_msg, Body, FrameEncoder, GroupConfig, GroupCore, GroupId,
+    Hdr, HistoryBuffer, MemberId, Seqno, Sequenced, SequencedKind, ViewId, WireMsg,
 };
-use amoeba_flip::{split_lens, FlipAddress, FragKey, Reassembler};
+use amoeba_flip::{split_lens, split_payload, FlipAddress, FragKey, Reassembler};
 use bytes::Bytes;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -72,6 +72,26 @@ fn bench_codec(c: &mut Criterion) {
                 black_box(decode_wire_msg(&mut buf).expect("valid"));
             });
         });
+        // The hot-path shape: a pooled encoder whose scratch is
+        // reclaimed each iteration (steady state: zero allocations),
+        // decoding straight off the shared frame (zero copies).
+        group.bench_function(format!("roundtrip_{size}B"), |b| {
+            let mut enc = FrameEncoder::new();
+            b.iter(|| {
+                let mut frame = enc.encode(black_box(&msg));
+                black_box(decode_wire_msg(&mut frame).expect("valid"));
+            });
+        });
+        // The live runtime's actual path: gather encoding ships a large
+        // payload as a zero-copy tail segment, so the payload bytes are
+        // never copied at all — cost is independent of payload size.
+        group.bench_function(format!("roundtrip_gather_{size}B"), |b| {
+            let mut enc = FrameEncoder::new();
+            b.iter(|| {
+                let frame = enc.encode_frame(black_box(&msg));
+                black_box(amoeba_core::decode_wire_frame(frame).expect("valid"));
+            });
+        });
     }
     group.finish();
 }
@@ -102,6 +122,11 @@ fn bench_history(c: &mut Criterion) {
 fn bench_fragmentation(c: &mut Criterion) {
     c.bench_function("flip/split_8000B", |b| {
         b.iter(|| black_box(split_lens(black_box(8_060), 1_458)));
+    });
+    c.bench_function("flip/split_payload_8000B", |b| {
+        // Zero-copy: six refcounted views of the parent allocation.
+        let payload = bytes::Bytes::from(vec![0u8; 8_000]);
+        b.iter(|| black_box(split_payload(black_box(&payload), 1_430)));
     });
     c.bench_function("flip/reassemble_6_frags", |b| {
         let key = FragKey { src: FlipAddress::process(1), msg_id: 9 };

@@ -119,21 +119,18 @@ pub(crate) fn measure_throughput_cfg(
     (after - before) as f64 / (scale.window_us() as f64 / 1_000_000.0)
 }
 
+/// Canonical experiment ids, in paper order — the single source the
+/// `figures` binary and [`all`] both iterate, so a newly registered
+/// experiment cannot be silently missing from the default run or the
+/// archived bench JSON.
+pub const IDS: [&str; 11] = [
+    "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "rpc", "ablation",
+    "batch_sweep",
+];
+
 /// Every experiment, in paper order.
 pub fn all(scale: Scale) -> Vec<Figure> {
-    vec![
-        table3_breakdown(scale),
-        fig1_delay_pb(scale),
-        fig3_delay_bb(scale),
-        fig4_throughput_pb(scale),
-        fig5_throughput_bb(scale),
-        fig6_parallel_groups(scale),
-        fig7_delay_resilience(scale),
-        fig8_throughput_resilience(scale),
-        rpc_baseline(scale),
-        ablation_method_switch(scale),
-        batch_sweep(scale),
-    ]
+    IDS.iter().map(|id| by_id(id, scale).expect("IDS entries are registered")).collect()
 }
 
 /// Looks up experiments by id ("fig1", …, "table3", "rpc").

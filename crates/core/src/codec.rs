@@ -6,6 +6,15 @@
 //! self-describing and round-trip property-tested; it is *not*
 //! byte-identical to the historical Amoeba layout (sizes for cost
 //! accounting come from `wire_size`, not from this encoding).
+//!
+//! **Zero-copy wire path** (DESIGN.md §7): decoding consumes a
+//! [`Bytes`] — every payload comes back as a shared-ownership slice of
+//! the incoming buffer (one refcount bump, no byte copy; guarded by a
+//! pointer-identity test). Encoding goes through a [`FrameEncoder`]
+//! whose per-endpoint scratch is reclaimed once every receiver drops
+//! the frame, so a steady-state sender allocates nothing per frame.
+
+use std::collections::VecDeque;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -41,7 +50,8 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes a packet to bytes.
+/// Encodes a packet to bytes (one-shot; allocates a fresh buffer).
+/// Hot paths hold a [`FrameEncoder`] instead and reuse its scratch.
 pub fn encode_wire_msg(msg: &WireMsg) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + msg.wire_size() as usize);
     put_hdr(&mut buf, &msg.hdr);
@@ -49,39 +59,316 @@ pub fn encode_wire_msg(msg: &WireMsg) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a packet produced by [`encode_wire_msg`].
+/// Decodes a packet produced by [`encode_wire_msg`] /
+/// [`FrameEncoder::encode`], consuming `buf`.
+///
+/// Payload fields of the returned message are zero-copy slices sharing
+/// `buf`'s allocation: the frame stays alive as long as any decoded
+/// payload does (and is reclaimed by the sender's [`FrameEncoder`] only
+/// after all of them drop).
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] on truncation, unknown tags, or
 /// inconsistent length fields.
-pub fn decode_wire_msg(buf: &mut impl Buf) -> Result<WireMsg, DecodeError> {
+pub fn decode_wire_msg(buf: &mut Bytes) -> Result<WireMsg, DecodeError> {
     let hdr = get_hdr(buf)?;
     let body = get_body(buf)?;
     Ok(WireMsg { hdr, body })
+}
+
+/// Payloads at least this large travel as a gathered tail segment
+/// (below it, the copy into the head is cheaper than the extra
+/// refcount traffic of a second segment).
+const GATHER_MIN: usize = 512;
+
+/// A wire frame as handed to the transport: head bytes plus an
+/// optional **zero-copy payload tail**.
+///
+/// For the payload-carrying hot-path bodies (`BcastReq`, `BcastOrig`,
+/// `BcastData`/`Tentative` with an app entry) whose payload is the
+/// frame's final field, [`FrameEncoder::encode_frame`] writes only the
+/// protocol fields into the head and ships the application payload as
+/// a second segment sharing the *sender's* allocation — the payload
+/// bytes are never copied anywhere between `SendToGroup` and delivery
+/// (DESIGN.md §7). Everything else travels as a single contiguous
+/// head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Protocol fields (and, for non-gathered frames, everything).
+    pub head: Bytes,
+    /// The gathered application payload, if split out.
+    pub tail: Option<Bytes>,
+}
+
+impl WireFrame {
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.as_ref().map_or(0, Bytes::len)
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Joins the segments into one contiguous buffer (copies iff a
+    /// tail is present; test/diagnostic use).
+    pub fn to_contiguous(&self) -> Bytes {
+        match &self.tail {
+            None => self.head.clone(),
+            Some(tail) => {
+                let mut out = BytesMut::with_capacity(self.len());
+                out.put_slice(&self.head);
+                out.put_slice(tail);
+                out.freeze()
+            }
+        }
+    }
+}
+
+impl From<Bytes> for WireFrame {
+    fn from(head: Bytes) -> Self {
+        WireFrame { head, tail: None }
+    }
+}
+
+/// The gatherable payload of a message: the app payload when it is the
+/// frame's final field and large enough to be worth a second segment.
+fn gather_payload(msg: &WireMsg) -> Option<&Bytes> {
+    let payload = match &msg.body {
+        Body::BcastReq { payload, .. } | Body::BcastOrig { payload, .. } => payload,
+        Body::BcastData { entry } | Body::Tentative { entry, .. } => match &entry.kind {
+            SequencedKind::App { payload, .. } => payload,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    (payload.len() >= GATHER_MIN).then_some(payload)
+}
+
+/// Decodes a [`WireFrame`] (the inverse of
+/// [`FrameEncoder::encode_frame`]). A gathered tail is handed back as
+/// the payload without being copied or even inspected.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation, unknown tags, inconsistent
+/// length fields, or a tail attached to a body shape that cannot carry
+/// one.
+pub fn decode_wire_frame(frame: WireFrame) -> Result<WireMsg, DecodeError> {
+    let WireFrame { head, tail } = frame;
+    let mut buf = head;
+    let Some(tail) = tail else { return decode_wire_msg(&mut buf) };
+    let hdr = get_hdr(&mut buf)?;
+    need(&buf, 1)?;
+    let body = match buf.get_u8() {
+        T_BCAST_REQ => {
+            need(&buf, 8)?;
+            let sender_seq = buf.get_u64();
+            Body::BcastReq { sender_seq, payload: take_tail(&mut buf, tail)? }
+        }
+        T_BCAST_ORIG => {
+            need(&buf, 8)?;
+            let sender_seq = buf.get_u64();
+            Body::BcastOrig { sender_seq, payload: take_tail(&mut buf, tail)? }
+        }
+        T_BCAST_DATA => Body::BcastData { entry: get_sequenced_gather(&mut buf, tail)? },
+        T_TENTATIVE => {
+            need(&buf, 4)?;
+            let resilience = buf.get_u32();
+            Body::Tentative { entry: get_sequenced_gather(&mut buf, tail)?, resilience }
+        }
+        other => return Err(DecodeError::BadBodyTag(other)),
+    };
+    Ok(WireMsg { hdr, body })
+}
+
+/// Consumes the payload length field closing a gathered head and
+/// validates the tail against it.
+fn take_tail(buf: &mut Bytes, tail: Bytes) -> Result<Bytes, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    if buf.remaining() != 0 || tail.len() != len {
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    Ok(tail)
+}
+
+fn get_sequenced_gather(buf: &mut Bytes, tail: Bytes) -> Result<Sequenced, DecodeError> {
+    need(buf, 9)?;
+    let seqno = Seqno(buf.get_u64());
+    match buf.get_u8() {
+        K_APP => {
+            need(buf, 12)?;
+            let origin = MemberId(buf.get_u32());
+            let sender_seq = buf.get_u64();
+            let payload = take_tail(buf, tail)?;
+            Ok(Sequenced { seqno, kind: SequencedKind::App { origin, sender_seq, payload } })
+        }
+        other => Err(DecodeError::BadKindTag(other)),
+    }
+}
+
+/// How many recently encoded frames an encoder watches for reclaim.
+const ENCODER_POOL: usize = 8;
+
+/// A frame encoder with reusable scratch buffers.
+///
+/// Each [`FrameEncoder::encode`] writes into a recycled allocation when
+/// one is free: the encoder keeps handles to its last few frames and
+/// reclaims an allocation as soon as every receiver (and every decoded
+/// payload slice) has dropped it. Frames whose payloads are retained
+/// (e.g. parked in a history buffer) simply age out of the watch window
+/// and are freed by the last owner, as usual.
+///
+/// One encoder per sending endpoint: it is deliberately not `Sync` —
+/// wrap it in the endpoint's own lock, not a global one.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    /// Recently encoded frames, oldest first, watched for reclaim.
+    in_flight: VecDeque<Bytes>,
+    /// Reclaimed allocations ready for reuse.
+    spare: Vec<Vec<u8>>,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder with empty scratch.
+    pub fn new() -> Self {
+        FrameEncoder::default()
+    }
+
+    /// Encodes `msg`, reusing a reclaimed allocation when possible.
+    pub fn encode(&mut self, msg: &WireMsg) -> Bytes {
+        self.reclaim();
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        let mut buf = BytesMut::from_vec(v);
+        buf.reserve(64 + msg.wire_size() as usize);
+        put_hdr(&mut buf, &msg.hdr);
+        put_body(&mut buf, &msg.body);
+        let out = buf.freeze();
+        if self.in_flight.len() >= ENCODER_POOL {
+            self.in_flight.pop_front(); // aged out: the last owner frees it
+        }
+        self.in_flight.push_back(out.clone());
+        out
+    }
+
+    /// Encodes `msg` as a [`WireFrame`], gathering a large trailing
+    /// payload into a zero-copy tail segment (the payload bytes are
+    /// shared with the caller's `Bytes`, not copied into the frame).
+    pub fn encode_frame(&mut self, msg: &WireMsg) -> WireFrame {
+        let Some(payload) = gather_payload(msg) else {
+            return WireFrame { head: self.encode(msg), tail: None };
+        };
+        let payload = payload.clone();
+        self.reclaim();
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        let mut buf = BytesMut::from_vec(v);
+        buf.reserve(96);
+        put_hdr(&mut buf, &msg.hdr);
+        put_gather_head(&mut buf, &msg.body, payload.len() as u32);
+        let head = buf.freeze();
+        if self.in_flight.len() >= ENCODER_POOL {
+            self.in_flight.pop_front();
+        }
+        self.in_flight.push_back(head.clone());
+        WireFrame { head, tail: Some(payload) }
+    }
+
+    /// Moves every watched frame that has become sole-owned back into
+    /// the spare pool.
+    fn reclaim(&mut self) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].is_unique() {
+                let frame = self.in_flight.remove(i).expect("index in range");
+                if let Ok(v) = frame.try_unwrap_vec() {
+                    self.spare.push(v);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
 // header
 // ---------------------------------------------------------------------
 
-fn put_hdr(buf: &mut BytesMut, hdr: &Hdr) {
-    buf.put_u64(hdr.group.0);
-    buf.put_u32(hdr.view.0);
-    buf.put_u32(hdr.sender.0);
-    buf.put_u64(hdr.last_delivered.0);
-    buf.put_u64(hdr.gc_floor.0);
+/// Writes the head of a gathered frame: every protocol field of the
+/// body including the payload's length prefix, but not the payload
+/// bytes themselves (those ship as the frame's tail segment). Must
+/// mirror [`put_body`] exactly for the gatherable shapes.
+///
+/// # Panics
+///
+/// Panics on a non-gatherable body ([`gather_payload`] pre-filters).
+fn put_gather_head(buf: &mut BytesMut, body: &Body, payload_len: u32) {
+    match body {
+        Body::BcastReq { sender_seq, .. } => {
+            buf.put_u8(T_BCAST_REQ);
+            buf.put_u64(*sender_seq);
+        }
+        Body::BcastOrig { sender_seq, .. } => {
+            buf.put_u8(T_BCAST_ORIG);
+            buf.put_u64(*sender_seq);
+        }
+        Body::BcastData { entry } => {
+            buf.put_u8(T_BCAST_DATA);
+            put_sequenced_gather_head(buf, entry);
+        }
+        Body::Tentative { entry, resilience } => {
+            buf.put_u8(T_TENTATIVE);
+            buf.put_u32(*resilience);
+            put_sequenced_gather_head(buf, entry);
+        }
+        other => panic!("body {} is not gatherable", other.tag()),
+    }
+    buf.put_u32(payload_len);
 }
 
-fn get_hdr(buf: &mut impl Buf) -> Result<Hdr, DecodeError> {
+fn put_sequenced_gather_head(buf: &mut BytesMut, entry: &Sequenced) {
+    buf.put_u64(entry.seqno.0);
+    match &entry.kind {
+        SequencedKind::App { origin, sender_seq, .. } => {
+            buf.put_u8(K_APP);
+            buf.put_u32(origin.0);
+            buf.put_u64(*sender_seq);
+        }
+        other => panic!("entry kind {other:?} is not gatherable"),
+    }
+}
+
+// The header is fixed-layout, so both directions move it as one
+// 32-byte block instead of five bounds-checked cursor ops — this runs
+// once per frame on the hot path.
+
+fn put_hdr(buf: &mut BytesMut, hdr: &Hdr) {
+    let mut b = [0u8; 32];
+    b[0..8].copy_from_slice(&hdr.group.0.to_be_bytes());
+    b[8..12].copy_from_slice(&hdr.view.0.to_be_bytes());
+    b[12..16].copy_from_slice(&hdr.sender.0.to_be_bytes());
+    b[16..24].copy_from_slice(&hdr.last_delivered.0.to_be_bytes());
+    b[24..32].copy_from_slice(&hdr.gc_floor.0.to_be_bytes());
+    buf.put_slice(&b);
+}
+
+fn get_hdr(buf: &mut Bytes) -> Result<Hdr, DecodeError> {
     need(buf, 32)?;
-    Ok(Hdr {
-        group: GroupId(buf.get_u64()),
-        view: ViewId(buf.get_u32()),
-        sender: MemberId(buf.get_u32()),
-        last_delivered: Seqno(buf.get_u64()),
-        gc_floor: Seqno(buf.get_u64()),
-    })
+    let b = buf.chunk();
+    let hdr = Hdr {
+        group: GroupId(u64::from_be_bytes(b[0..8].try_into().expect("fixed slice"))),
+        view: ViewId(u32::from_be_bytes(b[8..12].try_into().expect("fixed slice"))),
+        sender: MemberId(u32::from_be_bytes(b[12..16].try_into().expect("fixed slice"))),
+        last_delivered: Seqno(u64::from_be_bytes(b[16..24].try_into().expect("fixed slice"))),
+        gc_floor: Seqno(u64::from_be_bytes(b[24..32].try_into().expect("fixed slice"))),
+    };
+    buf.advance(32);
+    Ok(hdr)
 }
 
 // ---------------------------------------------------------------------
@@ -231,7 +518,7 @@ fn put_body(buf: &mut BytesMut, body: &Body) {
     }
 }
 
-fn get_body(buf: &mut impl Buf) -> Result<Body, DecodeError> {
+fn get_body(buf: &mut Bytes) -> Result<Body, DecodeError> {
     need(buf, 1)?;
     let tag = buf.get_u8();
     Ok(match tag {
@@ -400,7 +687,7 @@ fn put_sequenced(buf: &mut BytesMut, entry: &Sequenced) {
     }
 }
 
-fn get_sequenced(buf: &mut impl Buf) -> Result<Sequenced, DecodeError> {
+fn get_sequenced(buf: &mut Bytes) -> Result<Sequenced, DecodeError> {
     need(buf, 9)?;
     let seqno = Seqno(buf.get_u64());
     let kind = match buf.get_u8() {
@@ -440,7 +727,7 @@ fn put_members(buf: &mut BytesMut, members: &[MemberMeta]) {
     }
 }
 
-fn get_members(buf: &mut impl Buf) -> Result<Vec<MemberMeta>, DecodeError> {
+fn get_members(buf: &mut Bytes) -> Result<Vec<MemberMeta>, DecodeError> {
     need(buf, 2)?;
     let n = buf.get_u16() as usize;
     let mut out = Vec::with_capacity(n);
@@ -459,16 +746,17 @@ fn put_bytes(buf: &mut BytesMut, bytes: &Bytes) {
     buf.put_slice(bytes);
 }
 
-fn get_bytes(buf: &mut impl Buf) -> Result<Bytes, DecodeError> {
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes, DecodeError> {
     need(buf, 4)?;
     let len = buf.get_u32() as usize;
     if buf.remaining() < len {
         return Err(DecodeError::BadLength(len as u64));
     }
+    // O(1): a refcounted view into the frame, not a copy.
     Ok(buf.copy_to_bytes(len))
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::Truncated)
     } else {
@@ -643,7 +931,7 @@ mod tests {
         };
         let mut raw = encode_wire_msg(&msg).to_vec();
         raw[32 + 1 + 2] = 99; // first item tag (after header, body tag, count)
-        assert_eq!(decode_wire_msg(&mut &raw[..]), Err(DecodeError::BadKindTag(99)));
+        assert_eq!(decode_wire_msg(&mut Bytes::from(raw)), Err(DecodeError::BadKindTag(99)));
     }
 
     #[test]
@@ -653,7 +941,7 @@ mod tests {
         let mut raw = bytes.to_vec();
         raw[32] = 200; // body tag position (after 32-byte header)
         assert_eq!(
-            decode_wire_msg(&mut &raw[..]),
+            decode_wire_msg(&mut Bytes::from(raw)),
             Err(DecodeError::BadBodyTag(200))
         );
     }
@@ -669,7 +957,7 @@ mod tests {
         let pos = 32 + 1 + 8;
         raw[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
-            decode_wire_msg(&mut &raw[..]),
+            decode_wire_msg(&mut Bytes::from(raw)),
             Err(DecodeError::BadLength(_)) | Err(DecodeError::Truncated)
         ));
     }

@@ -4,7 +4,7 @@
 //! role always, and the sequencer role when it holds that office. It is
 //! strictly sans-io — see [`crate::action`].
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use amoeba_flip::FlipAddress;
 use bytes::Bytes;
@@ -13,6 +13,7 @@ use crate::action::{Action, Dest};
 use crate::config::GroupConfig;
 use crate::error::GroupError;
 use crate::event::GroupEvent;
+use crate::flat::{OriginSeqTable, SeqRing};
 use crate::history::HistoryBuffer;
 use crate::ids::{GroupId, MemberId, Seqno};
 use crate::info::GroupInfo;
@@ -97,18 +98,21 @@ pub struct GroupCore {
     /// Next seqno to deliver to the application.
     pub(crate) next_expected: Seqno,
     /// Received entries not yet delivered (gaps before them, or gated
-    /// by a pending accept).
-    pub(crate) ooo: BTreeMap<Seqno, Sequenced>,
+    /// by a pending accept). Seqno-indexed ring: O(1) insert/remove on
+    /// the per-message delivery path.
+    pub(crate) ooo: SeqRing<Sequenced>,
     /// Seqnos held tentatively (r > 0): present in `ooo` but not
     /// deliverable until accepted.
     pub(crate) tentative: BTreeSet<Seqno>,
     /// Tentative seqnos we must acknowledge once our prefix below them
     /// is complete (the contiguity rule that makes recovery sound).
     pub(crate) deferred_tent_acks: BTreeSet<Seqno>,
-    /// BB payloads (and our own sends) parked until their accept.
-    pub(crate) parked: HashMap<(MemberId, u64), Bytes>,
-    /// Accepts that arrived before their BB payload: seqno by origin.
-    pub(crate) accepted_awaiting_data: HashMap<(MemberId, u64), Seqno>,
+    /// BB payloads (and our own sends) parked until their accept, in a
+    /// flat per-member table.
+    pub(crate) parked: OriginSeqTable<Bytes>,
+    /// Accepts that arrived before their BB payload: seqno by origin,
+    /// in a flat per-member table.
+    pub(crate) accepted_awaiting_data: OriginSeqTable<Seqno>,
     /// Seqnos whose accept arrived before their data/tentative packet.
     pub(crate) pre_accepted: BTreeSet<Seqno>,
     /// Local retransmission cache / recovery store.
@@ -167,11 +171,11 @@ impl GroupCore {
             view: GroupView::initial(meta),
             mode: Mode::Normal,
             next_expected: Seqno::ZERO.next(),
-            ooo: BTreeMap::new(),
+            ooo: SeqRing::new(),
             tentative: BTreeSet::new(),
             deferred_tent_acks: BTreeSet::new(),
-            parked: HashMap::new(),
-            accepted_awaiting_data: HashMap::new(),
+            parked: OriginSeqTable::new(),
+            accepted_awaiting_data: OriginSeqTable::new(),
             pre_accepted: BTreeSet::new(),
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
@@ -217,11 +221,11 @@ impl GroupCore {
             view: GroupView::initial(placeholder),
             mode: Mode::Joining(JoinState { nonce, retries: 0 }),
             next_expected: Seqno::ZERO.next(),
-            ooo: BTreeMap::new(),
+            ooo: SeqRing::new(),
             tentative: BTreeSet::new(),
             deferred_tent_acks: BTreeSet::new(),
-            parked: HashMap::new(),
-            accepted_awaiting_data: HashMap::new(),
+            parked: OriginSeqTable::new(),
+            accepted_awaiting_data: OriginSeqTable::new(),
             pre_accepted: BTreeSet::new(),
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
@@ -285,7 +289,7 @@ impl GroupCore {
             });
             self.sequencer_local_send();
         } else {
-            self.parked.insert((self.me, sender_seq), payload.clone());
+            self.parked.insert(self.me, sender_seq, payload.clone());
             // Nagle-style coalescing (DESIGN.md §6): with batching on, a
             // PB request queues behind in-flight traffic and rides the
             // next BcastReqBatch instead of taking its own frame. BB
@@ -509,12 +513,16 @@ impl GroupCore {
             self.history.insert_evicting(entry);
             return;
         }
+        if !self.seqno_plausible(entry.seqno) {
+            return; // corrupt/hostile seqno: treat like a garbled packet
+        }
         // Completion of our own pending send can ride on any copy.
         if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
             self.maybe_complete_send(*origin, *sender_seq, entry.seqno);
         }
         self.tentative.remove(&entry.seqno);
-        self.ooo.entry(entry.seqno).or_insert(entry);
+        let seqno = entry.seqno;
+        self.ooo.insert_if_absent(seqno, entry);
         self.drain_deliverable();
         self.check_gap();
     }
@@ -527,7 +535,7 @@ impl GroupCore {
             if self.tentative.contains(&next) {
                 break;
             }
-            let Some(entry) = self.ooo.remove(&next) else { break };
+            let Some(entry) = self.ooo.remove(next) else { break };
             self.deliver_entry(entry);
             if matches!(self.mode, Mode::Left) {
                 break; // delivered our own expulsion/leave
@@ -606,13 +614,27 @@ impl GroupCore {
         }
     }
 
+    /// Whether a wire-supplied seqno is within plausible reach of our
+    /// delivery point. The flow-control window bounds how far a correct
+    /// sequencer can run ahead of the slowest member (the history cap,
+    /// plus always-admitted control entries), so anything far beyond it
+    /// is corruption or hostility — and the seqno-indexed ring must
+    /// never turn such a value into an allocation size (the ordered map
+    /// this replaced stored one entry; the ring would reserve the gap).
+    /// Dropping a frame here is indistinguishable from wire loss: the
+    /// negative-acknowledgement machinery recovers if we are wrong.
+    pub(crate) fn seqno_plausible(&self, seqno: Seqno) -> bool {
+        let window = (self.config.history_cap as u64).saturating_mul(4).max(4096);
+        seqno.0 <= self.next_expected.0.saturating_add(window)
+    }
+
     /// If entries are parked beyond a hole, ask the sequencer to
     /// retransmit the hole (the negative acknowledgement of paper §2.2).
     pub(crate) fn check_gap(&mut self) {
         if self.nack_open.is_some() {
             return; // one outstanding complaint at a time
         }
-        let Some((&first_parked, _)) = self.ooo.iter().next() else { return };
+        let Some(first_parked) = self.ooo.first_seqno() else { return };
         if first_parked <= self.next_expected {
             return; // no hole: either deliverable or accept-gated
         }
@@ -706,7 +728,7 @@ impl GroupCore {
     pub(crate) fn contiguous_prefix(&self) -> Seqno {
         let mut s = self.next_expected.prev();
         let mut probe = self.next_expected;
-        while self.ooo.contains_key(&probe) {
+        while self.ooo.contains(probe) {
             s = probe;
             probe = probe.next();
         }
@@ -725,7 +747,7 @@ impl GroupCore {
             return;
         };
         self.pending_sends.remove(idx);
-        self.parked.remove(&(origin, sender_seq));
+        self.parked.remove(origin, sender_seq);
         if self.pending_sends.is_empty() {
             self.push(Action::CancelTimer { kind: TimerKind::SendRetransmit });
         }

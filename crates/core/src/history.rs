@@ -10,16 +10,25 @@
 //! Non-sequencer members keep the same structure as a cache: it serves
 //! resilience (r > 0) buffering and lets a member take over as sequencer
 //! after recovery.
+//!
+//! Sequence numbers are dense, so the store is a contiguous
+//! seqno-indexed ring ([`crate::flat::SeqRing`]): insert, lookup and
+//! the floor advance are O(1) per entry instead of the O(log n) of the
+//! ordered map it replaced — this sits on the per-message hot path of
+//! both the sequencer (stamp) and every member (deliver). A model-based
+//! property test (`tests/proptest_history_ring.rs` at the workspace
+//! root) pins the ring to the documented cache semantics.
 
 use std::collections::BTreeMap;
 
+use crate::flat::SeqRing;
 use crate::ids::Seqno;
 use crate::message::{Sequenced, SequencedKind};
 
 /// A bounded, seqno-indexed store of [`Sequenced`] entries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistoryBuffer {
-    entries: BTreeMap<Seqno, Sequenced>,
+    entries: SeqRing<Sequenced>,
     cap: usize,
 }
 
@@ -31,7 +40,7 @@ impl HistoryBuffer {
     /// Panics if `cap` is zero.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "history capacity must be positive");
-        HistoryBuffer { entries: BTreeMap::new(), cap }
+        HistoryBuffer { entries: SeqRing::new(), cap }
     }
 
     /// The configured capacity.
@@ -66,11 +75,11 @@ impl HistoryBuffer {
     pub fn insert(&mut self, entry: Sequenced) {
         if matches!(entry.kind, SequencedKind::App { .. }) {
             assert!(
-                self.has_room_for_app() || self.entries.contains_key(&entry.seqno),
+                self.has_room_for_app() || self.entries.contains(entry.seqno),
                 "history buffer full; caller must refuse app messages first"
             );
         }
-        if let Some(existing) = self.entries.get(&entry.seqno) {
+        if let Some(existing) = self.entries.get(entry.seqno) {
             assert_eq!(existing, &entry, "conflicting history entries for {}", entry.seqno);
             return;
         }
@@ -83,14 +92,27 @@ impl HistoryBuffer {
     /// after recovery); the sequencer itself must use
     /// [`HistoryBuffer::insert`], which never silently discards.
     pub fn insert_evicting(&mut self, entry: Sequenced) {
-        if let Some(existing) = self.entries.get(&entry.seqno) {
+        if let Some(existing) = self.entries.get(entry.seqno) {
             debug_assert_eq!(existing, &entry, "conflicting history entries for {}", entry.seqno);
             return;
         }
-        if self.entries.len() >= self.cap {
-            if let Some((&lowest, _)) = self.entries.iter().next() {
-                self.entries.remove(&lowest);
+        // The cache retains a window of at most `cap` *consecutive*
+        // seqnos ending at the highest retained entry — never arbitrary
+        // stragglers. An entry more than `cap` below the highest is
+        // dropped (the ordered-map version stored it by evicting a
+        // useful entry), and an entry that raises the highest first
+        // evicts everything that falls out of its window. Both rules
+        // exist so the seqno-indexed ring's span — and therefore its
+        // memory — stays O(cap) no matter what gaps the wire supplies.
+        let cap = self.cap as u64;
+        if let Some(highest) = self.entries.last_seqno() {
+            if highest.0.saturating_sub(entry.seqno.0) >= cap {
+                return;
             }
+        }
+        self.entries.remove_below(Seqno((entry.seqno.0 + 1).saturating_sub(cap)));
+        if self.entries.len() >= self.cap {
+            self.entries.remove_first();
         }
         self.entries.insert(entry.seqno, entry);
     }
@@ -99,54 +121,50 @@ impl HistoryBuffer {
     /// (used when a recovery decides those entries did not survive).
     /// Returns how many entries were discarded.
     pub fn truncate_above(&mut self, bound: Seqno) -> usize {
-        let dropped = self.entries.split_off(&bound.next());
-        dropped.len()
+        self.entries.remove_above(bound)
     }
 
     /// Looks up the entry at `seqno`.
     pub fn get(&self, seqno: Seqno) -> Option<&Sequenced> {
-        self.entries.get(&seqno)
+        self.entries.get(seqno)
     }
 
     /// Whether `seqno` is retained.
     pub fn contains(&self, seqno: Seqno) -> bool {
-        self.entries.contains_key(&seqno)
+        self.entries.contains(seqno)
     }
 
     /// Drops every entry with seqno ≤ `floor` (they are globally
     /// acknowledged). Returns how many entries were discarded.
     pub fn gc(&mut self, floor: Seqno) -> usize {
-        let keep = self.entries.split_off(&floor.next());
-        let dropped = self.entries.len();
-        self.entries = keep;
-        dropped
+        self.entries.remove_below(floor.next())
     }
 
     /// The highest retained seqno.
     pub fn highest(&self) -> Option<Seqno> {
-        self.entries.keys().next_back().copied()
+        self.entries.last_seqno()
     }
 
     /// The lowest retained seqno.
     pub fn lowest(&self) -> Option<Seqno> {
-        self.entries.keys().next().copied()
+        self.entries.first_seqno()
     }
 
     /// Iterates entries in seqno order.
     pub fn iter(&self) -> impl Iterator<Item = &Sequenced> {
-        self.entries.values()
+        self.entries.iter().map(|(_, e)| e)
     }
 
     /// Entries within `from..=to`, in order.
     pub fn range(&self, from: Seqno, to: Seqno) -> impl Iterator<Item = &Sequenced> {
-        self.entries.range(from..=to).map(|(_, e)| e)
+        self.entries.range(from, to).map(|(_, e)| e)
     }
 
     /// The highest `sender_seq` stamped per origin, reconstructed by a
     /// new sequencer after recovery to restore duplicate suppression.
     pub fn max_sender_seqs(&self) -> BTreeMap<crate::ids::MemberId, u64> {
         let mut out = BTreeMap::new();
-        for e in self.entries.values() {
+        for e in self.iter() {
             if let SequencedKind::App { origin, sender_seq, .. } = &e.kind {
                 let slot = out.entry(*origin).or_insert(0);
                 if *sender_seq > *slot {

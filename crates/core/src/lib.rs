@@ -67,6 +67,7 @@ mod config;
 mod core;
 mod error;
 mod event;
+mod flat;
 mod history;
 mod ids;
 mod info;
@@ -80,7 +81,7 @@ mod timer;
 mod view;
 
 pub use action::{Action, Dest};
-pub use codec::{decode_wire_msg, encode_wire_msg, DecodeError};
+pub use codec::{decode_wire_frame, decode_wire_msg, encode_wire_msg, DecodeError, FrameEncoder, WireFrame};
 pub use config::{
     BatchPolicy, GroupConfig, Method, BATCH_FRAME_BUDGET, GROUP_HEADER_LEN, USER_HEADER_LEN,
 };

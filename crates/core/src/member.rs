@@ -24,8 +24,8 @@ impl GroupCore {
         }
         self.pre_accepted.remove(&entry.seqno);
         if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
-            self.accepted_awaiting_data.remove(&(*origin, *sender_seq));
-            self.parked.remove(&(*origin, *sender_seq));
+            self.accepted_awaiting_data.remove(*origin, *sender_seq);
+            self.parked.remove(*origin, *sender_seq);
         }
         self.ingest_sequenced(entry);
         self.maybe_report_floor();
@@ -44,16 +44,19 @@ impl GroupCore {
             self.stats.duplicates += 1;
             return;
         }
+        if !self.seqno_plausible(seqno) {
+            return; // corrupt/hostile seqno (see seqno_plausible)
+        }
         if self.pre_accepted.remove(&seqno) {
             // The accept raced ahead of the data: it is official.
             self.ingest_sequenced(entry);
             return;
         }
         if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
-            self.parked.remove(&(*origin, *sender_seq));
+            self.parked.remove(*origin, *sender_seq);
         }
         self.tentative.insert(seqno);
-        self.ooo.entry(seqno).or_insert(entry);
+        self.ooo.insert_if_absent(seqno, entry);
         let am_acker = self.view.resilience_ackers(resilience).contains(&self.me);
         if am_acker {
             if self.contiguous_prefix() >= seqno {
@@ -93,10 +96,13 @@ impl GroupCore {
         if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
             return;
         }
+        if !self.seqno_plausible(seqno) {
+            return; // corrupt/hostile seqno (see seqno_plausible)
+        }
         // Take the parked payload (if any) *before* completing the send:
         // completion bookkeeping also clears the parked entry, and for
         // our own BB messages that payload is the data the accept stamps.
-        let parked = self.parked.remove(&(origin, sender_seq));
+        let parked = self.parked.remove(origin, sender_seq);
         self.maybe_complete_send(origin, sender_seq, seqno);
         if seqno < self.next_expected {
             return; // already delivered
@@ -106,7 +112,7 @@ impl GroupCore {
             self.check_gap();
             return;
         }
-        if self.ooo.contains_key(&seqno) {
+        if self.ooo.contains(seqno) {
             return; // data present and already official
         }
         if let Some(payload) = parked {
@@ -119,8 +125,15 @@ impl GroupCore {
             return;
         }
         // Accept without data: remember it and ask for the payload.
-        self.pre_accepted.insert(seqno);
-        self.accepted_awaiting_data.insert((origin, sender_seq), seqno);
+        // Origin-keyed bookkeeping only for current members — an origin
+        // we do not know (not yet joined in our view, or a forged id)
+        // must not grow the per-member tables. The nack still goes out
+        // either way (it is a single slot, not a table): if the origin
+        // is real, the retransmission brings both its Join and its data.
+        if self.view.contains(origin) {
+            self.pre_accepted.insert(seqno);
+            self.accepted_awaiting_data.insert(origin, sender_seq, seqno);
+        }
         if self.nack_open.is_none() {
             self.send_nack(self.next_expected, seqno);
         }
@@ -137,14 +150,21 @@ impl GroupCore {
             return;
         }
         let origin = hdr.sender;
-        if let Some(seqno) = self.accepted_awaiting_data.remove(&(origin, sender_seq)) {
+        if let Some(seqno) = self.accepted_awaiting_data.remove(origin, sender_seq) {
             self.pre_accepted.remove(&seqno);
             let entry =
                 Sequenced { seqno, kind: SequencedKind::App { origin, sender_seq, payload } };
             self.ingest_sequenced(entry);
             return;
         }
-        self.parked.insert((origin, sender_seq), payload);
+        // Park only for current members: a sender we have not seen join
+        // (or a forged origin) must not grow the parked table — its
+        // message, if real, reaches us via the sequencer's stamped
+        // retransmission once the accept opens a gap.
+        if !self.view.contains(origin) {
+            return;
+        }
+        self.parked.insert(origin, sender_seq, payload);
     }
 
     /// The sequencer asks for status: nack anything we did not know we

@@ -280,7 +280,7 @@ impl GroupCore {
         // Entries beyond the recovered horizon did not survive: r = 0
         // loss (permitted), or unaccepted tentatives (senders retry).
         let horizon = next_seqno.prev();
-        self.ooo.split_off(&next_seqno);
+        self.ooo.remove_above(horizon);
         self.history.truncate_above(horizon);
         self.tentative.clear(); // survivors of the horizon are official
         self.deferred_tent_acks.clear();
@@ -290,7 +290,7 @@ impl GroupCore {
         self.nack_retries = 0;
         // Parked BB payloads from others are stale; our own pending send
         // is re-parked below.
-        self.parked.retain(|(origin, _), _| *origin == self.me);
+        self.parked.retain_origin(self.me);
 
         if sequencer == self.me {
             self.assume_sequencer_role(next_seqno);

@@ -12,6 +12,7 @@ use bytes::Bytes;
 use crate::action::Dest;
 use crate::config::GroupConfig;
 use crate::core::{GroupCore, Mode};
+use crate::flat::OriginTable;
 use crate::ids::{MemberId, Seqno};
 use crate::message::{BatchItem, Body, Hdr, Sequenced, SequencedKind};
 use crate::timer::TimerKind;
@@ -62,10 +63,12 @@ pub(crate) struct SequencerState {
     /// The next sequence number to assign.
     pub(crate) next_seqno: Seqno,
     /// Highest in-order seqno each member has acknowledged (via
-    /// piggyback or status replies).
-    pub(crate) floors: BTreeMap<MemberId, Seqno>,
-    /// Duplicate suppression, per origin.
-    pub(crate) dup: BTreeMap<MemberId, DupState>,
+    /// piggyback or status replies). Flat per-member table: the floor
+    /// note sits on every received packet's path.
+    pub(crate) floors: OriginTable<Seqno>,
+    /// Duplicate suppression, per origin, in a flat per-member table
+    /// (consulted once per stamped message).
+    pub(crate) dup: OriginTable<DupState>,
     /// Stamped items awaiting the next batch flush (batching on;
     /// DESIGN.md §6). Entries here are already in the history and
     /// delivered locally — the batch only delays their multicast.
@@ -97,8 +100,8 @@ impl SequencerState {
     pub(crate) fn new(_config: &GroupConfig) -> Self {
         SequencerState {
             next_seqno: Seqno::ZERO.next(),
-            floors: BTreeMap::new(),
-            dup: BTreeMap::new(),
+            floors: OriginTable::new(),
+            dup: OriginTable::new(),
             batch: Vec::new(),
             batch_bytes: 0,
             pending_acc: BTreeMap::new(),
@@ -116,8 +119,8 @@ impl SequencerState {
     pub(crate) fn assume(next_seqno: Seqno, next_member_id: u32, conservative_floor: Seqno) -> Self {
         SequencerState {
             next_seqno,
-            floors: BTreeMap::new(),
-            dup: BTreeMap::new(),
+            floors: OriginTable::new(),
+            dup: OriginTable::new(),
             batch: Vec::new(),
             batch_bytes: 0,
             pending_acc: BTreeMap::new(),
@@ -137,8 +140,8 @@ impl SequencerState {
     }
 
     pub(crate) fn note_member_left(&mut self, id: MemberId) {
-        self.floors.remove(&id);
-        self.dup.remove(&id);
+        self.floors.remove(id);
+        self.dup.remove(id);
         // A departed member can no longer acknowledge: shrink needs.
         for p in self.pending_acc.values_mut() {
             p.need.remove(&id);
@@ -170,7 +173,7 @@ impl GroupCore {
             // frame of its window was lost), the skipped range is
             // recorded as gaps below so the retransmission can still be
             // stamped.
-            let d = ss.dup.entry(*origin).or_insert_with(|| DupState {
+            let d = ss.dup.or_insert_with(*origin, || DupState {
                 seen: 0,
                 seqno: Seqno::ZERO,
                 strict: false,
@@ -235,7 +238,7 @@ impl GroupCore {
             let prior = self
                 .seq_state
                 .as_ref()
-                .and_then(|ss| ss.dup.get(&me))
+                .and_then(|ss| ss.dup.get(me))
                 .and_then(|d| {
                     if d.seen < sender_seq {
                         return None;
@@ -360,7 +363,7 @@ impl GroupCore {
     /// resubmit them behind their predecessors).
     fn admit_request(&mut self, origin: MemberId, sender_seq: u64) -> bool {
         let ss = self.seq_state.as_ref().expect("sequencer role");
-        let Some(d) = ss.dup.get(&origin) else {
+        let Some(d) = ss.dup.get(origin) else {
             // First contact (fresh member, or a post-recovery rebuild
             // that retained nothing for this origin): accept as-is.
             return true;
@@ -690,7 +693,7 @@ impl GroupCore {
         if !self.view.contains(member) && member != self.me {
             return;
         }
-        let slot = ss.floors.entry(member).or_insert(Seqno::ZERO);
+        let slot = ss.floors.or_insert_with(member, || Seqno::ZERO);
         if floor > *slot {
             *slot = floor;
         }
@@ -712,7 +715,7 @@ impl GroupCore {
             .view
             .members()
             .iter()
-            .map(|m| ss.floors.get(&m.id).copied().unwrap_or(Seqno::ZERO))
+            .map(|m| ss.floors.get(m.id).copied().unwrap_or(Seqno::ZERO))
             .min()
             .unwrap_or(Seqno::ZERO);
         if min > ss.gc_floor {

@@ -13,6 +13,8 @@
 
 use std::collections::HashMap;
 
+use bytes::{BufMut, Bytes, BytesMut};
+
 use crate::addr::FlipAddress;
 
 /// Splits `total_len` bytes into per-fragment lengths of at most
@@ -43,6 +45,52 @@ pub fn split_lens(total_len: u32, max_frag: u32) -> Vec<u32> {
         remaining -= take;
     }
     lens
+}
+
+/// Slices a payload into at most `max_frag`-byte fragments **without
+/// copying**: every fragment is a shared-ownership view of the parent
+/// allocation (see [`bytes::Bytes::slice`]). An empty payload yields
+/// one empty fragment, mirroring [`split_lens`].
+///
+/// # Panics
+///
+/// Panics if `max_frag` is zero.
+///
+/// # Example
+///
+/// ```
+/// use amoeba_flip::split_payload;
+/// use bytes::Bytes;
+/// let payload = Bytes::from(vec![7u8; 8_000]);
+/// let frags = split_payload(&payload, 1_430);
+/// assert_eq!(frags.len(), 6);
+/// assert_eq!(frags.iter().map(|f| f.len()).sum::<usize>(), 8_000);
+/// ```
+pub fn split_payload(payload: &Bytes, max_frag: u32) -> Vec<Bytes> {
+    let lens = split_lens(payload.len() as u32, max_frag);
+    let mut frags = Vec::with_capacity(lens.len());
+    let mut off = 0usize;
+    for len in lens {
+        let len = len as usize;
+        frags.push(payload.slice(off..off + len));
+        off += len;
+    }
+    frags
+}
+
+/// Joins in-order fragment bodies back into one contiguous payload with
+/// **exactly one allocation** — and none at all for a single fragment,
+/// which is returned as-is (the unfragmented fast path).
+pub fn assemble(frags: Vec<Bytes>) -> Bytes {
+    if frags.len() == 1 {
+        return frags.into_iter().next().expect("len checked");
+    }
+    let total: usize = frags.iter().map(Bytes::len).sum();
+    let mut out = BytesMut::with_capacity(total);
+    for frag in &frags {
+        out.put_slice(frag);
+    }
+    out.freeze()
 }
 
 /// Identifies a message being reassembled: fragments of the same message
@@ -149,6 +197,22 @@ impl<B> Reassembler<B> {
     }
 }
 
+impl Reassembler<Bytes> {
+    /// [`Reassembler::insert`] for real byte fragments: on completion
+    /// the bodies are joined via [`assemble`] — exactly one allocation,
+    /// zero for the single-fragment fast path.
+    pub fn insert_payload(
+        &mut self,
+        key: FragKey,
+        index: u16,
+        count: u16,
+        body: Bytes,
+        now: u64,
+    ) -> Option<Bytes> {
+        self.insert(key, index, count, body, now).map(assemble)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +293,52 @@ mod tests {
         assert_eq!(r.pending(), 1);
         // The survivor can still complete.
         assert_eq!(r.insert(key(2), 1, 2, 1, 300), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn split_payload_is_zero_copy() {
+        let payload = Bytes::from((0..=255u8).cycle().take(4000).collect::<Vec<u8>>());
+        let frags = split_payload(&payload, 1430);
+        assert_eq!(frags.len(), 3);
+        let mut off = 0;
+        for frag in &frags {
+            assert!(frag.shares_allocation(&payload), "fragment must be a view, not a copy");
+            assert_eq!(&frag[..], &payload[off..off + frag.len()]);
+            off += frag.len();
+        }
+        assert_eq!(off, payload.len());
+    }
+
+    #[test]
+    fn split_payload_empty_gives_one_empty_fragment() {
+        let frags = split_payload(&Bytes::new(), 100);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].is_empty());
+    }
+
+    #[test]
+    fn assemble_round_trips_and_single_frag_is_free() {
+        let payload = Bytes::from(vec![42u8; 5000]);
+        let frags = split_payload(&payload, 1430);
+        assert_eq!(assemble(frags), payload);
+        // One fragment: returned as-is, same allocation.
+        let single = split_payload(&payload, 8000);
+        assert_eq!(single.len(), 1);
+        assert!(assemble(single).shares_allocation(&payload));
+    }
+
+    #[test]
+    fn reassembler_joins_real_bytes() {
+        let payload = Bytes::from(vec![9u8; 3000]);
+        let frags = split_payload(&payload, 1430);
+        let count = frags.len() as u16;
+        let mut r = Reassembler::new();
+        let mut done = None;
+        // Deliver out of order.
+        for (i, frag) in frags.into_iter().enumerate().rev() {
+            done = r.insert_payload(key(7), i as u16, count, frag, 0);
+        }
+        assert_eq!(done.expect("completes"), payload);
     }
 
     #[test]

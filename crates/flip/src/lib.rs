@@ -54,6 +54,6 @@ pub mod header;
 pub mod routing;
 
 pub use addr::FlipAddress;
-pub use frag::{split_lens, FragKey, Reassembler};
+pub use frag::{assemble, split_lens, split_payload, FragKey, Reassembler};
 pub use header::{DecodeFlipError, FlipHeader, FlipKind, FLIP_HEADER_LEN};
 pub use routing::{Route, RouteTable};

@@ -1,43 +1,122 @@
 //! The in-memory datagram network: endpoints, multicast groups, fault
 //! injection and delivery delay.
 //!
-//! Deliveries below a small threshold happen inline through unbounded
-//! channels (preserving per-link FIFO, like a quiet LAN); longer,
-//! jittered deliveries are carried by short-lived sleeper threads,
-//! which is what makes reordering possible — exactly the adversity the
-//! negative-acknowledgement scheme must absorb.
+//! **Send path** (DESIGN.md §7): the authoritative registry (endpoints,
+//! multicast groups, fault plan) lives behind one mutex, but senders
+//! never take it. Every mutation publishes an immutable [`Snapshot`]
+//! and bumps an epoch counter; each sending endpoint keeps an
+//! epoch-tagged `Arc` of the snapshot ([`NetCache`]) and revalidates
+//! with a single atomic load per datagram. On the fault-free fast path
+//! a send is: atomic load, hash lookup, channel push — no global lock,
+//! no allocation (the frame bytes are refcount-shared).
+//!
+//! **Delay path**: deliveries below a small threshold happen inline
+//! through unbounded channels (preserving per-link FIFO, like a quiet
+//! LAN); longer, jittered deliveries are carried by a single
+//! *delay-wheel* thread owning a monotonic schedule — which is what
+//! makes reordering possible, exactly the adversity the
+//! negative-acknowledgement scheme must absorb. (Earlier versions
+//! spawned one sleeper thread per delayed datagram; under a jittered
+//! fault plan that was unbounded thread churn.)
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use amoeba_core::GroupId;
+use amoeba_core::{GroupId, WireFrame};
 use amoeba_flip::FlipAddress;
-use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::FaultPlan;
 
-/// A raw datagram as delivered to a node: (source address, bytes).
-pub(crate) type Datagram = (FlipAddress, Bytes);
+/// A raw datagram as delivered to a node: (source address, frame).
+/// The frame's segments are refcount-shared, never copied per receiver.
+pub(crate) type Datagram = (FlipAddress, WireFrame);
 
-/// Deliveries with at most this much delay skip the sleeper thread and
+/// Deliveries with at most this much delay skip the delay wheel and
 /// go straight through the channel.
 const INLINE_DELAY: Duration = Duration::from_micros(300);
 
+/// Authoritative membership state, mutated under its mutex.
 struct Registry {
     endpoints: HashMap<FlipAddress, Sender<Datagram>>,
     groups: HashMap<GroupId, Vec<FlipAddress>>,
-    rng: StdRng,
     fault: FaultPlan,
+}
+
+/// An immutable copy of the registry that senders read lock-free.
+/// Group targets are pre-resolved to their channels.
+pub(crate) struct Snapshot {
+    endpoints: HashMap<FlipAddress, Sender<Datagram>>,
+    groups: HashMap<GroupId, Vec<(FlipAddress, Sender<Datagram>)>>,
+    fault: FaultPlan,
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot {
+            endpoints: HashMap::new(),
+            groups: HashMap::new(),
+            fault: FaultPlan::reliable(),
+        }
+    }
+}
+
+/// A sending endpoint's epoch-tagged snapshot handle. Refreshed with
+/// one atomic load per send; the registry mutex is touched only when
+/// membership actually changed.
+pub(crate) struct NetCache {
+    epoch: u64,
+    snap: Arc<Snapshot>,
+}
+
+/// One datagram waiting on the delay wheel.
+struct Delayed {
+    due: Instant,
+    /// Insertion order: ties on `due` deliver FIFO.
+    seq: u64,
+    tx: Sender<Datagram>,
+    datagram: Datagram,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for Delayed {}
+
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
 }
 
 /// The shared network fabric processes plug into.
 pub struct LiveNet {
     registry: Mutex<Registry>,
+    /// The published snapshot (swapped whole on every mutation).
+    snapshot: Mutex<Arc<Snapshot>>,
+    /// Bumped after each snapshot swap; senders revalidate against it.
+    epoch: AtomicU64,
+    /// Fault randomness (touched only on non-trivial fault plans).
+    rng: Mutex<StdRng>,
+    /// The delay wheel's inbox (thread spawned on first delayed send).
+    wheel: Mutex<Option<Sender<Delayed>>>,
+    /// Monotone insertion counter for stable delivery order.
+    wheel_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for LiveNet {
@@ -59,20 +138,62 @@ impl LiveNet {
     /// Panics if the fault plan is invalid.
     pub fn new(seed: u64, fault: FaultPlan) -> Arc<Self> {
         fault.validate().expect("valid fault plan");
-        Arc::new(LiveNet {
+        let net = Arc::new(LiveNet {
             registry: Mutex::new(Registry {
                 endpoints: HashMap::new(),
                 groups: HashMap::new(),
-                rng: StdRng::seed_from_u64(seed),
                 fault,
             }),
-        })
+            snapshot: Mutex::new(Arc::new(Snapshot::empty())),
+            epoch: AtomicU64::new(1),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            wheel: Mutex::new(None),
+            wheel_seq: AtomicU64::new(0),
+        });
+        net.publish(&net.registry.lock());
+        net
+    }
+
+    /// Rebuilds and publishes the snapshot from the (locked) registry.
+    fn publish(&self, reg: &Registry) {
+        let snap = Arc::new(Snapshot {
+            endpoints: reg.endpoints.clone(),
+            groups: reg
+                .groups
+                .iter()
+                .map(|(g, addrs)| {
+                    let resolved = addrs
+                        .iter()
+                        .filter_map(|a| reg.endpoints.get(a).map(|tx| (*a, tx.clone())))
+                        .collect();
+                    (*g, resolved)
+                })
+                .collect(),
+            fault: reg.fault,
+        });
+        *self.snapshot.lock() = snap;
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// A fresh sender-side cache (stale; refreshed on first use).
+    pub(crate) fn cache(&self) -> NetCache {
+        NetCache { epoch: 0, snap: Arc::new(Snapshot::empty()) }
+    }
+
+    fn refresh(&self, cache: &mut NetCache) {
+        let now = self.epoch.load(Ordering::Acquire);
+        if cache.epoch != now {
+            cache.epoch = now;
+            cache.snap = Arc::clone(&self.snapshot.lock());
+        }
     }
 
     /// Registers a process endpoint; returns its datagram receiver.
     pub(crate) fn register(&self, addr: FlipAddress) -> Receiver<Datagram> {
         let (tx, rx) = channel::unbounded();
-        self.registry.lock().endpoints.insert(addr, tx);
+        let mut reg = self.registry.lock();
+        reg.endpoints.insert(addr, tx);
+        self.publish(&reg);
         rx
     }
 
@@ -84,6 +205,7 @@ impl LiveNet {
         for members in reg.groups.values_mut() {
             members.retain(|a| *a != addr);
         }
+        self.publish(&reg);
     }
 
     /// Adds an endpoint to a multicast group.
@@ -93,68 +215,101 @@ impl LiveNet {
         if !members.contains(&addr) {
             members.push(addr);
         }
+        self.publish(&reg);
     }
 
     /// Sends point-to-point.
-    pub(crate) fn unicast(&self, from: FlipAddress, to: FlipAddress, bytes: Bytes) {
-        self.transmit(from, &[to], bytes);
+    pub(crate) fn unicast(
+        &self,
+        cache: &mut NetCache,
+        from: FlipAddress,
+        to: FlipAddress,
+        frame: WireFrame,
+    ) {
+        self.refresh(cache);
+        let snap = &cache.snap;
+        let fault = snap.fault;
+        if let Some(tx) = snap.endpoints.get(&to) {
+            self.deliver_one(tx, from, frame, fault);
+        }
     }
 
     /// Sends to every group member except the sender (multicast does
     /// not loop back, as on real hardware).
-    pub(crate) fn multicast(&self, from: FlipAddress, group: GroupId, bytes: Bytes) {
-        let targets: Vec<FlipAddress> = {
-            let reg = self.registry.lock();
-            reg.groups
-                .get(&group)
-                .map(|m| m.iter().copied().filter(|a| *a != from).collect())
-                .unwrap_or_default()
-        };
-        self.transmit(from, &targets, bytes);
+    pub(crate) fn multicast(
+        &self,
+        cache: &mut NetCache,
+        from: FlipAddress,
+        group: GroupId,
+        frame: WireFrame,
+    ) {
+        self.refresh(cache);
+        let snap = &cache.snap;
+        let fault = snap.fault;
+        let Some(targets) = snap.groups.get(&group) else { return };
+        for (addr, tx) in targets {
+            if *addr != from {
+                self.deliver_one(tx, from, frame.clone(), fault);
+            }
+        }
     }
 
-    fn transmit(&self, from: FlipAddress, targets: &[FlipAddress], bytes: Bytes) {
-        // Decide each delivery's fate under the lock, execute outside.
-        let mut deliveries: Vec<(Sender<Datagram>, Duration, u32)> = Vec::new();
-        {
-            let mut reg = self.registry.lock();
-            let fault = reg.fault;
-            for &to in targets {
-                let copies = if fault.loss > 0.0 && reg.rng.gen_bool(fault.loss) {
-                    0u32
-                } else if fault.duplicate > 0.0 && reg.rng.gen_bool(fault.duplicate) {
-                    2
-                } else {
-                    1
-                };
-                if copies == 0 {
-                    continue;
-                }
-                let span = fault.max_delay.saturating_sub(fault.min_delay);
-                let jitter = if span.is_zero() {
-                    Duration::ZERO
-                } else {
-                    Duration::from_nanos(reg.rng.gen_range(0..span.as_nanos() as u64))
-                };
-                if let Some(tx) = reg.endpoints.get(&to) {
-                    deliveries.push((tx.clone(), fault.min_delay + jitter, copies));
-                }
+    /// Applies the fault plan to one (packet, receiver) pair and hands
+    /// it to the channel or the delay wheel.
+    fn deliver_one(
+        &self,
+        tx: &Sender<Datagram>,
+        from: FlipAddress,
+        frame: WireFrame,
+        fault: FaultPlan,
+    ) {
+        // Fault-free fast path: no randomness, no locks, no copies.
+        if fault.loss == 0.0 && fault.duplicate == 0.0 && fault.max_delay <= INLINE_DELAY {
+            let _ = tx.send((from, frame));
+            return;
+        }
+        let (copies, delay) = {
+            let mut rng = self.rng.lock();
+            let copies = if fault.loss > 0.0 && rng.gen_bool(fault.loss) {
+                0u32
+            } else if fault.duplicate > 0.0 && rng.gen_bool(fault.duplicate) {
+                2
+            } else {
+                1
+            };
+            if copies == 0 {
+                return;
+            }
+            let span = fault.max_delay.saturating_sub(fault.min_delay);
+            let jitter = if span.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.gen_range(0..span.as_nanos() as u64))
+            };
+            (copies, fault.min_delay + jitter)
+        };
+        for _ in 0..copies {
+            if delay <= INLINE_DELAY {
+                let _ = tx.send((from, frame.clone()));
+            } else {
+                self.schedule(Instant::now() + delay, tx.clone(), (from, frame.clone()));
             }
         }
-        for (tx, delay, copies) in deliveries {
-            for _ in 0..copies {
-                if delay <= INLINE_DELAY {
-                    let _ = tx.send((from, bytes.clone()));
-                } else {
-                    let tx = tx.clone();
-                    let bytes = bytes.clone();
-                    std::thread::spawn(move || {
-                        std::thread::sleep(delay);
-                        let _ = tx.send((from, bytes));
-                    });
-                }
-            }
-        }
+    }
+
+    /// Hands a datagram to the delay wheel, spawning it on first use.
+    fn schedule(&self, due: Instant, tx: Sender<Datagram>, datagram: Datagram) {
+        let seq = self.wheel_seq.fetch_add(1, Ordering::Relaxed);
+        let mut wheel = self.wheel.lock();
+        let inbox = wheel.get_or_insert_with(|| {
+            let (tx, rx) = channel::unbounded();
+            std::thread::Builder::new()
+                .name("amoeba-net-wheel".into())
+                .spawn(move || run_wheel(rx))
+                .expect("spawn delay wheel");
+            tx
+        });
+        let _ = inbox.send(Delayed { due, seq, tx, datagram });
     }
 
     /// Replaces the fault plan at runtime (tests heal the network this
@@ -165,37 +320,79 @@ impl LiveNet {
     /// Panics if the new plan is invalid.
     pub fn set_fault(&self, fault: FaultPlan) {
         fault.validate().expect("valid fault plan");
-        self.registry.lock().fault = fault;
+        let mut reg = self.registry.lock();
+        reg.fault = fault;
+        self.publish(&reg);
+    }
+}
+
+/// The delay wheel: one thread delivering scheduled datagrams at their
+/// due instants. Exits once every [`LiveNet`] handle is gone *and* the
+/// schedule has drained (already-scheduled packets still arrive on
+/// time, like packets in flight on a real wire).
+fn run_wheel(rx: Receiver<Delayed>) {
+    let mut schedule: BinaryHeap<Delayed> = BinaryHeap::new();
+    let mut open = true;
+    loop {
+        let now = Instant::now();
+        while schedule.peek().is_some_and(|d| d.due <= now) {
+            let d = schedule.pop().expect("peeked");
+            let _ = d.tx.send(d.datagram);
+        }
+        if !open && schedule.is_empty() {
+            return;
+        }
+        if open {
+            let timeout = schedule
+                .peek()
+                .map(|d| d.due.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(100));
+            match rx.recv_timeout(timeout) {
+                Ok(d) => schedule.push(d),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+        } else {
+            let due = schedule.peek().expect("non-empty").due;
+            std::thread::sleep(due.saturating_duration_since(Instant::now()));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn addr(n: u64) -> FlipAddress {
         FlipAddress::process(n)
     }
 
+    fn frame(b: &'static [u8]) -> WireFrame {
+        WireFrame::from(Bytes::from_static(b))
+    }
+
     #[test]
     fn unicast_reaches_endpoint() {
         let net = LiveNet::new(1, FaultPlan::reliable());
+        let mut cache = net.cache();
         let rx = net.register(addr(1));
-        net.unicast(addr(2), addr(1), Bytes::from_static(b"hi"));
+        net.unicast(&mut cache, addr(2), addr(1), frame(b"hi"));
         let (from, data) = rx.recv_timeout(Duration::from_secs(1)).expect("delivered");
         assert_eq!(from, addr(2));
-        assert_eq!(&data[..], b"hi");
+        assert_eq!(&data.head[..], b"hi");
     }
 
     #[test]
     fn multicast_excludes_sender() {
         let net = LiveNet::new(1, FaultPlan::reliable());
+        let mut cache = net.cache();
         let g = GroupId(9);
         let rx1 = net.register(addr(1));
         let rx2 = net.register(addr(2));
         net.join_mcast(g, addr(1));
         net.join_mcast(g, addr(2));
-        net.multicast(addr(1), g, Bytes::from_static(b"m"));
+        net.multicast(&mut cache, addr(1), g, frame(b"m"));
         assert!(rx2.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(rx1.try_recv().is_err(), "no loopback");
     }
@@ -203,18 +400,33 @@ mod tests {
     #[test]
     fn unregistered_endpoint_blackholes() {
         let net = LiveNet::new(1, FaultPlan::reliable());
+        let mut cache = net.cache();
         let rx = net.register(addr(1));
         net.unregister(addr(1));
-        net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+        net.unicast(&mut cache, addr(2), addr(1), frame(b"x"));
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn stale_cache_catches_up_with_membership() {
+        let net = LiveNet::new(1, FaultPlan::reliable());
+        let mut cache = net.cache();
+        let rx1 = net.register(addr(1));
+        net.unicast(&mut cache, addr(9), addr(1), frame(b"a"));
+        assert!(rx1.recv_timeout(Duration::from_secs(1)).is_ok());
+        // A later registration must be visible through the same cache.
+        let rx2 = net.register(addr(2));
+        net.unicast(&mut cache, addr(9), addr(2), frame(b"b"));
+        assert!(rx2.recv_timeout(Duration::from_secs(1)).is_ok());
     }
 
     #[test]
     fn total_loss_drops_everything() {
         let net = LiveNet::new(1, FaultPlan { loss: 1.0, ..FaultPlan::reliable() });
+        let mut cache = net.cache();
         let rx = net.register(addr(1));
         for _ in 0..20 {
-            net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+            net.unicast(&mut cache, addr(2), addr(1), frame(b"x"));
         }
         assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
     }
@@ -222,9 +434,61 @@ mod tests {
     #[test]
     fn duplication_produces_extra_copies() {
         let net = LiveNet::new(1, FaultPlan { duplicate: 1.0, ..FaultPlan::reliable() });
+        let mut cache = net.cache();
         let rx = net.register(addr(1));
-        net.unicast(addr(2), addr(1), Bytes::from_static(b"x"));
+        net.unicast(&mut cache, addr(2), addr(1), frame(b"x"));
         assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
         assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok(), "second copy expected");
+    }
+
+    #[test]
+    fn delay_wheel_delivers_on_schedule_without_thread_churn() {
+        // Delays past INLINE_DELAY ride the wheel; all must arrive.
+        let net = LiveNet::new(
+            3,
+            FaultPlan {
+                min_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                ..FaultPlan::reliable()
+            },
+        );
+        let mut cache = net.cache();
+        let rx = net.register(addr(1));
+        let start = Instant::now();
+        for _ in 0..50 {
+            net.unicast(&mut cache, addr(2), addr(1), frame(b"d"));
+        }
+        for _ in 0..50 {
+            rx.recv_timeout(Duration::from_secs(2)).expect("wheel delivers");
+        }
+        assert!(start.elapsed() >= Duration::from_millis(1), "not delivered early");
+    }
+
+    #[test]
+    fn wheel_schedule_orders_by_due_time() {
+        let (tx, rx) = channel::unbounded::<Datagram>();
+        let (inbox, wheel_rx) = channel::unbounded::<Delayed>();
+        let h = std::thread::spawn(move || run_wheel(wheel_rx));
+        let now = Instant::now();
+        let late = Delayed {
+            due: now + Duration::from_millis(30),
+            seq: 0,
+            tx: tx.clone(),
+            datagram: (addr(1), frame(b"late")),
+        };
+        let early = Delayed {
+            due: now + Duration::from_millis(5),
+            seq: 1,
+            tx,
+            datagram: (addr(1), frame(b"early")),
+        };
+        inbox.send(late).expect("wheel alive");
+        inbox.send(early).expect("wheel alive");
+        drop(inbox); // wheel drains the schedule, then exits
+        let (_, first) = rx.recv_timeout(Duration::from_secs(1)).expect("first");
+        let (_, second) = rx.recv_timeout(Duration::from_secs(1)).expect("second");
+        assert_eq!(&first.head[..], b"early", "earlier due time delivers first");
+        assert_eq!(&second.head[..], b"late");
+        h.join().expect("wheel exits after draining");
     }
 }

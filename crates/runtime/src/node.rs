@@ -6,14 +6,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use amoeba_core::{
-    decode_wire_msg, encode_wire_msg, Action, Dest, GroupCore, GroupError, GroupEvent,
+    decode_wire_frame, Action, Dest, FrameEncoder, GroupCore, GroupError, GroupEvent,
     GroupId, GroupInfo, Seqno, TimerKind,
 };
 use amoeba_flip::FlipAddress;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use crate::net::{Datagram, LiveNet};
+use crate::net::{Datagram, LiveNet, NetCache};
 
 /// A one-shot completion slot for a blocking primitive.
 pub(crate) struct Slot<T> {
@@ -65,6 +65,11 @@ pub(crate) enum Ctl {
 pub(crate) struct NodeShared {
     pub(crate) core: Mutex<GroupCore>,
     pub(crate) net: Arc<LiveNet>,
+    /// This endpoint's frame encoder (reusable scratch, DESIGN.md §7).
+    encoder: Mutex<FrameEncoder>,
+    /// This endpoint's epoch-cached membership snapshot: sends read it
+    /// instead of locking the fabric's registry per datagram.
+    net_cache: Mutex<NetCache>,
     pub(crate) group: GroupId,
     pub(crate) addr: FlipAddress,
     pub(crate) timers: Mutex<HashMap<TimerKind, (u64, Instant)>>,
@@ -98,9 +103,12 @@ impl NodeShared {
         ctl_tx: Sender<Ctl>,
     ) -> Arc<Self> {
         let (send_done_tx, send_done_rx) = channel::unbounded();
+        let net_cache = Mutex::new(net.cache());
         Arc::new(NodeShared {
             core: Mutex::new(core),
             net,
+            encoder: Mutex::new(FrameEncoder::new()),
+            net_cache,
             group,
             addr,
             timers: Mutex::new(HashMap::new()),
@@ -122,10 +130,14 @@ impl NodeShared {
         for action in actions {
             match action {
                 Action::Send { dest, msg } => {
-                    let bytes = encode_wire_msg(&msg);
+                    // Zero-copy from here on: large payloads ride as a
+                    // gathered tail segment, and every receiver shares
+                    // the same two refcounted segments (DESIGN.md §7).
+                    let frame = self.encoder.lock().encode_frame(&msg);
+                    let cache = &mut *self.net_cache.lock();
                     match dest {
-                        Dest::Unicast(to) => self.net.unicast(self.addr, to, bytes),
-                        Dest::Group => self.net.multicast(self.addr, self.group, bytes),
+                        Dest::Unicast(to) => self.net.unicast(cache, self.addr, to, frame),
+                        Dest::Group => self.net.multicast(cache, self.addr, self.group, frame),
                     }
                 }
                 Action::SetTimer { kind, after_us } => {
@@ -231,8 +243,8 @@ pub(crate) fn drive(shared: Arc<NodeShared>, data_rx: Receiver<Datagram>, ctl_rx
             .unwrap_or(Duration::from_millis(100));
         channel::select! {
             recv(data_rx) -> d => {
-                let Ok((from, bytes)) = d else { return };
-                match decode_wire_msg(&mut bytes.clone()) {
+                let Ok((from, frame)) = d else { return };
+                match decode_wire_frame(frame) {
                     Ok(msg) => {
                         let actions = {
                             let mut core = shared.core.lock();

@@ -3,9 +3,9 @@
 //! total-order property under randomized loss/duplication schedules.
 
 use amoeba::core::{
-    decode_wire_msg, encode_wire_msg, pack_batch_items, BatchItem, BatchReq, Body, GroupId, Hdr,
-    HistoryBuffer, MemberId, Seqno, Sequenced, SequencedKind, ViewId, WireMsg,
-    BATCH_FRAME_BUDGET,
+    decode_wire_frame, decode_wire_msg, encode_wire_msg, pack_batch_items, BatchItem, BatchReq,
+    Body, FrameEncoder, GroupId, Hdr, HistoryBuffer, MemberId, Seqno, Sequenced, SequencedKind,
+    ViewId, WireMsg, BATCH_FRAME_BUDGET,
 };
 use amoeba::flip::{split_lens, FlipAddress, FragKey, Reassembler};
 use bytes::Bytes;
@@ -124,7 +124,33 @@ proptest! {
     #[test]
     fn codec_never_panics_on_garbage(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
         // Arbitrary bytes must decode to Ok or Err, never panic.
-        let _ = decode_wire_msg(&mut &raw[..]);
+        let _ = decode_wire_msg(&mut Bytes::from(raw));
+    }
+
+    #[test]
+    fn gather_frames_roundtrip_arbitrary_messages(
+        sender in arb_member(),
+        body in arb_body(),
+    ) {
+        // The segmented (gather) encoding must be observably identical
+        // to the contiguous one for every body shape — payloads above
+        // the gather threshold just travel as a shared tail segment.
+        let msg = WireMsg {
+            hdr: Hdr {
+                group: GroupId(5),
+                view: ViewId(3),
+                sender,
+                last_delivered: Seqno(10),
+                gc_floor: Seqno(9),
+            },
+            body,
+        };
+        let mut enc = FrameEncoder::new();
+        let frame = enc.encode_frame(&msg);
+        // The joined segments are byte-identical to the one-shot frame.
+        prop_assert_eq!(frame.to_contiguous(), encode_wire_msg(&msg));
+        let decoded = decode_wire_frame(frame).expect("frame decodes");
+        prop_assert_eq!(decoded, msg);
     }
 
     #[test]

@@ -76,6 +76,35 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Whether this handle is the sole owner of the underlying
+    /// allocation (no other `Bytes` share it). A `true` answer means
+    /// [`Bytes::try_unwrap_vec`] will succeed; buffer pools use this to
+    /// reclaim frames once every receiver has dropped its view.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// Recovers the underlying `Vec<u8>` without copying, if this is
+    /// the sole owner of the allocation.
+    ///
+    /// The returned vector is the *whole* allocation, not just this
+    /// view's window — callers reusing it as scratch clear it anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `Bytes` unchanged when other handles still share it.
+    pub fn try_unwrap_vec(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
+    }
+
+    /// Whether `self` and `other` are views into the same allocation
+    /// (shared ownership, not merely equal contents). Zero-copy guard
+    /// tests use this to prove a decode did not copy.
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 impl Deref for Bytes {
@@ -215,6 +244,24 @@ impl BytesMut {
     /// Creates an empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut { buf: Vec::with_capacity(cap), read: 0 }
+    }
+
+    /// Wraps an existing vector (its contents become the unread bytes).
+    /// With a recycled vector (see [`Bytes::try_unwrap_vec`]) this is
+    /// how a frame encoder reuses one allocation across frames.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf, read: 0 }
+    }
+
+    /// Drops all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.read = 0;
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Unread length.
@@ -440,6 +487,28 @@ mod tests {
         let head = b.copy_to_bytes(2);
         assert_eq!(&head[..], &[9, 8]);
         assert_eq!(&b[..], &[7, 6]);
+    }
+
+    #[test]
+    fn unique_ownership_reclaims_the_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let view = b.slice(1..3);
+        assert!(b.shares_allocation(&view));
+        assert!(!b.is_unique(), "the slice still shares");
+        let b = b.try_unwrap_vec().expect_err("shared: must refuse");
+        drop(view);
+        assert!(b.is_unique());
+        let v = b.try_unwrap_vec().expect("sole owner");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bytes_mut_recycles_a_vec() {
+        let mut m = BytesMut::from_vec(vec![9u8; 4]);
+        m.clear();
+        m.reserve(8);
+        m.put_u16(0x0102);
+        assert_eq!(&m[..], &[1, 2]);
     }
 
     #[test]

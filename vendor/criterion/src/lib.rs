@@ -7,7 +7,13 @@
 //! statistics, plots, or saved baselines. Running under `cargo test`
 //! (which passes `--test` to `harness = false` targets) executes
 //! nothing, keeping the tier-1 gate fast.
+//!
+//! When the `AMOEBA_BENCH_JSON` environment variable names a file,
+//! every measurement is *also* appended there as one JSON object per
+//! line (`{"name":…,"ns_per_iter":…}`), so harnesses can archive the
+//! perf trajectory (see `figures --json` / `BENCH_3.json`).
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Returns its argument, opaque to the optimizer.
@@ -121,6 +127,24 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, m
         None => String::new(),
     };
     println!("bench {name:<40} {ns:>12.0} ns/iter{rate}");
+    if let Ok(path) = std::env::var("AMOEBA_BENCH_JSON") {
+        if !path.is_empty() {
+            let escaped: String = name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c if c.is_control() => vec!['?'],
+                    c => vec![c],
+                })
+                .collect();
+            let line = format!("{{\"name\":\"{escaped}\",\"ns_per_iter\":{ns:.1}}}\n");
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+    }
 }
 
 /// Collects benchmark functions into one group runner.
