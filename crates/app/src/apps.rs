@@ -1,0 +1,167 @@
+//! Stock applications shared by both hosts.
+
+use bytes::Bytes;
+
+use crate::{AppEvent, Ctx, GroupApp, TimerId};
+
+/// The paper's measurement workload as a [`GroupApp`]: streams
+/// `remaining` fixed-size messages, keeping the group's `send_window`
+/// in flight (window 1 is the paper's blocking loop; larger windows
+/// pipeline). This is what `amoeba-kernel` installs for
+/// `Workload::Sender`, so every delay/throughput experiment drives the
+/// exact app API any user workload would.
+#[derive(Debug)]
+pub struct SenderApp {
+    /// One shared payload allocation, cloned per send (refcounted).
+    payload: Bytes,
+    /// Sends not yet queued (`u64::MAX` ≈ continuous).
+    remaining: u64,
+    /// Sends queued but not yet completed.
+    outstanding: u64,
+}
+
+impl SenderApp {
+    /// Streams `remaining` messages of `size` zero bytes each.
+    pub fn new(size: u32, remaining: u64) -> Self {
+        SenderApp {
+            payload: Bytes::from(vec![0u8; size as usize]),
+            remaining,
+            outstanding: 0,
+        }
+    }
+
+    /// Sends left to queue.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn send_one(&mut self, ctx: &mut dyn Ctx) {
+        self.remaining -= 1;
+        self.outstanding += 1;
+        ctx.send(self.payload.clone());
+    }
+}
+
+impl GroupApp for SenderApp {
+    fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        if self.remaining == 0 {
+            // Nothing to stream means no completion will ever arrive
+            // to stop on — finish immediately instead of idling.
+            ctx.stop();
+            return;
+        }
+        // Fill the pipelining window; the host issues these one at a
+        // time as window room allows, exactly like a blocking sender
+        // thread (or, with a window > 1, a pipelined one).
+        let window = ctx.config().send_window.max(1) as u64;
+        for _ in 0..window.min(self.remaining) {
+            self.send_one(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
+        if let AppEvent::SendDone(_) = event {
+            self.outstanding -= 1;
+            if self.remaining > 0 {
+                self.send_one(ctx);
+            } else if self.outstanding == 0 {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut dyn Ctx, _timer: TimerId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use amoeba_core::{GroupConfig, GroupInfo, Seqno};
+
+    use super::*;
+
+    /// A recording `Ctx` for driving apps without a host.
+    struct MockCtx {
+        window: usize,
+        sent: Vec<Bytes>,
+        stopped: bool,
+    }
+
+    impl Ctx for MockCtx {
+        fn send(&mut self, payload: Bytes) {
+            self.sent.push(payload);
+        }
+        fn reset_group(&mut self, _min_members: usize) {}
+        fn leave(&mut self) {}
+        fn crash(&mut self) {}
+        fn set_timer(&mut self, _timer: TimerId, _after: Duration) {}
+        fn cancel_timer(&mut self, _timer: TimerId) {}
+        fn now(&self) -> Duration {
+            Duration::ZERO
+        }
+        fn info(&self) -> GroupInfo {
+            unimplemented!("SenderApp never asks")
+        }
+        fn config(&self) -> GroupConfig {
+            GroupConfig { send_window: self.window, ..GroupConfig::default() }
+        }
+        fn stop(&mut self) {
+            self.stopped = true;
+        }
+    }
+
+    fn done(app: &mut SenderApp, ctx: &mut MockCtx) {
+        app.on_event(ctx, AppEvent::SendDone(Ok(Seqno(1))));
+    }
+
+    #[test]
+    fn fills_the_window_then_streams_one_per_completion() {
+        let mut ctx = MockCtx { window: 4, sent: Vec::new(), stopped: false };
+        let mut app = SenderApp::new(16, 10);
+        app.on_start(&mut ctx);
+        assert_eq!(ctx.sent.len(), 4, "initial fill is the pipelining window");
+        assert!(ctx.sent.iter().all(|p| p.len() == 16));
+        done(&mut app, &mut ctx);
+        done(&mut app, &mut ctx);
+        assert_eq!(ctx.sent.len(), 6, "one fresh send per completion");
+        assert_eq!(app.remaining(), 4);
+        assert!(!ctx.stopped);
+    }
+
+    #[test]
+    fn short_runs_fill_less_and_stop_after_the_last_completion() {
+        let mut ctx = MockCtx { window: 8, sent: Vec::new(), stopped: false };
+        let mut app = SenderApp::new(0, 3);
+        app.on_start(&mut ctx);
+        assert_eq!(ctx.sent.len(), 3, "never queues more than remaining");
+        done(&mut app, &mut ctx);
+        done(&mut app, &mut ctx);
+        assert!(!ctx.stopped, "stops only after the last completion");
+        done(&mut app, &mut ctx);
+        assert!(ctx.stopped);
+        assert_eq!(ctx.sent.len(), 3);
+    }
+
+    #[test]
+    fn zero_remaining_stops_immediately() {
+        let mut ctx = MockCtx { window: 4, sent: Vec::new(), stopped: false };
+        let mut app = SenderApp::new(0, 0);
+        app.on_start(&mut ctx);
+        assert!(ctx.sent.is_empty());
+        assert!(ctx.stopped, "a sender with nothing to send must not idle forever");
+    }
+
+    #[test]
+    fn window_one_is_the_blocking_loop() {
+        let mut ctx = MockCtx { window: 1, sent: Vec::new(), stopped: false };
+        let mut app = SenderApp::new(0, u64::MAX);
+        app.on_start(&mut ctx);
+        assert_eq!(ctx.sent.len(), 1);
+        for _ in 0..5 {
+            done(&mut app, &mut ctx);
+        }
+        assert_eq!(ctx.sent.len(), 6, "exactly one outstanding send at a time");
+        assert!(!ctx.stopped, "a continuous sender never stops");
+    }
+}

@@ -33,10 +33,11 @@ pub const BATCH_ITEMS_BUDGET: u32 = BATCH_FRAME_BUDGET - GROUP_HEADER_LEN - 2;
 /// `send_window` > 1 correspondingly coalesce queued requests into
 /// `BcastReqBatch` frames. `Off` (the default) reproduces the paper's
 /// one-multicast-per-message behaviour bit for bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BatchPolicy {
     /// No batching: every stamped message is its own multicast (the
     /// paper's protocol, and the default).
+    #[default]
     Off,
     /// Coalesce up to `max_batch` messages per batch frame.
     On {
@@ -70,12 +71,6 @@ impl BatchPolicy {
             BatchPolicy::Off => 0,
             BatchPolicy::On { flush_us, .. } => flush_us,
         }
-    }
-}
-
-impl Default for BatchPolicy {
-    fn default() -> Self {
-        BatchPolicy::Off
     }
 }
 

@@ -66,6 +66,49 @@ impl std::fmt::Display for GroupError {
 
 impl std::error::Error for GroupError {}
 
+/// The unified error of the whole stack: everything a group primitive,
+/// a receive loop, or an application host can fail with. Protocol
+/// failures arrive as [`Error::Group`]; the two channel-shaped
+/// outcomes of event delivery (`ReceiveFromGroup` in the live runtime)
+/// are first-class variants. The facade re-exports this as
+/// `amoeba::Error`, and every example and [`crate::Action`]-driven
+/// host reports through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A group primitive failed; see [`GroupError`] for the reason.
+    Group(GroupError),
+    /// The membership has ended (left, expelled, crashed, or the
+    /// handle was dropped) and no further events will arrive.
+    Disconnected,
+    /// No event arrived within the requested timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Group(e) => e.fmt(f),
+            Error::Disconnected => write!(f, "membership ended"),
+            Error::Timeout => write!(f, "no event within the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Group(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GroupError> for Error {
+    fn from(e: GroupError) -> Self {
+        Error::Group(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +132,16 @@ mod tests {
             assert!(s.chars().next().unwrap().is_lowercase());
             assert!(!s.ends_with('.'));
         }
+    }
+
+    #[test]
+    fn unified_error_wraps_and_displays() {
+        let e: Error = GroupError::NotMember.into();
+        assert_eq!(e, Error::Group(GroupError::NotMember));
+        assert_eq!(e.to_string(), GroupError::NotMember.to_string());
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(Error::Disconnected.to_string(), "membership ended");
+        assert_eq!(Error::Timeout.to_string(), "no event within the timeout");
+        assert!(std::error::Error::source(&Error::Timeout).is_none());
     }
 }

@@ -161,7 +161,7 @@ impl<T> SeqRing<T> {
 
     /// The lowest occupied seqno (O(1): ends are trimmed).
     pub(crate) fn first_seqno(&self) -> Option<Seqno> {
-        (!self.slots.is_empty()).then(|| Seqno(self.base))
+        (!self.slots.is_empty()).then_some(Seqno(self.base))
     }
 
     /// The highest occupied seqno (O(1): ends are trimmed).

@@ -86,7 +86,7 @@ pub use config::{
     BatchPolicy, GroupConfig, Method, BATCH_FRAME_BUDGET, GROUP_HEADER_LEN, USER_HEADER_LEN,
 };
 pub use core::GroupCore;
-pub use error::GroupError;
+pub use error::{Error, GroupError};
 pub use event::GroupEvent;
 pub use history::HistoryBuffer;
 pub use ids::{GroupId, MemberId, Seqno, ViewId};

@@ -20,11 +20,13 @@
 //! root); the calibration it rests on is EXPERIMENTS.md.
 
 mod cost;
+mod host;
 mod node;
 mod payload;
 mod world;
 
 pub use cost::CostModel;
+pub use host::{SimHost, SimRun};
 pub use node::{NodeStats, SimNode, Workload};
 pub use payload::{SimFrag, SimPacket};
 pub use world::{Kernel, KernelWorld, SimWorld, WorldMetrics, LINK_HEADER_LEN};

@@ -1,6 +1,7 @@
 //! One simulated machine: its kernel protocol entities and the
 //! application workload driving them.
 
+use amoeba_app::GroupApp;
 use amoeba_core::{GroupCore, GroupId};
 use amoeba_flip::{FlipAddress, Reassembler};
 use amoeba_net::HostId;
@@ -9,17 +10,19 @@ use amoeba_sim::SimTime;
 
 use crate::payload::SimPacket;
 
-/// The application behaviour running on a node. All the paper's
-/// workloads are serial blocking loops (the primitives block;
-/// parallelism comes from threads, and the experiments use one sending
-/// thread per member).
+/// The canned application behaviours predating the portable
+/// [`GroupApp`] API. `Sender` is now sugar: `SimWorld::set_workload`
+/// installs an [`amoeba_app::SenderApp`] for it, so the kernel's only
+/// hard-coded application logic left is the RPC baseline (which is not
+/// group communication and has no portable host). New scenarios should
+/// implement [`GroupApp`] and use `SimWorld::set_app` (or `SimHost`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// Receives only.
     Idle,
     /// Sends `remaining` messages of `size` bytes back to back (each
     /// send waits for the previous completion — the paper's delay and
-    /// throughput loops).
+    /// throughput loops). Desugars to [`amoeba_app::SenderApp`].
     Sender {
         /// Payload bytes per message.
         size: u32,
@@ -66,8 +69,22 @@ pub struct SimNode {
     pub rpc_client: Option<RpcClient>,
     /// RPC server entity, if the workload answers.
     pub rpc_server: Option<RpcServer>,
-    /// The application behaviour.
+    /// The application behaviour (RPC baseline workloads only; group
+    /// applications live in `app`).
     pub workload: Workload,
+    /// The event-driven application hosted on this node, if any.
+    pub(crate) app: Option<Box<dyn GroupApp>>,
+    /// The app has been started (`on_start` ran).
+    pub(crate) app_started: bool,
+    /// The app has ended (stopped, left, or crashed): no further
+    /// callbacks.
+    pub(crate) app_done: bool,
+    /// Simulated instant the app started (zero point of `Ctx::now`).
+    pub(crate) app_start: SimTime,
+    /// Application sends queued behind the pipelining window, oldest
+    /// first. `Kernel::maybe_kick` issues from here whenever the
+    /// window has room.
+    pub(crate) pending_sends: std::collections::VecDeque<bytes::Bytes>,
     /// Fragment reassembly (per-sender streams).
     pub(crate) reasm: Reassembler<SimPacket>,
     pub(crate) next_frag_id: u64,
@@ -104,6 +121,11 @@ impl SimNode {
             rpc_client: None,
             rpc_server: None,
             workload: Workload::Idle,
+            app: None,
+            app_started: false,
+            app_done: false,
+            app_start: SimTime::ZERO,
+            pending_sends: std::collections::VecDeque::new(),
             reasm: Reassembler::new(),
             next_frag_id: 0,
             draining: false,

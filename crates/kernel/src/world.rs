@@ -4,8 +4,9 @@
 
 use std::collections::HashMap;
 
+use amoeba_app::{AppEvent, GroupApp, SenderApp, TimerId};
 use amoeba_core::{
-    Action, Dest, GroupConfig, GroupCore, GroupEvent, GroupId, TimerKind,
+    Action, Dest, GroupConfig, GroupCore, GroupEvent, GroupId, Seqno, TimerKind,
 };
 use amoeba_flip::{FlipAddress, FragKey, Route, RouteTable, FLIP_HEADER_LEN};
 use amoeba_net::{CpuPriority, Frame, HostId, McastAddr, Net, NetConfig, NetView};
@@ -14,6 +15,7 @@ use amoeba_sim::{Counter, EventId, Histogram, SimDuration, SimTime, Simulation};
 use bytes::Bytes;
 
 use crate::cost::CostModel;
+use crate::host::{AppCall, Apps};
 use crate::node::{SimNode, Workload};
 use crate::payload::{SimFrag, SimPacket};
 
@@ -49,8 +51,10 @@ pub struct KernelWorld {
     pub cost: CostModel,
     /// Measurements.
     pub metrics: WorldMetrics,
-    timers: HashMap<(usize, TimerKind), EventId>,
-    rpc_timers: HashMap<usize, EventId>,
+    pub(crate) timers: HashMap<(usize, TimerKind), EventId>,
+    pub(crate) rpc_timers: HashMap<usize, EventId>,
+    /// Pending application timers (armed via `Ctx::set_timer`).
+    pub(crate) app_timers: HashMap<(usize, TimerId), EventId>,
     payload_cache: HashMap<u32, Bytes>,
 }
 
@@ -292,14 +296,26 @@ impl Kernel {
                     }
                 }
                 Action::Deliver(ev) => Self::app_deliver(sim, n, ev),
-                Action::SendDone(result) => Self::app_send_done(sim, n, result.is_ok()),
+                Action::SendDone(result) => Self::app_send_done(sim, n, result),
                 Action::JoinDone(result) => {
                     if result.is_ok() {
                         sim.world.nodes[n].ready = true;
+                        Apps::maybe_start(sim, n);
                         Self::maybe_kick(sim, n);
                     }
                 }
-                Action::LeaveDone(_) | Action::ResetDone(_) => {}
+                Action::LeaveDone(_) => {
+                    // A graceful leave ends the hosted app (its last
+                    // callback was the one that requested the leave).
+                    Apps::finish(sim, n);
+                }
+                Action::ResetDone(result) => {
+                    Apps::call(
+                        sim,
+                        n,
+                        AppCall::Event(AppEvent::ResetDone(result.map_err(Into::into))),
+                    );
+                }
             }
         }
     }
@@ -330,24 +346,26 @@ impl Kernel {
     // Application side
     // ------------------------------------------------------------------
 
-    /// Starts (or continues) the node's workload: a sending thread
+    /// Starts (or continues) the node's application: a sending thread
     /// issues whenever its group's `send_window` has room — window 1 is
-    /// the paper's blocking loop, larger windows pipeline.
+    /// the paper's blocking loop, larger windows pipeline. Group sends
+    /// come from the hosted [`GroupApp`]'s pending queue; the only
+    /// hard-coded workload left is the RPC baseline.
     pub(crate) fn maybe_kick(sim: &mut Sim, n: usize) {
         if !sim.world.nodes[n].ready || sim.world.nodes[n].issuing {
             return;
         }
-        match sim.world.nodes[n].workload {
-            Workload::Sender { size, remaining } if remaining > 0 => {
-                let window = sim.world.nodes[n]
-                    .core
-                    .as_ref()
-                    .map(|c| c.config().send_window)
-                    .unwrap_or(1);
-                if (sim.world.nodes[n].in_flight as usize) < window {
-                    Self::app_issue_send(sim, n, size);
-                }
+        if !sim.world.nodes[n].pending_sends.is_empty() {
+            let window = sim.world.nodes[n]
+                .core
+                .as_ref()
+                .map(|c| c.config().send_window)
+                .unwrap_or(1);
+            if (sim.world.nodes[n].in_flight as usize) < window {
+                Self::app_issue_send(sim, n);
             }
+        }
+        match sim.world.nodes[n].workload {
             Workload::RpcPinger { size, remaining, server }
                 if remaining > 0 && sim.world.nodes[n].issued_at.is_none() =>
             {
@@ -357,14 +375,12 @@ impl Kernel {
         }
     }
 
-    fn app_issue_send(sim: &mut Sim, n: usize, size: u32) {
-        if let Workload::Sender { remaining, .. } = &mut sim.world.nodes[n].workload {
-            *remaining -= 1;
-        }
+    fn app_issue_send(sim: &mut Sim, n: usize) {
+        let Some(payload) = sim.world.nodes[n].pending_sends.pop_front() else { return };
         sim.world.nodes[n].issuing = true; // re-entry guard
         // U1 (call entry) + the user→kernel copy…
         let c = sim.world.cost;
-        let user_cost = c.user_send_entry + c.copy_cost(size);
+        let user_cost = c.user_send_entry + c.copy_cost(payload.len() as u32);
         let group_cost = c.group_send;
         amoeba_net::Net::cpu_run(
             sim,
@@ -386,7 +402,6 @@ impl Kernel {
                     CpuPriority::Kernel,
                     SimDuration::from_micros(group_cost),
                     move |sim| {
-                        let payload = sim.world.cached_payload(size);
                         let Some(core) = sim.world.nodes[n].core.as_mut() else { return };
                         let actions = core.send_to_group(payload);
                         Self::execute_group_actions(sim, n, actions);
@@ -402,7 +417,7 @@ impl Kernel {
         );
     }
 
-    fn app_send_done(sim: &mut Sim, n: usize, ok: bool) {
+    fn app_send_done(sim: &mut Sim, n: usize, result: Result<Seqno, amoeba_core::GroupError>) {
         // Waking the blocked sender thread costs a context switch.
         let cost = sim.world.cost.user_wakeup;
         amoeba_net::Net::cpu_run(
@@ -415,7 +430,7 @@ impl Kernel {
                     sim.world.nodes[n].in_flight =
                         sim.world.nodes[n].in_flight.saturating_sub(1);
                     let delay = (sim.now() - issued).as_micros() as f64;
-                    if ok {
+                    if result.is_ok() {
                         sim.world.metrics.send_delay_us.record(delay);
                         sim.world.metrics.sends_ok.incr();
                         sim.world.nodes[n].stats.sends_ok += 1;
@@ -424,7 +439,10 @@ impl Kernel {
                         sim.world.nodes[n].stats.sends_err += 1;
                     }
                 }
-                Self::maybe_kick(sim, n);
+                // The app reacts (typically by queueing the next send),
+                // then the window is re-examined — this is the old
+                // hard-coded sender loop, generalized.
+                Apps::call(sim, n, AppCall::Event(AppEvent::SendDone(result.map_err(Into::into))));
             },
         );
     }
@@ -450,6 +468,7 @@ impl Kernel {
                 sim.world.nodes[n].rx_backlog -= 1;
                 sim.world.nodes[n].stats.deliveries += 1;
                 sim.world.metrics.deliveries.incr();
+                Apps::call(sim, n, AppCall::Event(AppEvent::Group(ev)));
             },
         );
     }
@@ -650,6 +669,7 @@ impl SimWorld {
             metrics: WorldMetrics::default(),
             timers: HashMap::new(),
             rpc_timers: HashMap::new(),
+            app_timers: HashMap::new(),
             payload_cache: HashMap::new(),
         };
         SimWorld { sim: Simulation::new(world, seed), next_addr: 1 }
@@ -696,9 +716,16 @@ impl SimWorld {
     }
 
     /// Configures a node's application behaviour (set before
-    /// [`SimWorld::kick`]).
+    /// [`SimWorld::kick`]). `Workload::Sender` desugars to installing
+    /// an [`amoeba_app::SenderApp`] — the hard-coded sender loop of
+    /// earlier revisions is gone; only the RPC baseline arms remain
+    /// enum-driven.
     pub fn set_workload(&mut self, n: usize, workload: Workload) {
         match workload {
+            Workload::Sender { size, remaining } => {
+                self.set_app(n, Box::new(SenderApp::new(size, remaining)));
+                return;
+            }
             Workload::RpcPinger { .. } => {
                 let addr = self.sim.world.nodes[n].addr;
                 self.sim.world.nodes[n].rpc_client = Some(RpcClient::new(addr));
@@ -709,9 +736,42 @@ impl SimWorld {
                 self.sim.world.nodes[n].rpc_server = Some(RpcServer::new(addr));
                 self.sim.world.nodes[n].ready = true;
             }
-            _ => {}
+            Workload::Idle => {}
         }
         self.sim.world.nodes[n].workload = workload;
+    }
+
+    /// Installs an event-driven application on node `n`. The app
+    /// starts (`on_start`) at the next [`SimWorld::kick`], or at
+    /// admission if the world was already kicked.
+    pub fn set_app(&mut self, n: usize, app: Box<dyn GroupApp>) {
+        let node = &mut self.sim.world.nodes[n];
+        node.app = Some(app);
+        node.app_started = false;
+        node.app_done = false;
+        node.pending_sends.clear();
+    }
+
+    /// Removes and returns node `n`'s application (typically after
+    /// [`SimWorld::run_until_apps_done`], to inspect final state).
+    pub fn take_app(&mut self, n: usize) -> Option<Box<dyn GroupApp>> {
+        self.sim.world.nodes[n].app.take()
+    }
+
+    /// Whether node `n`'s app is still running (installed, not yet
+    /// stopped/left/crashed).
+    pub fn app_running(&self, n: usize) -> bool {
+        let node = &self.sim.world.nodes[n];
+        node.app.is_some() && !node.app_done
+    }
+
+    /// Crashes node `n` mid-run: its protocol entities vanish without a
+    /// leave, its traffic blackholes, and its app (if any) ends. The
+    /// survivors' failure detection and `ResetGroup` are the recovery
+    /// story — this is the simulated counterpart of the live runtime's
+    /// `GroupHandle::crash`.
+    pub fn crash(&mut self, n: usize) {
+        Apps::crash_node(&mut self.sim, n);
     }
 
     /// Runs the simulation until every node with a group core has
@@ -728,9 +788,10 @@ impl SimWorld {
         );
     }
 
-    /// Starts all configured workloads.
+    /// Starts all configured workloads and installed apps.
     pub fn kick(&mut self) {
         for n in 0..self.sim.world.nodes.len() {
+            Apps::maybe_start(&mut self.sim, n);
             Kernel::maybe_kick(&mut self.sim, n);
         }
     }
@@ -739,6 +800,22 @@ impl SimWorld {
     pub fn run_for(&mut self, d: SimDuration) {
         let until = self.sim.now() + d;
         self.sim.run_until(until);
+    }
+
+    /// Runs until every installed app has ended (stopped, left or
+    /// crashed), or `limit` of simulated time has passed. Returns
+    /// whether all apps finished.
+    pub fn run_until_apps_done(&mut self, limit: SimDuration) -> bool {
+        let deadline = self.sim.now() + limit;
+        loop {
+            let running = (0..self.sim.world.nodes.len()).any(|n| self.app_running(n));
+            if !running {
+                return true;
+            }
+            if self.sim.now() > deadline || !self.sim.step() {
+                return false;
+            }
+        }
     }
 
     /// Current simulated time.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use amoeba_core::{
-    GroupConfig, GroupCore, GroupError, GroupEvent, GroupId, GroupInfo, Seqno,
+    Error, GroupConfig, GroupCore, GroupError, GroupEvent, GroupId, GroupInfo, Seqno,
 };
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver};
@@ -99,34 +99,18 @@ impl Amoeba {
     }
 }
 
-/// Why `ReceiveFromGroup` returned without an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReceiveError {
-    /// The member is gone (left, expelled, crashed, or handle dropped).
-    Disconnected,
-    /// No event arrived within the requested timeout.
-    Timeout,
-}
-
-impl std::fmt::Display for ReceiveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ReceiveError::Disconnected => write!(f, "membership ended"),
-            ReceiveError::Timeout => write!(f, "no event within the timeout"),
-        }
-    }
-}
-
-impl std::error::Error for ReceiveError {}
-
 /// One process's membership of one group: the paper's primitives as
 /// blocking methods. Clone-free by design — the primitives are blocking
 /// and one thread drives each call, exactly the model the paper argues
 /// for (parallelism via multiple threads, each with its own handle).
+///
+/// Receive failures are reported through the stack-wide
+/// [`amoeba_core::Error`]: [`Error::Disconnected`] once membership has
+/// ended, [`Error::Timeout`] when a bounded wait expires.
 #[derive(Debug)]
 pub struct GroupHandle {
-    shared: Arc<NodeShared>,
-    events_rx: Receiver<GroupEvent>,
+    pub(crate) shared: Arc<NodeShared>,
+    pub(crate) events_rx: Receiver<GroupEvent>,
     driver: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -191,23 +175,41 @@ impl GroupHandle {
     ///
     /// # Errors
     ///
-    /// [`ReceiveError::Disconnected`] once membership has ended and the
+    /// [`Error::Disconnected`] once membership has ended and the
     /// queue is drained.
-    pub fn receive_from_group(&self) -> Result<GroupEvent, ReceiveError> {
-        self.events_rx.recv().map_err(|_| ReceiveError::Disconnected)
+    pub fn receive_from_group(&self) -> Result<GroupEvent, Error> {
+        self.events_rx.recv().map_err(|_| Error::Disconnected)
     }
 
     /// `ReceiveFromGroup` with a timeout.
     ///
     /// # Errors
     ///
-    /// [`ReceiveError::Timeout`] if nothing arrives in `timeout`;
-    /// [`ReceiveError::Disconnected`] once membership has ended.
-    pub fn receive_timeout(&self, timeout: Duration) -> Result<GroupEvent, ReceiveError> {
+    /// [`Error::Timeout`] if nothing arrives in `timeout`;
+    /// [`Error::Disconnected`] once membership has ended.
+    pub fn receive_timeout(&self, timeout: Duration) -> Result<GroupEvent, Error> {
         self.events_rx.recv_timeout(timeout).map_err(|e| match e {
-            channel::RecvTimeoutError::Timeout => ReceiveError::Timeout,
-            channel::RecvTimeoutError::Disconnected => ReceiveError::Disconnected,
+            channel::RecvTimeoutError::Timeout => Error::Timeout,
+            channel::RecvTimeoutError::Disconnected => Error::Disconnected,
         })
+    }
+
+    /// Non-blocking `ReceiveFromGroup`: returns the next event if one
+    /// is already queued, `Ok(None)` otherwise. The poll-loop
+    /// counterpart of [`GroupHandle::receive_from_group`] (event-driven
+    /// hosts and latency-sensitive applications poll between other
+    /// work instead of parking a thread).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Disconnected`] once membership has ended and the queue
+    /// is drained.
+    pub fn try_receive(&self) -> Result<Option<GroupEvent>, Error> {
+        match self.events_rx.try_recv() {
+            Ok(ev) => Ok(Some(ev)),
+            Err(channel::TryRecvError::Empty) => Ok(None),
+            Err(channel::TryRecvError::Disconnected) => Err(Error::Disconnected),
+        }
     }
 
     /// `GetInfoGroup`: a snapshot of this member's view.

@@ -1,0 +1,371 @@
+//! Hosting [`GroupApp`]s on the live runtime.
+//!
+//! Each app gets a pump: a loop (usually on its own thread) that owns
+//! the member's [`GroupHandle`], feeds delivered events and send
+//! completions to the app, fires wall-clock timers, and executes the
+//! app's [`Ctx`] requests. As on the simulated host, mutating `Ctx`
+//! calls are buffered during a callback and applied when it returns —
+//! the two hosts present one behavioural contract (DESIGN.md §8,
+//! repository root), which is what lets the cross-backend conformance
+//! suite assert identical per-member delivery orders.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use amoeba_app::cmd::{AppCmd, BufferedCtx, HostView};
+use amoeba_app::{AppEvent, GroupApp, TimerId};
+use amoeba_core::{GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, Seqno};
+use bytes::Bytes;
+use crossbeam::channel;
+
+use crate::fault::FaultPlan;
+use crate::handle::{Amoeba, GroupHandle};
+
+/// How an app's hosting ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Terminal {
+    /// `Ctx::stop`: cease pumping, keep the membership alive until the
+    /// host tears down.
+    Stop,
+    /// `Ctx::leave`: leave the group gracefully.
+    Leave,
+    /// `Ctx::crash`: vanish without a leave.
+    Crash,
+    /// The event stream disconnected under us (expelled, or the
+    /// runtime is shutting down).
+    Disconnected,
+}
+
+/// What a live app reads synchronously during a callback (the
+/// buffering of its writes lives in [`BufferedCtx`], shared with the
+/// simulated host).
+struct LiveView<'a> {
+    handle: &'a GroupHandle,
+    start: Instant,
+}
+
+impl HostView for LiveView<'_> {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn info(&self) -> GroupInfo {
+        self.handle.info()
+    }
+
+    fn config(&self) -> GroupConfig {
+        self.handle.shared.core.lock().config().clone()
+    }
+}
+
+/// One app being pumped over one membership.
+struct Pump {
+    handle: Option<GroupHandle>,
+    app: Box<dyn GroupApp>,
+    start: Instant,
+    window: usize,
+    in_flight: usize,
+    pending: VecDeque<Bytes>,
+    timers: HashMap<TimerId, Instant>,
+    terminal: Option<Terminal>,
+}
+
+enum Call {
+    Start,
+    Event(AppEvent),
+    Timer(TimerId),
+}
+
+impl Pump {
+    fn new(handle: GroupHandle, app: Box<dyn GroupApp>) -> Self {
+        let window = handle.shared.core.lock().config().send_window.max(1);
+        Pump {
+            handle: Some(handle),
+            app,
+            start: Instant::now(),
+            window,
+            in_flight: 0,
+            pending: VecDeque::new(),
+            timers: HashMap::new(),
+            terminal: None,
+        }
+    }
+
+    fn dispatch(&mut self, call: Call) {
+        if self.terminal.is_some() {
+            return;
+        }
+        let handle = self.handle.as_ref().expect("handle present until terminal");
+        let mut ctx = BufferedCtx::new(LiveView { handle, start: self.start });
+        match call {
+            Call::Start => self.app.on_start(&mut ctx),
+            Call::Event(ev) => self.app.on_event(&mut ctx, ev),
+            Call::Timer(id) => self.app.on_timer(&mut ctx, id),
+        }
+        let cmds = ctx.cmds;
+        let mut followups = Vec::new();
+        for cmd in cmds {
+            // Terminal requests void the rest of the batch (identical
+            // to the simulated host).
+            if !self.apply(cmd, &mut followups) {
+                break;
+            }
+        }
+        self.flush_sends();
+        // Completions of blocking requests (ResetDone) dispatch only
+        // after the requesting callback's whole batch has applied —
+        // the same "asynchronous, after the apply" ordering their
+        // protocol counterparts have on the simulated host.
+        for ev in followups {
+            self.dispatch(Call::Event(ev));
+        }
+    }
+
+    /// Applies one request; returns false if it was terminal (the rest
+    /// of the batch is void).
+    fn apply(&mut self, cmd: AppCmd, followups: &mut Vec<AppEvent>) -> bool {
+        match cmd {
+            AppCmd::Send(payload) => self.pending.push_back(payload),
+            AppCmd::Reset(min_members) => {
+                // Blocking recovery on the pump thread: deliveries
+                // queue up behind it, exactly like an application
+                // thread calling the paper's ResetGroup.
+                let result = self
+                    .handle
+                    .as_ref()
+                    .expect("handle present until terminal")
+                    .reset_group(min_members);
+                followups.push(AppEvent::ResetDone(result.map_err(Into::into)));
+            }
+            AppCmd::Leave => {
+                self.finish(Terminal::Leave);
+                return false;
+            }
+            AppCmd::Crash => {
+                self.finish(Terminal::Crash);
+                return false;
+            }
+            AppCmd::SetTimer(id, after) => {
+                self.timers.insert(id, Instant::now() + after);
+            }
+            AppCmd::CancelTimer(id) => {
+                self.timers.remove(&id);
+            }
+            AppCmd::Stop => {
+                self.finish(Terminal::Stop);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn finish(&mut self, terminal: Terminal) {
+        if self.terminal.is_none() {
+            self.terminal = Some(terminal);
+            self.timers.clear();
+            self.pending.clear();
+        }
+    }
+
+    fn flush_sends(&mut self) {
+        if self.terminal.is_some() {
+            return;
+        }
+        let Some(handle) = self.handle.as_ref() else { return };
+        while self.in_flight < self.window {
+            let Some(payload) = self.pending.pop_front() else { break };
+            handle.shared.submit_send(payload);
+            self.in_flight += 1;
+        }
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timers.values().min().copied()
+    }
+
+    fn fire_expired(&mut self) {
+        loop {
+            if self.terminal.is_some() {
+                return;
+            }
+            let now = Instant::now();
+            let due = self
+                .timers
+                .iter()
+                .filter(|(_, &at)| at <= now)
+                .map(|(&id, &at)| (at, id))
+                .min();
+            let Some((_, id)) = due else { return };
+            self.timers.remove(&id);
+            self.dispatch(Call::Timer(id));
+        }
+    }
+
+    /// Runs the app to completion; returns it plus the handle (kept
+    /// alive on `Ctx::stop`, consumed by leave/crash).
+    fn run(mut self) -> (Box<dyn GroupApp>, Option<GroupHandle>) {
+        self.dispatch(Call::Start);
+        while self.terminal.is_none() {
+            let timeout = self
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(100));
+            let handle = self.handle.as_ref().expect("handle present until terminal");
+            enum Polled {
+                Event(GroupEvent),
+                SendDone(Result<Seqno, GroupError>),
+                Gone,
+                Idle,
+            }
+            let polled = {
+                let events = &handle.events_rx;
+                let dones = &handle.shared.send_done_rx;
+                channel::select! {
+                    recv(events) -> ev => {
+                        match ev {
+                            Ok(ev) => Polled::Event(ev),
+                            Err(_) => Polled::Gone,
+                        }
+                    }
+                    recv(dones) -> r => {
+                        match r {
+                            Ok(r) => Polled::SendDone(r),
+                            Err(_) => Polled::Gone,
+                        }
+                    }
+                    default(timeout) => { Polled::Idle }
+                }
+            };
+            match polled {
+                Polled::Event(ev) => self.dispatch(Call::Event(AppEvent::Group(ev))),
+                Polled::SendDone(r) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    self.dispatch(Call::Event(AppEvent::SendDone(r.map_err(Into::into))));
+                }
+                Polled::Gone => self.finish(Terminal::Disconnected),
+                Polled::Idle => {}
+            }
+            self.fire_expired();
+        }
+        let handle = self.handle.take();
+        match self.terminal {
+            Some(Terminal::Leave) => {
+                if let Some(h) = handle {
+                    let _ = h.leave_group();
+                }
+                (self.app, None)
+            }
+            Some(Terminal::Crash) => {
+                if let Some(h) = handle {
+                    h.crash();
+                }
+                (self.app, None)
+            }
+            // Stop / Disconnected: hand the membership back so the
+            // host controls when it ends (mirrors the simulated host,
+            // where a stopped app's protocol entity keeps running).
+            _ => (self.app, handle),
+        }
+    }
+}
+
+/// Hosts a set of [`GroupApp`]s as one live group: the first app added
+/// founds the group (and sequences), the rest join in order (so member
+/// ids match the simulated host), then every app is pumped on its own
+/// runtime thread. [`LiveHost::run`] returns once every app has ended;
+/// memberships of merely *stopped* apps are torn down together at that
+/// point.
+///
+/// This is the live backend of the portable application API — the same
+/// boxed apps run unmodified under `amoeba-kernel`'s `SimHost` (the
+/// facade crate's `amoeba::app::run` picks between them).
+pub struct LiveHost {
+    amoeba: Amoeba,
+    group: GroupId,
+    config: GroupConfig,
+    apps: Vec<Box<dyn GroupApp>>,
+}
+
+impl LiveHost {
+    /// A host over a fresh fault-injected in-memory network.
+    pub fn new(seed: u64, fault: FaultPlan, group: GroupId, config: GroupConfig) -> Self {
+        LiveHost { amoeba: Amoeba::new(seed, fault), group, config, apps: Vec::new() }
+    }
+
+    /// Direct access to the underlying installation (tests adjust
+    /// faults mid-run).
+    pub fn amoeba(&self) -> &Amoeba {
+        &self.amoeba
+    }
+
+    /// Adds a member running `app`; returns its join order (the first
+    /// app founds the group and sequences).
+    pub fn add_app(&mut self, app: Box<dyn GroupApp>) -> usize {
+        self.apps.push(app);
+        self.apps.len() - 1
+    }
+
+    /// Runs one app over an existing membership on the calling thread,
+    /// returning the app when it stops, leaves, or crashes. The
+    /// building block under [`LiveHost::run`], public for custom
+    /// topologies (multiple groups, staggered joins).
+    ///
+    /// The second value is the still-live handle when the app merely
+    /// *stopped* (`Ctx::stop` promises the membership outlives the
+    /// app until the host tears down — the caller decides when that
+    /// is, typically after every cooperating app has finished);
+    /// `None` after `leave`/`crash`, which consume it.
+    pub fn pump(
+        handle: GroupHandle,
+        app: Box<dyn GroupApp>,
+    ) -> (Box<dyn GroupApp>, Option<GroupHandle>) {
+        Pump::new(handle, app).run()
+    }
+
+    /// Forms the group, pumps every app on its own thread, and returns
+    /// the apps (in `add_app` order) once all have ended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no app was added, or if forming the group fails
+    /// (`CreateGroup`/`JoinGroup` errors are configuration mistakes at
+    /// this level, not runtime outcomes).
+    pub fn run(self) -> Vec<Box<dyn GroupApp>> {
+        assert!(!self.apps.is_empty(), "LiveHost::run needs at least one app");
+        // Join strictly in order so member ids are deterministic and
+        // every member is admitted before any app starts — the same
+        // formation the simulated host performs.
+        let mut handles = Vec::new();
+        for i in 0..self.apps.len() {
+            let handle = if i == 0 {
+                self.amoeba.create_group(self.group, self.config.clone())
+            } else {
+                self.amoeba.join_group(self.group, self.config.clone())
+            }
+            .expect("group formation");
+            handles.push(handle);
+        }
+        let threads: Vec<_> = handles
+            .into_iter()
+            .zip(self.apps)
+            .enumerate()
+            .map(|(i, (handle, app))| {
+                std::thread::Builder::new()
+                    .name(format!("amoeba-app-{i}"))
+                    .spawn(move || Pump::new(handle, app).run())
+                    .expect("spawn app pump thread")
+            })
+            .collect();
+        // Collect every app first, keeping surviving handles alive so
+        // stopped members do not look crashed to still-running ones.
+        let mut apps = Vec::new();
+        let mut survivors = Vec::new();
+        for t in threads {
+            let (app, handle) = t.join().expect("app pump thread");
+            apps.push(app);
+            survivors.push(handle);
+        }
+        drop(survivors);
+        apps
+    }
+}

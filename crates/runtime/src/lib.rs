@@ -42,11 +42,14 @@
 
 mod fault;
 mod handle;
+mod host;
 mod net;
 mod node;
 pub mod state_transfer;
 
+pub use amoeba_core::Error;
 pub use fault::FaultPlan;
-pub use handle::{Amoeba, GroupHandle, ReceiveError};
+pub use handle::{Amoeba, GroupHandle};
+pub use host::LiveHost;
 pub use net::LiveNet;
 pub use state_transfer::{GroupState, Replica, ReplicaError};

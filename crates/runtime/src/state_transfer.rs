@@ -23,10 +23,10 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use amoeba_core::{GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, MemberId, Seqno};
+use amoeba_core::{Error, GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, MemberId, Seqno};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::handle::{Amoeba, GroupHandle, ReceiveError};
+use crate::handle::{Amoeba, GroupHandle};
 
 /// Application state kept in lockstep by the ordered operation stream.
 pub trait GroupState: Default {
@@ -92,7 +92,7 @@ pub enum ReplicaError {
     /// The underlying group primitive failed.
     Group(GroupError),
     /// The event stream ended.
-    Receive(ReceiveError),
+    Receive(Error),
     /// State transfer did not complete in time (no live member
     /// answered the snapshot request).
     TransferTimeout,
@@ -116,8 +116,8 @@ impl From<GroupError> for ReplicaError {
     }
 }
 
-impl From<ReceiveError> for ReplicaError {
-    fn from(e: ReceiveError) -> Self {
+impl From<Error> for ReplicaError {
+    fn from(e: Error) -> Self {
         ReplicaError::Receive(e)
     }
 }
@@ -178,7 +178,7 @@ impl<S: GroupState> Replica<S> {
             }
             let ev = match handle.receive_timeout(remaining) {
                 Ok(ev) => ev,
-                Err(ReceiveError::Timeout) => return Err(ReplicaError::TransferTimeout),
+                Err(Error::Timeout) => return Err(ReplicaError::TransferTimeout),
                 Err(e) => return Err(e.into()),
             };
             let GroupEvent::Message { seqno, origin, payload } = ev else { continue };
@@ -249,7 +249,7 @@ impl<S: GroupState> Replica<S> {
                 Ok(true)
             }
             Ok(_) => Ok(true), // membership events need no state change
-            Err(ReceiveError::Timeout) => Ok(false),
+            Err(Error::Timeout) => Ok(false),
             Err(e) => Err(e.into()),
         }
     }

@@ -15,15 +15,13 @@
 
 use std::time::Instant;
 
-use amoeba::core::{BatchPolicy, GroupConfig, GroupEvent, GroupId};
-use amoeba::runtime::{Amoeba, FaultPlan};
-use bytes::Bytes;
+use amoeba::prelude::*;
 
 const MESSAGES: usize = 400;
 
 /// Runs `MESSAGES` broadcasts through a fresh 3-member group and
 /// returns (seconds elapsed, messages delivered at a receiver).
-fn run(config: GroupConfig, seed: u64) -> Result<(f64, usize), Box<dyn std::error::Error>> {
+fn run(config: GroupConfig, seed: u64) -> Result<(f64, usize), Error> {
     let amoeba = Amoeba::new(seed, FaultPlan::reliable());
     let group = GroupId(1);
     let receiver = amoeba.create_group(group, config.clone())?;
@@ -39,15 +37,16 @@ fn run(config: GroupConfig, seed: u64) -> Result<(f64, usize), Box<dyn std::erro
 
     let mut delivered = 0;
     while delivered < MESSAGES {
-        match receiver.receive_timeout(std::time::Duration::from_secs(10))? {
-            GroupEvent::Message { .. } => delivered += 1,
-            _ => {}
+        if let GroupEvent::Message { .. } =
+            receiver.receive_timeout(std::time::Duration::from_secs(10))?
+        {
+            delivered += 1;
         }
     }
     Ok((elapsed, delivered))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // The paper's protocol: one frame per message, one send in flight.
     let blocking = GroupConfig::default();
     // The performance knobs (README "Performance knobs"): coalesce up

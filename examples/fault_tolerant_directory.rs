@@ -5,16 +5,24 @@
 //! members") with resilience r = 1, surviving the crash of the
 //! sequencer itself.
 //!
+//! The whole fault script — publish, sequencer crash, detection,
+//! `ResetGroup`, continued service — is one portable [`GroupApp`],
+//! scripted through `Ctx::crash` and `Ctx::reset_group`, so the same
+//! scenario runs on the live threaded runtime or inside the simulated
+//! 1996 kernel (`--sim`).
+//!
 //! ```text
-//! cargo run --example fault_tolerant_directory
+//! cargo run --example fault_tolerant_directory          # live runtime
+//! cargo run --example fault_tolerant_directory -- --sim # simulated kernel
 //! ```
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
 
-use amoeba::core::{GroupConfig, GroupEvent, GroupId};
-use amoeba::runtime::{Amoeba, FaultPlan, GroupHandle};
-use bytes::Bytes;
+use amoeba::prelude::*;
+
+const BINDINGS: [(&str, &str); 3] =
+    [("printer", "cap:0x11"), ("homes", "cap:0x22"), ("build", "cap:0x33")];
 
 #[derive(Default)]
 struct Directory {
@@ -33,76 +41,127 @@ impl Directory {
     }
 }
 
-fn drain(handle: &GroupHandle, dir: &mut Directory, want_messages: usize) {
-    let mut got = 0;
-    while got < want_messages {
-        match handle.receive_timeout(Duration::from_secs(15)) {
-            Ok(GroupEvent::Message { payload, .. }) => {
-                dir.apply(&String::from_utf8_lossy(&payload));
-                got += 1;
-            }
-            Ok(_) => {}
-            Err(e) => panic!("directory replica starved: {e}"),
-        }
+/// One directory replica. Member 0 founds the group (and sequences) —
+/// and dies mid-run; member 1 publishes the bindings, detects the
+/// crash by probing, and rebuilds the group with `ResetGroup`; member
+/// 2 just serves. All surviving state machines stay identical because
+/// every applied update is totally ordered.
+///
+/// On the live backend the crash runs on member 0's own thread when
+/// *it* applies the last binding, while its kernel keeps sequencing
+/// until then — so member 1 probes on a timer comfortably past that
+/// point and re-probes while probes still get ordered. Probes are not
+/// directory updates and are never applied.
+struct DirReplica {
+    me: u32,
+    applied: usize,
+    probing: bool,
+    recovered_view: Option<ViewId>,
+    dir: Arc<Mutex<Directory>>,
+}
+
+const PROBE_FUSE: TimerId = TimerId(1);
+
+impl DirReplica {
+    fn new(dir: Arc<Mutex<Directory>>) -> Self {
+        DirReplica { me: 0, applied: 0, probing: false, recovered_view: None, dir }
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let amoeba = Amoeba::new(11, FaultPlan::reliable());
-    let group = GroupId(3);
+impl GroupApp for DirReplica {
+    fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        self.me = ctx.info().me.0;
+        if self.me == 1 {
+            // Publish some bindings through the total order.
+            ctx.send_pipelined(
+                BINDINGS.iter().map(|(n, o)| Bytes::from(format!("{n}->{o}"))).collect(),
+            );
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
+        match event {
+            AppEvent::Group(GroupEvent::Message { payload, .. }) => {
+                let text = String::from_utf8_lossy(&payload).into_owned();
+                if text.starts_with("probe->") {
+                    return; // a probe that won the race, not an update
+                }
+                self.dir.lock().unwrap().apply(&text);
+                self.applied += 1;
+                match (self.me, self.applied) {
+                    // The sequencer machine dies without warning once
+                    // the bindings are replicated.
+                    (0, n) if n == BINDINGS.len() => ctx.crash(),
+                    // Replica 1 starts probing past the crash point.
+                    (1, n) if n == BINDINGS.len() => {
+                        self.probing = true;
+                        ctx.set_timer(PROBE_FUSE, std::time::Duration::from_millis(200));
+                    }
+                    // Everyone still standing stops after the
+                    // post-recovery update lands.
+                    (_, n) if n == BINDINGS.len() + 1 => ctx.stop(),
+                    _ => {}
+                }
+            }
+            AppEvent::SendDone(Ok(_)) if self.probing => {
+                // The probe was still ordered — the crash had not
+                // landed yet (live only). Try again shortly.
+                ctx.set_timer(PROBE_FUSE, std::time::Duration::from_millis(200));
+            }
+            AppEvent::SendDone(Err(e)) => {
+                // A surviving replica notices the dead sequencer (its
+                // update cannot complete) and rebuilds the group with a
+                // 2-member quorum — the paper's answer to processor
+                // failure (§2.1).
+                assert_eq!(self.me, 1, "only the prober's send can fail: {e}");
+                self.probing = false;
+                ctx.reset_group(2);
+            }
+            AppEvent::ResetDone(result) => {
+                let info = result.expect("recovery with 2 survivors");
+                assert_eq!(info.num_members(), 2);
+                self.recovered_view = Some(info.view);
+                // Keep serving updates through the rebuilt group.
+                ctx.send(Bytes::from_static(b"scratch->cap:0x44"));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx, _timer: TimerId) {
+        ctx.send(Bytes::from_static(b"probe->!"));
+    }
+}
+
+fn main() {
+    let backend = Backend::from_args();
     // Resilience 1: SendToGroup returns only once one other kernel
     // holds the update — so losing any single machine (the sequencer
-    // included) cannot lose an acknowledged directory update.
-    let config = GroupConfig::with_resilience(1);
-
-    let primary = amoeba.create_group(group, config.clone())?; // sequencer
-    let replica_b = amoeba.join_group(group, config.clone())?;
-    let replica_c = amoeba.join_group(group, config)?;
-
-    let mut dir_b = Directory::default();
-    let mut dir_c = Directory::default();
-
-    // Publish some bindings through the total order.
-    for (name, object) in
-        [("printer", "cap:0x11"), ("homes", "cap:0x22"), ("build", "cap:0x33")]
-    {
-        replica_b.send_to_group(Bytes::from(format!("{name}->{object}")))?;
-    }
-    drain(&replica_b, &mut dir_b, 3);
-    drain(&replica_c, &mut dir_c, 3);
-    println!("directory replicated: {:?}", dir_b.entries);
-
-    // The sequencer machine dies without warning.
-    println!("crashing the primary (sequencer)…");
-    primary.crash();
-
-    // A surviving replica notices (its next update cannot complete) and
-    // rebuilds the group: ResetGroup with a 2-member quorum.
-    let info = match replica_b.send_to_group(Bytes::from_static(b"tmp->x")) {
-        Err(_) => replica_b.reset_group(2)?,
-        Ok(_) => replica_b.info(), // the send slipped in before the crash bit
+    // included) cannot lose an acknowledged directory update. Snappy
+    // failure detection keeps the live run short.
+    let config = GroupConfig {
+        send_retransmit_us: 30_000,
+        send_max_retries: 4,
+        ..GroupConfig::with_resilience(1)
     };
-    println!(
-        "recovered: view {} with {} members, sequencer {}",
-        info.view,
-        info.num_members(),
-        info.sequencer
+
+    let dirs: Vec<Arc<Mutex<Directory>>> =
+        (0..3).map(|_| Arc::new(Mutex::new(Directory::default()))).collect();
+    let apps: Vec<Box<dyn GroupApp>> = dirs
+        .iter()
+        .map(|d| Box::new(DirReplica::new(Arc::clone(d))) as Box<dyn GroupApp>)
+        .collect();
+
+    amoeba::app::run(
+        backend,
+        RunSpec::new(11).with_group(GroupId(3)).with_config(config),
+        apps,
     );
-    assert_eq!(info.num_members(), 2);
 
-    // Drain whatever the recovery replayed, then keep serving updates.
-    while replica_b.receive_timeout(Duration::from_millis(300)).is_ok() {}
-    while replica_c.receive_timeout(Duration::from_millis(300)).is_ok() {}
-
-    replica_c.send_to_group(Bytes::from_static(b"scratch->cap:0x44"))?;
-    drain(&replica_b, &mut dir_b, 1);
-    drain(&replica_c, &mut dir_c, 1);
-
-    assert_eq!(dir_b.entries.get("printer").map(String::as_str), Some("cap:0x11"));
-    assert_eq!(dir_b.entries.get("scratch"), dir_c.entries.get("scratch"));
-    println!("directory intact after sequencer crash: {:?}", dir_b.entries);
-
-    replica_c.leave_group()?;
-    replica_b.leave_group()?;
-    Ok(())
+    let b = dirs[1].lock().unwrap().entries.clone();
+    let c = dirs[2].lock().unwrap().entries.clone();
+    assert_eq!(b.get("printer").map(String::as_str), Some("cap:0x11"));
+    assert_eq!(b.get("scratch").map(String::as_str), Some("cap:0x44"));
+    assert_eq!(b, c, "surviving replicas diverged");
+    println!("[{backend}] directory intact after sequencer crash: {b:?}");
 }

@@ -7,15 +7,18 @@
 //! every worker observes the same reduction without any extra
 //! synchronization (the "lockstep" programming model of §2.2).
 //!
+//! Written once against the portable [`GroupApp`] API; `--sim` runs
+//! the identical apps inside the simulated 1996 kernel instead of the
+//! live threaded runtime.
+//!
 //! ```text
-//! cargo run --example parallel_compute
+//! cargo run --example parallel_compute          # live runtime
+//! cargo run --example parallel_compute -- --sim # simulated kernel
 //! ```
 
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
 
-use amoeba::core::{GroupConfig, GroupEvent, GroupId, MemberId};
-use amoeba::runtime::{Amoeba, FaultPlan, GroupHandle};
-use bytes::Bytes;
+use amoeba::prelude::*;
 
 const WORKERS: usize = 4;
 const RANGE: u64 = 1_000_000;
@@ -29,67 +32,64 @@ fn compute_share(worker: usize) -> u64 {
     (lo..hi).filter(|n| n % 2 == 1).sum()
 }
 
-fn run_worker(
-    handle: GroupHandle,
-    my_index: usize,
-) -> Result<u64, Box<dyn std::error::Error + Send + Sync>> {
-    // Wait for the "go" broadcast from the coordinator.
-    loop {
-        if let GroupEvent::Message { payload, origin, .. } =
-            handle.receive_timeout(Duration::from_secs(10))?
-        {
-            assert_eq!(origin, MemberId(0), "work announcement comes from the coordinator");
-            assert_eq!(&payload[..], b"go");
-            break;
+/// Member 0 coordinates ("go"), members 1..=WORKERS compute. Everyone
+/// reduces the totally-ordered shares to the same total.
+struct ParallelWorker {
+    shares_seen: usize,
+    total: Arc<Mutex<u64>>,
+}
+
+impl GroupApp for ParallelWorker {
+    fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        if ctx.info().me == MemberId(0) {
+            // Start the computation with a single ordered broadcast.
+            ctx.send(Bytes::from_static(b"go"));
         }
     }
-    // Compute and publish our share.
-    let share = compute_share(my_index);
-    handle.send_to_group(Bytes::from(format!("{my_index}:{share}")))?;
-    // Reduce: collect all shares in delivery order (identical on every
-    // worker — the total order is the barrier).
-    let mut total = 0u64;
-    let mut seen = 0;
-    while seen < WORKERS {
-        if let GroupEvent::Message { payload, .. } =
-            handle.receive_timeout(Duration::from_secs(10))?
-        {
-            let text = String::from_utf8_lossy(&payload);
-            if let Some((_, share)) = text.split_once(':') {
-                total += share.parse::<u64>()?;
-                seen += 1;
+
+    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
+        let AppEvent::Group(GroupEvent::Message { payload, origin, .. }) = event else {
+            return;
+        };
+        if &payload[..] == b"go" {
+            assert_eq!(origin, MemberId(0), "work announcement comes from the coordinator");
+            let me = ctx.info().me.0 as usize;
+            if me > 0 {
+                // Compute and publish our share; the total order is
+                // the barrier.
+                let share = compute_share(me - 1);
+                ctx.send(Bytes::from(format!("{me}:{share}")));
+            }
+            return;
+        }
+        let text = String::from_utf8_lossy(&payload);
+        if let Some((_, share)) = text.split_once(':') {
+            *self.total.lock().unwrap() += share.parse::<u64>().expect("numeric share");
+            self.shares_seen += 1;
+            if self.shares_seen == WORKERS {
+                ctx.stop();
             }
         }
     }
-    handle.leave_group()?;
-    Ok(total)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let amoeba = Amoeba::new(3, FaultPlan::reliable());
-    let group = GroupId(2);
-    let coordinator = amoeba.create_group(group, GroupConfig::default())?;
-
-    let mut joined = Vec::new();
-    for i in 0..WORKERS {
-        joined.push((i, amoeba.join_group(group, GroupConfig::default())?));
-    }
-    println!("{} workers joined", WORKERS);
-
-    let threads: Vec<_> = joined
-        .into_iter()
-        .map(|(i, handle)| std::thread::spawn(move || run_worker(handle, i)))
+fn main() {
+    let backend = Backend::from_args();
+    let totals: Vec<Arc<Mutex<u64>>> =
+        (0..=WORKERS).map(|_| Arc::new(Mutex::new(0))).collect();
+    let apps: Vec<Box<dyn GroupApp>> = totals
+        .iter()
+        .map(|t| {
+            Box::new(ParallelWorker { shares_seen: 0, total: Arc::clone(t) })
+                as Box<dyn GroupApp>
+        })
         .collect();
 
-    // Start the computation with a single ordered broadcast.
-    coordinator.send_to_group(Bytes::from_static(b"go"))?;
+    amoeba::app::run(backend, RunSpec::new(3).with_group(GroupId(2)), apps);
 
     let expected: u64 = (0..RANGE).filter(|n| n % 2 == 1).sum();
-    for t in threads {
-        let total = t.join().expect("worker thread").map_err(|e| e.to_string())?;
-        assert_eq!(total, expected, "a worker computed a different reduction");
+    for (i, t) in totals.iter().enumerate() {
+        assert_eq!(*t.lock().unwrap(), expected, "member {i} computed a different reduction");
     }
-    println!("all {WORKERS} workers agree: sum = {expected}");
-    coordinator.leave_group()?;
-    Ok(())
+    println!("[{backend}] all {WORKERS} workers agree: sum = {expected}");
 }

@@ -5,11 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use amoeba::core::{GroupConfig, GroupEvent, GroupId};
-use amoeba::runtime::{Amoeba, FaultPlan};
-use bytes::Bytes;
+use amoeba::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // One "installation": processes share an in-memory network. Fault
     // injection is off here; see the other examples for adversity.
     let amoeba = Amoeba::new(42, FaultPlan::reliable());
@@ -41,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     seen.push((seqno, String::from_utf8_lossy(&payload).into_owned()));
                 }
                 Ok(_) => {} // joins/leaves are ordered events too
-                Err(e) => return Err(format!("{name}: {e}").into()),
+                Err(e) => panic!("{name}: {e}"),
             }
         }
         println!("{name:>6} delivered: {seen:?}");

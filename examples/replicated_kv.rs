@@ -4,79 +4,102 @@
 //! every write in delivery order and all replicas stay identical, with
 //! no further coordination.
 //!
-//! Three replicas apply interleaved writes from three writers under a
-//! lossy network; the run asserts byte-identical final states.
+//! Written once against the portable [`GroupApp`] API: the same
+//! replica code runs on the live threaded runtime under a lossy
+//! network, or inside the simulated 1996 kernel, selected by `--sim`
+//! ("write once, run on both backends", README.md).
 //!
 //! ```text
-//! cargo run --example replicated_kv
+//! cargo run --example replicated_kv          # live runtime, 5% loss
+//! cargo run --example replicated_kv -- --sim # simulated kernel
 //! ```
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
 
-use amoeba::core::{GroupConfig, GroupEvent, GroupId};
-use amoeba::runtime::{Amoeba, FaultPlan, GroupHandle};
-use bytes::Bytes;
+use amoeba::prelude::*;
 
-/// A write operation, encoded as "key=value".
-fn put(handle: &GroupHandle, key: &str, value: &str) -> Result<(), Box<dyn std::error::Error>> {
-    handle.send_to_group(Bytes::from(format!("{key}={value}")))?;
-    Ok(())
+const REPLICAS: usize = 3;
+const WRITES_EACH: usize = 10;
+const TOTAL_WRITES: usize = REPLICAS * WRITES_EACH;
+
+/// The writes replica `index` publishes — including conflicting writes
+/// to the same keys across replicas; the total order decides who wins,
+/// identically everywhere.
+fn writes_for(index: usize) -> Vec<Bytes> {
+    (0..WRITES_EACH)
+        .map(|i| match index {
+            0 => Bytes::from(format!("user:{i}=from-r1")),
+            1 => Bytes::from(format!("user:{i}=from-r2")),
+            _ => Bytes::from(format!("cfg:{i}=v{i}")),
+        })
+        .collect()
 }
 
-/// Applies every delivered write until `expected` writes have landed.
-fn apply_writes(
-    handle: &GroupHandle,
-    expected: usize,
-) -> Result<BTreeMap<String, String>, Box<dyn std::error::Error>> {
-    let mut store = BTreeMap::new();
-    let mut applied = 0;
-    while applied < expected {
-        if let GroupEvent::Message { payload, .. } =
-            handle.receive_timeout(Duration::from_secs(10))?
-        {
-            let text = String::from_utf8_lossy(&payload);
-            let (k, v) = text.split_once('=').expect("well-formed write");
-            store.insert(k.to_string(), v.to_string());
-            applied += 1;
+/// One replica: publishes its writes, applies every delivered write in
+/// order, and stops once all `TOTAL_WRITES` have landed.
+struct KvReplica {
+    applied: usize,
+    store: Arc<Mutex<BTreeMap<String, String>>>,
+}
+
+impl KvReplica {
+    fn new(store: Arc<Mutex<BTreeMap<String, String>>>) -> Self {
+        KvReplica { applied: 0, store }
+    }
+}
+
+impl GroupApp for KvReplica {
+    fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        let index = ctx.info().me.0 as usize;
+        ctx.send_pipelined(writes_for(index));
+    }
+
+    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
+        match event {
+            AppEvent::Group(GroupEvent::Message { payload, .. }) => {
+                let text = String::from_utf8_lossy(&payload);
+                let (k, v) = text.split_once('=').expect("well-formed write");
+                self.store.lock().unwrap().insert(k.to_string(), v.to_string());
+                self.applied += 1;
+                if self.applied == TOTAL_WRITES {
+                    ctx.stop();
+                }
+            }
+            AppEvent::SendDone(result) => {
+                result.expect("write accepted into the total order");
+            }
+            _ => {}
         }
     }
-    Ok(store)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 5% loss, duplication and jitter: the protocol's negative
-    // acknowledgements absorb all of it.
-    let amoeba = Amoeba::new(7, FaultPlan::lossy(0.05));
-    let group = GroupId(1);
-    let r1 = amoeba.create_group(group, GroupConfig::default())?;
-    let r2 = amoeba.join_group(group, GroupConfig::default())?;
-    let r3 = amoeba.join_group(group, GroupConfig::default())?;
+fn main() {
+    let backend = Backend::from_args();
+    // 5% loss, duplication and jitter on the live network: the
+    // protocol's negative acknowledgements absorb all of it. (The
+    // simulator models the paper's quiet Ethernet.)
+    let spec = RunSpec::new(7).with_fault(FaultPlan::lossy(0.05));
 
-    // Interleaved writes from all three replicas, including conflicting
-    // writes to the same keys — the total order decides who wins,
-    // identically everywhere.
-    let writes = 30;
-    for i in 0..writes / 3 {
-        put(&r1, &format!("user:{i}"), "from-r1")?;
-        put(&r2, &format!("user:{i}"), "from-r2")?;
-        put(&r3, &format!("cfg:{i}"), &format!("v{i}"))?;
-    }
+    let stores: Vec<Arc<Mutex<BTreeMap<String, String>>>> =
+        (0..REPLICAS).map(|_| Arc::new(Mutex::new(BTreeMap::new()))).collect();
+    let apps: Vec<Box<dyn GroupApp>> = stores
+        .iter()
+        .map(|s| Box::new(KvReplica::new(Arc::clone(s))) as Box<dyn GroupApp>)
+        .collect();
 
-    let s1 = apply_writes(&r1, writes)?;
-    let s2 = apply_writes(&r2, writes)?;
-    let s3 = apply_writes(&r3, writes)?;
+    amoeba::app::run(backend, spec, apps);
 
-    assert_eq!(s1, s2, "replicas 1 and 2 diverged");
-    assert_eq!(s2, s3, "replicas 2 and 3 diverged");
-    println!("all {} keys identical on 3 replicas despite loss:", s1.len());
-    for (k, v) in s1.iter().take(5) {
+    let final_stores: Vec<BTreeMap<String, String>> =
+        stores.iter().map(|s| s.lock().unwrap().clone()).collect();
+    assert_eq!(final_stores[0], final_stores[1], "replicas 1 and 2 diverged");
+    assert_eq!(final_stores[1], final_stores[2], "replicas 2 and 3 diverged");
+    println!(
+        "[{backend}] all {} keys identical on {REPLICAS} replicas:",
+        final_stores[0].len()
+    );
+    for (k, v) in final_stores[0].iter().take(5) {
         println!("  {k} = {v}");
     }
     println!("  …");
-
-    r3.leave_group()?;
-    r2.leave_group()?;
-    r1.leave_group()?;
-    Ok(())
 }

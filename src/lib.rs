@@ -19,16 +19,22 @@
 //! * [`net`] — the Ethernet/NIC/CPU hardware models;
 //! * [`sim`] — the deterministic discrete-event engine.
 //!
+//! On top of the crates sits the portable application API ([`app`],
+//! DESIGN.md §8): write an event-driven [`app::GroupApp`] once and run
+//! it on either backend — `amoeba::app::run(Backend::Sim, …)` hosts it
+//! inside the simulated kernel, `Backend::Live` on the live runtime.
+//! [`prelude`] re-exports the types every program needs, and [`Error`]
+//! is the stack-wide error surface.
+//!
 //! The layer map is DESIGN.md §1 (repository root), the protocol
-//! itself DESIGN.md §2, and the batching/pipelining performance knobs
-//! (`BatchPolicy`, `send_window`) DESIGN.md §6.
+//! itself DESIGN.md §2, the batching/pipelining performance knobs
+//! (`BatchPolicy`, `send_window`) DESIGN.md §6, and the application
+//! API DESIGN.md §8.
 //!
 //! # Quick start (live runtime)
 //!
 //! ```
-//! use amoeba::runtime::{Amoeba, FaultPlan};
-//! use amoeba::core::{GroupConfig, GroupId, GroupEvent};
-//! use bytes::Bytes;
+//! use amoeba::prelude::*;
 //!
 //! let amoeba = Amoeba::new(1, FaultPlan::reliable());
 //! let a = amoeba.create_group(GroupId(1), GroupConfig::default())?;
@@ -40,10 +46,14 @@
 //!         break;
 //!     }
 //! }
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), amoeba::Error>(())
 //! ```
 
+pub mod app;
+pub mod prelude;
+
 pub use amoeba_core as core;
+pub use amoeba_core::Error;
 pub use amoeba_flip as flip;
 pub use amoeba_kernel as kernel;
 pub use amoeba_net as net;

@@ -1,0 +1,17 @@
+//! The dozen types every Amoeba program imports, in one line:
+//! `use amoeba::prelude::*;`.
+//!
+//! Covers the blocking API ([`Amoeba`], [`GroupHandle`]), the portable
+//! event-driven API ([`GroupApp`], [`Ctx`], [`run`]), the protocol
+//! vocabulary ([`GroupConfig`], [`GroupEvent`], ids), and the unified
+//! [`Error`].
+
+pub use crate::app::{
+    run, AppEvent, Backend, Ctx, GroupApp, LiveHost, RunSpec, SenderApp, SimHost, TimerId,
+};
+pub use crate::core::{
+    BatchPolicy, Error, GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, MemberId,
+    Method, Seqno, ViewId,
+};
+pub use crate::runtime::{Amoeba, FaultPlan, GroupHandle};
+pub use bytes::Bytes;

@@ -6,4 +6,8 @@
 //! shape — two `recv` arms plus a `default(timeout)` arm. Built on
 //! `std::sync` primitives; correctness over peak throughput.
 
+// Vendored stand-in: exempt from the workspace's clippy gate (the
+// stubs favour simplicity over idiom; see PR 1 in CHANGES.md).
+#![allow(clippy::all)]
+
 pub mod channel;

@@ -5,6 +5,10 @@
 //! `SeedableRng` surface the workspace uses: `seed_from_u64`,
 //! `gen_bool`, `gen_range`.
 
+// Vendored stand-in: exempt from the workspace's clippy gate (the
+// stubs favour simplicity over idiom; see PR 1 in CHANGES.md).
+#![allow(clippy::all)]
+
 /// Seedable construction, mirroring `rand::SeedableRng`.
 pub trait SeedableRng: Sized {
     /// Builds a generator from a 64-bit seed.

@@ -3,6 +3,10 @@
 //! this workspace needs (the traits are only ever derived, never used
 //! as bounds or called).
 
+// Vendored stand-in: exempt from the workspace's clippy gate (the
+// stubs favour simplicity over idiom; see PR 1 in CHANGES.md).
+#![allow(clippy::all)]
+
 use proc_macro::TokenStream;
 
 /// Accepts the annotated item and emits no impl.
