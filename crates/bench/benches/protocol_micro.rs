@@ -39,7 +39,7 @@ fn sample_msg(payload_len: usize) -> WireMsg {
     WireMsg {
         hdr: Hdr {
             group: GroupId(1),
-            view: ViewId(1),
+            view: ViewId(1, 0),
             sender: MemberId(2),
             last_delivered: Seqno(41),
             gc_floor: Seqno(40),

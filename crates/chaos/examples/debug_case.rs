@@ -1,0 +1,47 @@
+//! Scratch harness: replays one chaos case (`debug_case [CASE] [SEED]`)
+//! and dumps the real run's per-node delivery logs and end-of-run core
+//! state for protocol triage. Combine with `AMOEBA_TRACE_STAMPS=1` for
+//! a stamp/transmit/admission trace on stderr.
+
+use amoeba_chaos::{gen_case, run_case_world};
+
+fn main() {
+    let case: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let plan = gen_case(seed, case);
+    println!(
+        "case {case}: nodes={} method={:?} r={} batching={} window={} msgs={} payload={} auto_reset={} noise=[drop {:.3} dup {:.3} reorder {:.3} until {}ms] partitions={:?} crashes={:?} restarts={:?}",
+        plan.nodes, plan.method, plan.resilience, plan.batching, plan.send_window,
+        plan.msgs_per_node, plan.payload, plan.auto_reset,
+        plan.chaos.link.drop, plan.chaos.link.duplicate, plan.chaos.link.reorder,
+        plan.chaos.noise_until_us / 1000, plan.chaos.partitions, plan.crashes, plan.restarts,
+    );
+    let mut plan = plan;
+    if let Some(us) = std::env::var("AMOEBA_RUN_US").ok().and_then(|v| v.parse().ok()) {
+        plan.run_us = us; // triage knob: truncate/extend the run
+    }
+    let (out, w) = run_case_world(&plan);
+    for v in &out.violations {
+        println!("violation: {v}");
+    }
+    println!("fates: {:?}  fingerprint: {:016x}", out.fates, out.fingerprint);
+    for (n, log) in out.logs.iter().enumerate() {
+        let line: Vec<String> =
+            log.iter().map(|d| format!("{}:{}", d.origin, d.index)).collect();
+        println!("--- node {n} log ({} entries): {}", log.len(), line.join(" "));
+        match w.sim.world.nodes[n].core.as_ref() {
+            Some(c) => {
+                let i = c.info();
+                println!(
+                    "    member={} view={} is_member={} is_seq={} last={}",
+                    i.me, i.view, c.is_member(), c.is_sequencer(), i.last_delivered
+                );
+                println!("    {}", c.debug_state());
+                println!("    {:?}", c.stats);
+            }
+            None => println!("    crashed"),
+        }
+        let nic = w.sim.world.net.host(amoeba_net::HostId(n)).nic.stats;
+        println!("    nic: {nic:?}");
+    }
+}

@@ -1,0 +1,183 @@
+//! `chaos` — the seed explorer CLI.
+//!
+//! ```text
+//! chaos [--seed S] [--cases N]     explore cases 0..N under root seed S
+//! chaos --seed S --case K          replay exactly one case (a repro line)
+//! chaos --broken dup|retrans …     sabotage one protocol branch first
+//! chaos --out FILE                 where to write a failing report
+//! chaos --no-minimize              report the raw failing plan as-is
+//! ```
+//!
+//! Exit status: 0 when every case upholds the protocol invariants,
+//! 1 on the first violation (after minimizing and writing the report),
+//! 2 on usage errors.
+
+use std::io::Write as _;
+
+use amoeba_chaos::{gen_case, minimize, run_case, CaseOutcome, CasePlan};
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    case: Option<u64>,
+    broken: Option<amoeba_core::sabotage::Sabotage>,
+    out: String,
+    minimize: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        cases: 64,
+        case: None,
+        broken: None,
+        out: "chaos_failure.txt".into(),
+        minimize: true,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cases" => {
+                args.cases = value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?
+            }
+            "--case" => {
+                args.case = Some(value("--case")?.parse().map_err(|e| format!("--case: {e}"))?)
+            }
+            "--broken" => {
+                let name = value("--broken")?;
+                args.broken = Some(
+                    amoeba_core::sabotage::parse(&name)
+                        .ok_or_else(|| format!("--broken: unknown mode {name:?} (dup|retrans)"))?,
+                );
+            }
+            "--out" => args.out = value("--out")?,
+            "--no-minimize" => args.minimize = false,
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn describe(plan: &CasePlan) -> String {
+    format!(
+        "nodes={} method={:?} r={} batching={} window={} msgs={} payload={} auto_reset={} \
+         noise=[drop {:.3} dup {:.3} reorder {:.3} until {} ms] partitions={:?} crashes={:?} restarts={:?}",
+        plan.nodes,
+        plan.method,
+        plan.resilience,
+        plan.batching,
+        plan.send_window,
+        plan.msgs_per_node,
+        plan.payload,
+        plan.auto_reset,
+        plan.chaos.link.drop,
+        plan.chaos.link.duplicate,
+        plan.chaos.link.reorder,
+        plan.chaos.noise_until_us / 1_000,
+        plan.chaos.partitions,
+        plan.crashes,
+        plan.restarts,
+    )
+}
+
+fn report_failure(args: &Args, plan: &CasePlan, outcome: &CaseOutcome) {
+    eprintln!("VIOLATION seed={} case={}", plan.root_seed, plan.case);
+    for v in &outcome.violations {
+        eprintln!("  {v}");
+    }
+    let minimized = if args.minimize {
+        let m = minimize(plan);
+        eprintln!("minimized plan: {}", describe(&m));
+        m
+    } else {
+        plan.clone()
+    };
+    let mut body = String::new();
+    body.push_str(&format!("chaos failure under root seed {}\n", plan.root_seed));
+    body.push_str(&format!("repro: {}\n", plan.repro()));
+    if let Some(b) = args.broken {
+        body.push_str(&format!("sabotage: {b:?}\n"));
+    }
+    body.push_str(&format!("original plan: {}\n", describe(plan)));
+    body.push_str(&format!("minimized plan: {}\n", describe(&minimized)));
+    body.push_str("violations:\n");
+    for v in &outcome.violations {
+        body.push_str(&format!("  {v}\n"));
+    }
+    match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(body.as_bytes())) {
+        Ok(()) => eprintln!("report written to {}", args.out),
+        Err(e) => eprintln!("could not write {}: {e}", args.out),
+    }
+    eprintln!("repro: {}{}", plan.repro(), match args.broken {
+        Some(amoeba_core::sabotage::Sabotage::SkipDupFilter) => " --broken dup",
+        Some(amoeba_core::sabotage::Sabotage::SkipRetransmit) => " --broken retrans",
+        _ => "",
+    });
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(mode) = args.broken {
+        amoeba_core::sabotage::set(mode);
+        eprintln!("sabotage armed: {mode:?}");
+    }
+    let cases: Vec<u64> = match args.case {
+        Some(k) => vec![k],
+        None => (0..args.cases).collect(),
+    };
+    let start = std::time::Instant::now();
+    let (mut submitted, mut events, mut errs) = (0u64, 0u64, 0u64);
+    let (mut dropped, mut duplicated, mut reordered, mut partitioned) = (0u64, 0u64, 0u64, 0u64);
+    for (i, &k) in cases.iter().enumerate() {
+        let plan = gen_case(args.seed, k);
+        let outcome = run_case(&plan);
+        submitted += outcome.submitted;
+        events += outcome.events;
+        errs += outcome.send_errs;
+        dropped += outcome.chaos.dropped;
+        duplicated += outcome.chaos.duplicated;
+        reordered += outcome.chaos.reordered;
+        partitioned += outcome.chaos.partitioned;
+        if !outcome.violations.is_empty() {
+            report_failure(&args, &plan, &outcome);
+            std::process::exit(1);
+        }
+        if !args.quiet && args.case.is_none() && (i + 1) % 50 == 0 {
+            eprintln!("… {}/{} cases clean", i + 1, cases.len());
+        }
+        if args.case.is_some() {
+            println!(
+                "case {k}: clean; fingerprint {:016x}; logs {:?}; fates {:?}",
+                outcome.fingerprint, outcome.log_lens, outcome.fates
+            );
+            println!("plan: {}", describe(&plan));
+        }
+    }
+    println!(
+        "chaos: {} case(s) clean under seed {} in {:.1}s — {} msgs submitted, {} send errors, \
+         {} sim events; faults: {} dropped, {} duplicated, {} reordered, {} partitioned",
+        cases.len(),
+        args.seed,
+        start.elapsed().as_secs_f64(),
+        submitted,
+        errs,
+        events,
+        dropped,
+        duplicated,
+        reordered,
+        partitioned,
+    );
+}

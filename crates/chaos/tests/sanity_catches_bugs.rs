@@ -1,0 +1,87 @@
+//! A fault-finding harness that has never found a fault proves
+//! nothing. This suite deliberately breaks one protocol branch (via
+//! `amoeba_core::sabotage`) and demands that the chaos audit flags the
+//! damage within the CI smoke budget (64 cases), and that minimization
+//! still reproduces the failure on a reduced plan with a usable repro
+//! line.
+//!
+//! One `#[test]` only: the sabotage switch is process-global, so the
+//! two modes must run sequentially and reset on every path out.
+
+use amoeba_chaos::{gen_case, minimize, run_case, CasePlan};
+use amoeba_core::audit::Violation;
+use amoeba_core::sabotage::{self, Sabotage};
+
+const SMOKE_BUDGET: u64 = 64;
+
+/// Runs the smoke budget under `mode` and returns the first failing
+/// (plan, violations).
+fn first_failure(mode: Sabotage) -> Option<(CasePlan, Vec<Violation>)> {
+    sabotage::set(mode);
+    let result = (0..SMOKE_BUDGET).find_map(|k| {
+        let plan = gen_case(1, k);
+        let out = run_case(&plan);
+        (!out.violations.is_empty()).then_some((plan, out.violations))
+    });
+    sabotage::set(Sabotage::None);
+    result
+}
+
+#[test]
+fn sabotaged_protocol_branches_are_caught_and_minimized() {
+    // Mode 1: the sequencer stops consulting its duplicate filter.
+    // A retransmitted request whose original was already stamped gets
+    // stamped again — exactly-once (and, under pipelining, FIFO) dies.
+    let (dup_plan, dup_violations) =
+        first_failure(Sabotage::SkipDupFilter).expect("skip-dup-filter must be caught");
+    assert!(
+        dup_violations
+            .iter()
+            .any(|v| matches!(v, Violation::Duplicate { .. } | Violation::FifoOrder { .. })),
+        "dup-filter sabotage should surface as duplicate/FIFO damage: {dup_violations:?}"
+    );
+
+    // Mode 2: the sequencer ignores retransmission requests. A
+    // loss-induced gap can never heal, so the group never converges.
+    let (retrans_plan, retrans_violations) =
+        first_failure(Sabotage::SkipRetransmit).expect("skip-retransmit must be caught");
+    assert!(
+        retrans_violations.iter().any(|v| matches!(
+            v,
+            Violation::NoConvergence { .. } | Violation::OrderDivergence { .. }
+        )),
+        "retransmit sabotage should surface as a convergence failure: {retrans_violations:?}"
+    );
+
+    // Minimization must still reproduce each failure under its
+    // sabotage, strip it to no more fault events than the original,
+    // and leave a runnable repro line.
+    for (mode, plan) in
+        [(Sabotage::SkipDupFilter, &dup_plan), (Sabotage::SkipRetransmit, &retrans_plan)]
+    {
+        sabotage::set(mode);
+        let minimized = minimize(plan);
+        let still_failing = !run_case(&minimized).violations.is_empty();
+        sabotage::set(Sabotage::None);
+        assert!(still_failing, "{mode:?}: the minimized plan must still fail");
+        assert!(
+            minimized.chaos.partitions.len() <= plan.chaos.partitions.len()
+                && minimized.crashes.len() <= plan.crashes.len()
+                && minimized.msgs_per_node <= plan.msgs_per_node,
+            "{mode:?}: minimization never grows the plan"
+        );
+        assert_eq!(
+            minimized.repro(),
+            format!("chaos --seed {} --case {}", plan.root_seed, plan.case),
+            "the repro line regenerates the failing case from two integers"
+        );
+    }
+
+    // And with the protocol intact, the same budget is clean (the
+    // harness isn't just flagging everything).
+    assert_eq!(sabotage::current(), Sabotage::None);
+    for k in 0..8 {
+        let out = run_case(&gen_case(1, k));
+        assert!(out.violations.is_empty(), "intact protocol flagged at case {k}");
+    }
+}

@@ -1,0 +1,410 @@
+//! Protocol invariant checking over recorded delivery logs.
+//!
+//! The paper's guarantees (§2–§3) are *about what every member
+//! delivers*: one total order, per-sender FIFO, exactly-once, and —
+//! once failures stop — convergence of every live member on the same
+//! history. [`DeliveryAudit`] checks exactly those properties over
+//! per-member logs recorded by a test harness (the deterministic chaos
+//! explorer in `crates/chaos`, or a live-runtime fault test), without
+//! caring which backend produced them.
+//!
+//! Each delivered application message is reported as `(origin, index)`:
+//! the *node* that submitted it and that node's 0-based submission
+//! counter. The harness owns the mapping (the chaos workloads embed it
+//! in the payload), which keeps the audit independent of `MemberId`
+//! reassignment across restarts and recoveries.
+//!
+//! What is — deliberately — *not* demanded:
+//!
+//! * A member that **crashed** mid-run is exempt from cross-member
+//!   order checks: with resilience r = 0 a crashed sequencer may have
+//!   delivered a tail nobody else ever sees (the paper's stated
+//!   trade-off). Its log still must be duplicate-free, FIFO and free of
+//!   phantoms.
+//! * A member **expelled** by failure detection (the accepted false
+//!   positive of §2.1) stops wherever its expulsion landed; it is held
+//!   to the same per-log invariants but not to end-of-run convergence.
+//!   While the group stays in its original incarnation an expelled
+//!   member's log is still a prefix of the survivors' — the harness
+//!   opts into that stronger check with
+//!   [`DeliveryAudit::strict_expelled`] when it knows no recovery
+//!   installed a new view. After a recovery, a survivor *excluded*
+//!   from the new view may hold a tail the rebuilt group re-stamped
+//!   differently (again the r = 0 trade-off), so the default holds
+//!   only live members to the agreed prefix.
+//! * A submission without a completed `SendToGroup` may be delivered
+//!   nowhere, everywhere, or (before convergence is demanded) to a
+//!   subset — Amoeba's send failure is ambiguous by design.
+
+/// How a member ended the run, as observed by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndFate {
+    /// Still a live group member when the run ended.
+    Live,
+    /// Crashed (scripted processor failure).
+    Crashed,
+    /// Expelled by failure detection or recovery, or left.
+    Expelled,
+}
+
+/// One delivered application message, as `(origin node, submission
+/// index at that node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AuditDelivery {
+    /// The node that submitted the message.
+    pub origin: u32,
+    /// That node's 0-based submission counter for this message.
+    pub index: u64,
+}
+
+/// One member's recorded run.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// How the member ended.
+    pub fate: EndFate,
+    /// Every application message it delivered, in delivery order.
+    pub deliveries: Vec<AuditDelivery>,
+}
+
+/// A violated protocol invariant. `Display` renders a one-line
+/// diagnosis; the chaos explorer prints these under the failing seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A delivered message was never submitted by its claimed origin.
+    Phantom {
+        /// The delivering member (harness node index).
+        member: usize,
+        /// The impossible delivery.
+        delivery: AuditDelivery,
+    },
+    /// The same message was delivered twice by one member.
+    Duplicate {
+        /// The delivering member.
+        member: usize,
+        /// The message delivered more than once.
+        delivery: AuditDelivery,
+        /// Positions (0-based) of the first and repeated delivery.
+        positions: (usize, usize),
+    },
+    /// Messages of one origin arrived out of submission order.
+    FifoOrder {
+        /// The delivering member.
+        member: usize,
+        /// The shared origin.
+        origin: u32,
+        /// The index delivered first despite being submitted later.
+        later: u64,
+        /// The earlier-submitted index it overtook.
+        earlier: u64,
+    },
+    /// Two members disagree within their common log prefix — the total
+    /// order itself is broken.
+    OrderDivergence {
+        /// The two members.
+        members: (usize, usize),
+        /// First position at which their logs differ.
+        position: usize,
+        /// What each delivered there.
+        got: (AuditDelivery, AuditDelivery),
+    },
+    /// Faults stopped and the run quiesced, yet two live members ended
+    /// with different delivery counts.
+    NoConvergence {
+        /// The member with the shorter log.
+        behind: usize,
+        /// The member with the longer log.
+        ahead: usize,
+        /// Their log lengths.
+        lengths: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Phantom { member, delivery } => write!(
+                f,
+                "phantom: member {member} delivered ({}, {}) which origin {} never submitted",
+                delivery.origin, delivery.index, delivery.origin
+            ),
+            Violation::Duplicate { member, delivery, positions } => write!(
+                f,
+                "duplicate: member {member} delivered ({}, {}) at positions {} and {}",
+                delivery.origin, delivery.index, positions.0, positions.1
+            ),
+            Violation::FifoOrder { member, origin, later, earlier } => write!(
+                f,
+                "fifo: member {member} saw origin {origin}'s #{later} before #{earlier}"
+            ),
+            Violation::OrderDivergence { members, position, got } => write!(
+                f,
+                "order: members {} and {} diverge at position {position}: ({}, {}) vs ({}, {})",
+                members.0, members.1, got.0.origin, got.0.index, got.1.origin, got.1.index
+            ),
+            Violation::NoConvergence { behind, ahead, lengths } => write!(
+                f,
+                "convergence: member {behind} ended at {} deliveries, member {ahead} at {}",
+                lengths.0, lengths.1
+            ),
+        }
+    }
+}
+
+/// The invariant checker: feed it every member's record plus each
+/// node's submission count, then [`DeliveryAudit::check`].
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryAudit {
+    members: Vec<MemberRecord>,
+    /// `submitted[node]` = how many messages that node's application
+    /// submitted (indices `0..submitted[node]` exist).
+    submitted: Vec<u64>,
+    /// Demand identical end-of-run logs from every live member (set
+    /// when the harness knows faults stopped and the run quiesced).
+    require_convergence: bool,
+    /// Hold expelled members to the agreed-prefix check too (sound
+    /// only while no recovery installed a new incarnation).
+    strict_expelled: bool,
+}
+
+impl DeliveryAudit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        DeliveryAudit::default()
+    }
+
+    /// Demands end-of-run convergence of live members (in addition to
+    /// the always-on safety checks).
+    pub fn require_convergence(mut self, yes: bool) -> Self {
+        self.require_convergence = yes;
+        self
+    }
+
+    /// Holds expelled members to the agreed-prefix check as well.
+    /// Sound only when the harness knows the run never installed a
+    /// recovered view (see the module docs).
+    pub fn strict_expelled(mut self, yes: bool) -> Self {
+        self.strict_expelled = yes;
+        self
+    }
+
+    /// Records that node `origin` submitted `count` messages (indices
+    /// `0..count`).
+    pub fn submitted(&mut self, origin: u32, count: u64) {
+        let idx = origin as usize;
+        if self.submitted.len() <= idx {
+            self.submitted.resize(idx + 1, 0);
+        }
+        self.submitted[idx] = count;
+    }
+
+    /// Adds one member's record. Call in node order: the position
+    /// becomes the member's index in reported violations.
+    pub fn member(&mut self, record: MemberRecord) {
+        self.members.push(record);
+    }
+
+    /// Runs every check and returns all violations found (empty =
+    /// the run upheld the protocol's guarantees).
+    pub fn check(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (m, rec) in self.members.iter().enumerate() {
+            self.check_member_log(m, rec, &mut out);
+        }
+        self.check_agreement(&mut out);
+        out
+    }
+
+    /// Per-log invariants: no phantom, no duplicate, per-origin FIFO.
+    fn check_member_log(&self, m: usize, rec: &MemberRecord, out: &mut Vec<Violation>) {
+        use std::collections::HashMap;
+        let mut seen: HashMap<AuditDelivery, usize> = HashMap::new();
+        let mut last_of: HashMap<u32, u64> = HashMap::new();
+        for (pos, &d) in rec.deliveries.iter().enumerate() {
+            let known = self.submitted.get(d.origin as usize).copied().unwrap_or(0);
+            if d.index >= known {
+                out.push(Violation::Phantom { member: m, delivery: d });
+            }
+            if let Some(&first) = seen.get(&d) {
+                out.push(Violation::Duplicate {
+                    member: m,
+                    delivery: d,
+                    positions: (first, pos),
+                });
+            } else {
+                seen.insert(d, pos);
+            }
+            if let Some(&prev) = last_of.get(&d.origin) {
+                if d.index < prev {
+                    out.push(Violation::FifoOrder {
+                        member: m,
+                        origin: d.origin,
+                        later: prev,
+                        earlier: d.index,
+                    });
+                }
+            }
+            let slot = last_of.entry(d.origin).or_insert(d.index);
+            if d.index > *slot {
+                *slot = d.index;
+            }
+        }
+    }
+
+    /// Cross-member invariants: agreed prefix among live members (plus
+    /// expelled ones under `strict_expelled`), and (optionally)
+    /// convergence among live ones.
+    fn check_agreement(&self, out: &mut Vec<Violation>) {
+        let ordered: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| match r.fate {
+                EndFate::Live => true,
+                EndFate::Expelled => self.strict_expelled,
+                EndFate::Crashed => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for (k, &a) in ordered.iter().enumerate() {
+            for &b in &ordered[k + 1..] {
+                let (la, lb) = (&self.members[a].deliveries, &self.members[b].deliveries);
+                if let Some(pos) = (0..la.len().min(lb.len())).find(|&i| la[i] != lb[i]) {
+                    out.push(Violation::OrderDivergence {
+                        members: (a, b),
+                        position: pos,
+                        got: (la[pos], lb[pos]),
+                    });
+                }
+            }
+        }
+        if !self.require_convergence {
+            return;
+        }
+        let live: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.fate == EndFate::Live)
+            .map(|(i, _)| i)
+            .collect();
+        for pair in live.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (la, lb) =
+                (self.members[a].deliveries.len(), self.members[b].deliveries.len());
+            if la != lb {
+                let (behind, ahead, lengths) =
+                    if la < lb { (a, b, (la, lb)) } else { (b, a, (lb, la)) };
+                out.push(Violation::NoConvergence { behind, ahead, lengths });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(origin: u32, index: u64) -> AuditDelivery {
+        AuditDelivery { origin, index }
+    }
+
+    fn audit(submitted: &[u64]) -> DeliveryAudit {
+        let mut a = DeliveryAudit::new();
+        for (node, &count) in submitted.iter().enumerate() {
+            a.submitted(node as u32, count);
+        }
+        a
+    }
+
+    #[test]
+    fn clean_logs_pass() {
+        let mut a = audit(&[2, 1]).require_convergence(true);
+        let log = vec![d(0, 0), d(1, 0), d(0, 1)];
+        for _ in 0..3 {
+            a.member(MemberRecord { fate: EndFate::Live, deliveries: log.clone() });
+        }
+        assert!(a.check().is_empty());
+    }
+
+    #[test]
+    fn phantom_and_duplicate_and_fifo_are_flagged() {
+        let mut a = audit(&[2]);
+        a.member(MemberRecord {
+            fate: EndFate::Live,
+            deliveries: vec![d(0, 1), d(0, 0), d(0, 1), d(0, 7)],
+        });
+        let v = a.check();
+        assert!(v.iter().any(|x| matches!(x, Violation::FifoOrder { later: 1, earlier: 0, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Duplicate { delivery, .. } if *delivery == d(0, 1))));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Phantom { delivery, .. } if *delivery == d(0, 7))));
+    }
+
+    #[test]
+    fn prefix_divergence_is_flagged_even_without_convergence() {
+        let mut a = audit(&[1, 1]);
+        a.member(MemberRecord { fate: EndFate::Live, deliveries: vec![d(0, 0), d(1, 0)] });
+        a.member(MemberRecord { fate: EndFate::Live, deliveries: vec![d(1, 0)] });
+        let v = a.check();
+        assert!(
+            matches!(v[0], Violation::OrderDivergence { position: 0, .. }),
+            "live members must share the agreed prefix: {v:?}"
+        );
+    }
+
+    #[test]
+    fn expelled_prefix_checked_only_under_strict_expelled() {
+        let build = |strict: bool| {
+            let mut a = audit(&[1, 1]).strict_expelled(strict);
+            a.member(MemberRecord { fate: EndFate::Live, deliveries: vec![d(0, 0), d(1, 0)] });
+            a.member(MemberRecord { fate: EndFate::Expelled, deliveries: vec![d(1, 0)] });
+            a.check()
+        };
+        assert!(build(false).is_empty(), "post-recovery exclusion may diverge");
+        assert!(
+            matches!(build(true)[0], Violation::OrderDivergence { .. }),
+            "in the original incarnation the expelled prefix must agree"
+        );
+    }
+
+    #[test]
+    fn crashed_members_are_exempt_from_cross_checks_but_not_per_log_ones() {
+        let mut a = audit(&[1, 1]).require_convergence(true);
+        a.member(MemberRecord { fate: EndFate::Live, deliveries: vec![d(0, 0), d(1, 0)] });
+        // The crashed sequencer saw a different tail (r = 0 loss) and a
+        // duplicate of its own.
+        a.member(MemberRecord {
+            fate: EndFate::Crashed,
+            deliveries: vec![d(1, 0), d(1, 0)],
+        });
+        let v = a.check();
+        assert_eq!(v.len(), 1, "only the duplicate counts: {v:?}");
+        assert!(matches!(v[0], Violation::Duplicate { member: 1, .. }));
+    }
+
+    #[test]
+    fn convergence_is_demanded_only_of_live_members() {
+        let mut a = audit(&[3]).require_convergence(true);
+        a.member(MemberRecord {
+            fate: EndFate::Live,
+            deliveries: vec![d(0, 0), d(0, 1), d(0, 2)],
+        });
+        a.member(MemberRecord { fate: EndFate::Expelled, deliveries: vec![d(0, 0)] });
+        assert!(a.check().is_empty(), "an expelled prefix is fine");
+        a.member(MemberRecord { fate: EndFate::Live, deliveries: vec![d(0, 0), d(0, 1)] });
+        let v = a.check();
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::NoConvergence { lengths: (2, 3), .. })),
+            "a live laggard is not: {v:?}"
+        );
+    }
+
+    #[test]
+    fn violations_render_one_line_diagnoses() {
+        let v = Violation::FifoOrder { member: 2, origin: 1, later: 5, earlier: 3 };
+        assert_eq!(v.to_string(), "fifo: member 2 saw origin 1's #5 before #3");
+    }
+}

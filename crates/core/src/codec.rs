@@ -344,30 +344,34 @@ fn put_sequenced_gather_head(buf: &mut BytesMut, entry: &Sequenced) {
 }
 
 // The header is fixed-layout, so both directions move it as one
-// 32-byte block instead of five bounds-checked cursor ops — this runs
+// 36-byte block instead of six bounds-checked cursor ops — this runs
 // once per frame on the hot path.
 
 fn put_hdr(buf: &mut BytesMut, hdr: &Hdr) {
-    let mut b = [0u8; 32];
+    let mut b = [0u8; 36];
     b[0..8].copy_from_slice(&hdr.group.0.to_be_bytes());
     b[8..12].copy_from_slice(&hdr.view.0.to_be_bytes());
-    b[12..16].copy_from_slice(&hdr.sender.0.to_be_bytes());
-    b[16..24].copy_from_slice(&hdr.last_delivered.0.to_be_bytes());
-    b[24..32].copy_from_slice(&hdr.gc_floor.0.to_be_bytes());
+    b[12..16].copy_from_slice(&hdr.view.1.to_be_bytes());
+    b[16..20].copy_from_slice(&hdr.sender.0.to_be_bytes());
+    b[20..28].copy_from_slice(&hdr.last_delivered.0.to_be_bytes());
+    b[28..36].copy_from_slice(&hdr.gc_floor.0.to_be_bytes());
     buf.put_slice(&b);
 }
 
 fn get_hdr(buf: &mut Bytes) -> Result<Hdr, DecodeError> {
-    need(buf, 32)?;
+    need(buf, 36)?;
     let b = buf.chunk();
     let hdr = Hdr {
         group: GroupId(u64::from_be_bytes(b[0..8].try_into().expect("fixed slice"))),
-        view: ViewId(u32::from_be_bytes(b[8..12].try_into().expect("fixed slice"))),
-        sender: MemberId(u32::from_be_bytes(b[12..16].try_into().expect("fixed slice"))),
-        last_delivered: Seqno(u64::from_be_bytes(b[16..24].try_into().expect("fixed slice"))),
-        gc_floor: Seqno(u64::from_be_bytes(b[24..32].try_into().expect("fixed slice"))),
+        view: ViewId(
+            u32::from_be_bytes(b[8..12].try_into().expect("fixed slice")),
+            u32::from_be_bytes(b[12..16].try_into().expect("fixed slice")),
+        ),
+        sender: MemberId(u32::from_be_bytes(b[16..20].try_into().expect("fixed slice"))),
+        last_delivered: Seqno(u64::from_be_bytes(b[20..28].try_into().expect("fixed slice"))),
+        gc_floor: Seqno(u64::from_be_bytes(b[28..36].try_into().expect("fixed slice"))),
     };
-    buf.advance(32);
+    buf.advance(36);
     Ok(hdr)
 }
 
@@ -477,6 +481,7 @@ fn put_body(buf: &mut BytesMut, body: &Body) {
             buf.put_u8(T_JOIN_ACK);
             buf.put_u32(member.0);
             buf.put_u32(view.0);
+            buf.put_u32(view.1);
             buf.put_u64(join_seqno.0);
             buf.put_u32(*resilience);
             buf.put_u64(*nonce);
@@ -503,6 +508,7 @@ fn put_body(buf: &mut BytesMut, body: &Body) {
             buf.put_u8(T_NEW_VIEW);
             buf.put_u32(*attempt);
             buf.put_u32(view.0);
+            buf.put_u32(view.1);
             buf.put_u32(sequencer.0);
             buf.put_u64(next_seqno.0);
             put_members(buf, members);
@@ -599,9 +605,9 @@ fn get_body(buf: &mut Bytes) -> Result<Body, DecodeError> {
             }
         }
         T_JOIN_ACK => {
-            need(buf, 28)?;
+            need(buf, 32)?;
             let member = MemberId(buf.get_u32());
-            let view = ViewId(buf.get_u32());
+            let view = ViewId(buf.get_u32(), buf.get_u32());
             let join_seqno = Seqno(buf.get_u64());
             let resilience = buf.get_u32();
             let nonce = buf.get_u64();
@@ -633,9 +639,9 @@ fn get_body(buf: &mut Bytes) -> Result<Body, DecodeError> {
             }
         }
         T_NEW_VIEW => {
-            need(buf, 20)?;
+            need(buf, 24)?;
             let attempt = buf.get_u32();
-            let view = ViewId(buf.get_u32());
+            let view = ViewId(buf.get_u32(), buf.get_u32());
             let sequencer = MemberId(buf.get_u32());
             let next_seqno = Seqno(buf.get_u64());
             Body::NewView { attempt, view, members: get_members(buf)?, sequencer, next_seqno }
@@ -771,7 +777,7 @@ mod tests {
     fn hdr() -> Hdr {
         Hdr {
             group: GroupId(3),
-            view: ViewId(2),
+            view: ViewId(2, 0),
             sender: MemberId(5),
             last_delivered: Seqno(77),
             gc_floor: Seqno(70),
@@ -842,7 +848,7 @@ mod tests {
         roundtrip(Body::JoinReq { addr: FlipAddress::process(9), nonce: 1 });
         roundtrip(Body::JoinAck {
             member: MemberId(3),
-            view: ViewId(1),
+            view: ViewId(1, 0),
             join_seqno: Seqno(12),
             members: vec![meta],
             resilience: 1,
@@ -859,7 +865,7 @@ mod tests {
         });
         roundtrip(Body::NewView {
             attempt: 2,
-            view: ViewId(3),
+            view: ViewId(3, 0),
             members: vec![meta],
             sequencer: MemberId(4),
             next_seqno: Seqno(41),
@@ -874,7 +880,7 @@ mod tests {
             hdr: hdr(),
             body: Body::JoinAck {
                 member: MemberId(3),
-                view: ViewId(1),
+                view: ViewId(1, 0),
                 join_seqno: Seqno(12),
                 members: vec![MemberMeta { id: MemberId(4), addr: FlipAddress::process(44) }],
                 resilience: 1,
@@ -930,7 +936,7 @@ mod tests {
             },
         };
         let mut raw = encode_wire_msg(&msg).to_vec();
-        raw[32 + 1 + 2] = 99; // first item tag (after header, body tag, count)
+        raw[36 + 1 + 2] = 99; // first item tag (after header, body tag, count)
         assert_eq!(decode_wire_msg(&mut Bytes::from(raw)), Err(DecodeError::BadKindTag(99)));
     }
 
@@ -939,7 +945,7 @@ mod tests {
         let msg = WireMsg { hdr: hdr(), body: Body::Status };
         let bytes = encode_wire_msg(&msg);
         let mut raw = bytes.to_vec();
-        raw[32] = 200; // body tag position (after 32-byte header)
+        raw[36] = 200; // body tag position (after the 36-byte header)
         assert_eq!(
             decode_wire_msg(&mut Bytes::from(raw)),
             Err(DecodeError::BadBodyTag(200))
@@ -954,7 +960,7 @@ mod tests {
         };
         let mut raw = encode_wire_msg(&msg).to_vec();
         // Corrupt the payload length (immediately after tag + u64).
-        let pos = 32 + 1 + 8;
+        let pos = 36 + 1 + 8;
         raw[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             decode_wire_msg(&mut Bytes::from(raw)),

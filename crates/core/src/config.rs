@@ -195,6 +195,18 @@ pub struct GroupConfig {
     /// Recovery participant: silence from the coordinator for this long
     /// aborts the attempt and starts our own, µs.
     pub recovery_watchdog_us: u64,
+    /// Beyond-paper congestion guards on the repair paths (off by
+    /// default, keeping the wire behaviour of the 1996 protocol exact):
+    /// exponential backoff on negative-acknowledgement retries and on
+    /// tentative re-multicasts, plus chunked (16-entry) retransmission
+    /// service. Without them, a member far behind a backlog of large
+    /// messages re-requests the full range faster than the
+    /// multi-fragment answers can drain, and the duplicated bursts
+    /// saturate the shared Ethernet until no repair, accept or
+    /// acknowledgement gets through — a retransmission-storm congestion
+    /// collapse the chaos explorer reproduced deterministically
+    /// (DESIGN.md §9). Every chaos-explorer configuration enables this.
+    pub robust_repair: bool,
     /// Automatically start recovery when the sequencer is suspected
     /// (send retries exhausted), instead of only failing the send. The
     /// paper's kernel left recovery to the application (`ResetGroup`);
@@ -228,6 +240,7 @@ impl Default for GroupConfig {
             invite_round_us: 100_000,
             invite_rounds: 3,
             recovery_watchdog_us: 2_000_000,
+            robust_repair: false,
             auto_reset: false,
             auto_reset_min_members: 1,
         }

@@ -58,6 +58,16 @@ pub(crate) struct PendingSend {
     /// role: the message has been stamped (false while admission is
     /// blocked on a full history buffer).
     pub(crate) submitted: bool,
+    /// The seqno at which *we ourselves delivered* this message, if we
+    /// have (set in `deliver_entry`). A send can be delivered yet
+    /// uncompleted: with r > 0 completion waits for the resilience
+    /// acknowledgements. Recovery consults this — a pending send
+    /// already delivered within the recovered horizon is in the order
+    /// and must be *completed*, not resubmitted, or it would be
+    /// stamped twice (found by the chaos explorer under cascading
+    /// recoveries, where the duplicate filter alone cannot remember
+    /// garbage-collected stamps).
+    pub(crate) delivered_at: Option<Seqno>,
 }
 
 /// The Amoeba group communication protocol, as a deterministic state
@@ -120,6 +130,9 @@ pub struct GroupCore {
     /// Open gap we have nacked (cleared when it closes).
     pub(crate) nack_open: Option<(Seqno, Seqno)>,
     pub(crate) nack_retries: u32,
+    /// A [`TimerKind::TentativeStall`] timer is pending (delivery is
+    /// blocked on an unaccepted tentative entry).
+    pub(crate) tent_stall_armed: bool,
     /// Highest floor this member has explicitly reported (batching
     /// watermark acks; see [`GroupCore::maybe_report_floor`]).
     pub(crate) last_reported_floor: Seqno,
@@ -130,6 +143,49 @@ pub struct GroupCore {
     pub(crate) pending_sends: VecDeque<PendingSend>,
     /// A voluntary leave awaiting its ack.
     pub(crate) pending_leave: bool,
+    /// Serialize sending to one in-flight request: set when a new
+    /// sequencer may hold a *rebuilt* (non-strict) duplicate filter for
+    /// us — after a recovery install or a sequencer handoff — and
+    /// cleared by the first completion. A non-strict filter admits one
+    /// forward jump; if two of our requests were in flight and the
+    /// older frame was lost or overtaken, that jump would stamp the
+    /// newer one first and break our FIFO order. Keeping exactly one
+    /// request outstanding until a completion proves the filter has
+    /// latched strict makes the single admissible jump land on our
+    /// oldest pending request, which is the only FIFO-safe one.
+    /// (Found by the chaos explorer: resubmission loss after a
+    /// recovery reordered a sender's pipelined window.)
+    pub(crate) resync_serial: bool,
+    /// Completions at or below this seqno do not end resync
+    /// serialization: they report stamps by a *previous* sequencer
+    /// (recovered history backfill), which prove nothing about the
+    /// current one's filter. Set to the recovery horizon (or handoff
+    /// seqno) whenever `resync_serial` is raised.
+    pub(crate) resync_horizon: Seqno,
+    /// Recovery resubmission is deferred until our delivery crosses
+    /// this horizon. A member far behind the recovered prefix cannot
+    /// know whether its pending sends are already *in* that prefix:
+    /// the origin has not delivered them and the new sequencer may
+    /// have garbage-collected them. Catching up first decides it —
+    /// backfill either completes the send (it was stamped) or reaches
+    /// the horizon without it (it genuinely needs resubmission).
+    /// (Found by the chaos explorer: a laggard member re-submitting
+    /// into a rebuilt group duplicated an already-ordered message.)
+    pub(crate) resubmit_after: Option<Seqno>,
+    /// The first seqno of the *current incarnation*, when known — 1
+    /// for the initial view, the coordinator's `next_seqno` for an
+    /// installed one, and `None` for a member admitted into an
+    /// already-recovered incarnation (its join point says nothing
+    /// about where the incarnation began). This, not any evolving
+    /// local delivery point, is what a `ViewQuery` answer must
+    /// advertise as the resume: a stale member adopting the view
+    /// truncates its old-lineage state above `resume − 1`, and a wrong
+    /// value either keeps abandoned-lineage entries (too high) or
+    /// needlessly self-expels a healthy adopter (too low) — so a
+    /// member that does not know simply declines to teach the view
+    /// and the straggler learns from one that does (the sequencer
+    /// always knows). Chaos-explorer finding.
+    pub(crate) view_resume: Option<Seqno>,
 
     // ---- sequencer role ----
     pub(crate) seq_state: Option<SequencerState>,
@@ -180,10 +236,15 @@ impl GroupCore {
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
             nack_retries: 0,
+            tent_stall_armed: false,
             last_reported_floor: Seqno::ZERO,
             sender_seq: 0,
             pending_sends: VecDeque::new(),
             pending_leave: false,
+            resync_serial: false,
+            resync_horizon: Seqno::ZERO,
+            resubmit_after: None,
+            view_resume: Some(Seqno(1)),
             seq_state: Some(SequencerState::new(&config)),
             recovery_attempt: 0,
             pending_reset_user: false,
@@ -230,10 +291,15 @@ impl GroupCore {
             history: HistoryBuffer::new(config.history_cap),
             nack_open: None,
             nack_retries: 0,
+            tent_stall_armed: false,
             last_reported_floor: Seqno::ZERO,
             sender_seq: 0,
             pending_sends: VecDeque::new(),
             pending_leave: false,
+            resync_serial: false,
+            resync_horizon: Seqno::ZERO,
+            resubmit_after: None,
+            view_resume: None,
             seq_state: None,
             recovery_attempt: 0,
             pending_reset_user: false,
@@ -286,6 +352,7 @@ impl GroupCore {
                 retries: 0,
                 method,
                 submitted: false,
+                delivered_at: None,
             });
             self.sequencer_local_send();
         } else {
@@ -294,16 +361,21 @@ impl GroupCore {
             // PB request queues behind in-flight traffic and rides the
             // next BcastReqBatch instead of taking its own frame. BB
             // payload multicasts always travel immediately (the group
-            // needs the data no matter when the accept comes).
-            let coalesce = self.config.batch.is_on()
-                && !matches!(method, crate::config::Method::Bb)
-                && self.pending_sends.iter().any(|p| p.submitted);
+            // needs the data no matter when the accept comes) — except
+            // under resync serialization, where exactly one request may
+            // be outstanding until the new sequencer's filter latches.
+            let serial_hold = self.resync_serial && !self.pending_sends.is_empty();
+            let coalesce = serial_hold
+                || (self.config.batch.is_on()
+                    && !matches!(method, crate::config::Method::Bb)
+                    && self.pending_sends.iter().any(|p| p.submitted));
             self.pending_sends.push_back(PendingSend {
                 sender_seq,
                 payload,
                 retries: 0,
                 method,
                 submitted: !coalesce,
+                delivered_at: None,
             });
             if !coalesce {
                 self.transmit_request(sender_seq);
@@ -407,6 +479,41 @@ impl GroupCore {
         matches!(self.mode, Mode::Normal | Mode::Recovering(_))
     }
 
+    /// One-line dump of the ordering internals, for test harnesses and
+    /// chaos-run triage (not a stable format).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let ooo_span = match (self.ooo.first_seqno(), self.ooo.last_seqno()) {
+            (Some(a), Some(b)) => format!("{a}..{b} ({})", self.ooo.len()),
+            _ => "-".into(),
+        };
+        let tent: Vec<u64> = self.tentative.iter().take(6).map(|s| s.0).collect();
+        let pend: Vec<String> = self
+            .seq_state
+            .as_ref()
+            .map(|ss| {
+                ss.pending_acc
+                    .iter()
+                    .take(6)
+                    .map(|(s, p)| format!("{s}?{:?}", p.need))
+                    .collect()
+            })
+            .unwrap_or_default();
+        format!(
+            "next={} ooo={} tentative({})={:?} pre_acc={} pending_sends={} pending_acc({})={:?} nack={:?} serial={}",
+            self.next_expected,
+            ooo_span,
+            self.tentative.len(),
+            tent,
+            self.pre_accepted.len(),
+            self.pending_sends.len(),
+            self.seq_state.as_ref().map(|ss| ss.pending_acc.len()).unwrap_or(0),
+            pend,
+            self.nack_open,
+            self.resync_serial,
+        )
+    }
+
     // ------------------------------------------------------------------
     // Input dispatch
     // ------------------------------------------------------------------
@@ -489,6 +596,7 @@ impl GroupCore {
             TimerKind::SyncRound => self.on_sync_round_timeout(),
             TimerKind::SyncInterval => self.on_sync_interval(),
             TimerKind::TentativeResend => self.on_tentative_resend(),
+            TimerKind::TentativeStall => self.on_tentative_stall(),
             TimerKind::BatchFlush => self.on_batch_flush(),
             TimerKind::JoinRetry => self.on_join_retry(),
             TimerKind::StatusReply => self.on_status_reply(),
@@ -552,6 +660,68 @@ impl GroupCore {
                 self.check_gap();
             }
         }
+        self.watch_tentative_stall();
+        // Deferred recovery resubmission: once the backfill carries us
+        // past the install horizon, every pending send's fate is known
+        // (completed by ingest, or genuinely absent from the order) —
+        // the survivors may now be resubmitted.
+        if let Some(h) = self.resubmit_after {
+            if self.next_expected > h && matches!(self.mode, Mode::Normal) {
+                self.resubmit_after = None;
+                if !self.is_sequencer() {
+                    self.flush_queued_requests();
+                }
+            }
+        }
+    }
+
+    /// Arms (or disarms) the tentative-stall watchdog: delivery blocked
+    /// on an unaccepted tentative entry is invisible to the gap
+    /// detector (the entry fills its own slot), so a lost *final*
+    /// accept would stall this member forever. Called wherever the
+    /// blocked-on-tentative condition can change (delivery progress and
+    /// tentative arrival).
+    pub(crate) fn watch_tentative_stall(&mut self) {
+        if !self.config.robust_repair {
+            return; // paper-exact mode: no stall watchdog
+        }
+        let stalled =
+            matches!(self.mode, Mode::Normal) && self.tentative.contains(&self.next_expected);
+        if stalled && !self.tent_stall_armed {
+            self.tent_stall_armed = true;
+            self.push(Action::SetTimer {
+                kind: TimerKind::TentativeStall,
+                after_us: self.config.tentative_resend_us.saturating_mul(2),
+            });
+        } else if !stalled && self.tent_stall_armed {
+            self.tent_stall_armed = false;
+            self.push(Action::CancelTimer { kind: TimerKind::TentativeStall });
+        }
+    }
+
+    /// The tentative-stall timer fired: if delivery is still blocked on
+    /// an unaccepted entry, re-fetch its authoritative form from the
+    /// sequencer. A released entry comes back as plain `BcastData` and
+    /// unblocks delivery; a genuinely pending one comes back tentative
+    /// (harmless) while the resilience machinery keeps gathering acks —
+    /// so the timer re-arms rather than escalating to suspicion.
+    fn on_tentative_stall(&mut self) {
+        self.tent_stall_armed = false;
+        if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
+            return;
+        }
+        let blocked = self.next_expected;
+        if !self.tentative.contains(&blocked) {
+            return; // resolved between arming and expiry
+        }
+        self.stats.nacks_sent += 1;
+        let msg = self.make_msg(Body::RetransReq { from: blocked, to: blocked });
+        self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        self.tent_stall_armed = true;
+        self.push(Action::SetTimer {
+            kind: TimerKind::TentativeStall,
+            after_us: self.config.tentative_resend_us.saturating_mul(2),
+        });
     }
 
     /// Applies one entry at `next_expected`: hand it to the application
@@ -563,7 +733,30 @@ impl GroupCore {
         self.stats.delivered += 1;
         let seqno = entry.seqno;
         match entry.kind {
-            SequencedKind::App { origin, payload, .. } => {
+            SequencedKind::App { origin, sender_seq, payload } => {
+                if origin == self.me {
+                    if self.is_sequencer() {
+                        // Deliver-at-stamp: with r > 0 the completion
+                        // must wait for the resilience acks; recovery
+                        // still needs to know (see PendingSend).
+                        if let Some(p) = self
+                            .pending_sends
+                            .iter_mut()
+                            .find(|p| p.sender_seq == sender_seq)
+                        {
+                            p.delivered_at = Some(seqno);
+                        }
+                    } else {
+                        // A member delivers an entry only once it is
+                        // official (r > 0 entries are accept-gated), so
+                        // delivering our own message IS its completion
+                        // — including during a post-recovery catch-up,
+                        // where missing this would leave the send
+                        // pending and a later resubmission would stamp
+                        // it twice (chaos-explorer finding).
+                        self.maybe_complete_send(origin, sender_seq, seqno);
+                    }
+                }
                 self.push(Action::Deliver(GroupEvent::Message { seqno, origin, payload }));
             }
             SequencedKind::Join { member } => {
@@ -594,6 +787,12 @@ impl GroupCore {
                 let old_sequencer = self.view.sequencer;
                 self.view.remove(old_sequencer);
                 self.view.sequencer = new_sequencer;
+                // The successor rebuilds its duplicate filters from
+                // history (non-strict): serialize our sends until a
+                // completion beyond the handoff proves its record for
+                // us latched strict.
+                self.resync_serial = true;
+                self.resync_horizon = seqno;
                 self.push(Action::Deliver(GroupEvent::SequencerChanged {
                     seqno,
                     old_sequencer,
@@ -670,9 +869,17 @@ impl GroupCore {
         self.stats.nacks_sent += 1;
         let msg = self.make_msg(Body::RetransReq { from: lo, to: hi });
         self.send_to(Dest::Unicast(self.view.sequencer_meta().addr), msg);
+        // With the congestion guards on, back off exponentially: a
+        // fixed retry interval shorter than the multi-fragment answer's
+        // wire time makes every behind member re-request the full range
+        // before the previous answer drains, and the duplicated answers
+        // saturate the shared Ethernet until nothing — answers,
+        // accepts, acks — gets through (congestion collapse;
+        // chaos-explorer finding on large catch-up ranges).
+        let shift = if self.config.robust_repair { self.nack_retries.min(6) } else { 0 };
         self.push(Action::SetTimer {
             kind: TimerKind::NackRetry,
-            after_us: self.config.nack_retry_us,
+            after_us: self.config.nack_retry_us << shift,
         });
     }
 
@@ -752,6 +959,14 @@ impl GroupCore {
             self.push(Action::CancelTimer { kind: TimerKind::SendRetransmit });
         }
         self.push(Action::SendDone(Ok(seqno)));
+        // A completion stamped *beyond the resync horizon* proves the
+        // current sequencer's duplicate filter holds a strict record
+        // for us: resync serialization (if any) is over and the queued
+        // tail may pipeline. Completions at or below the horizon are
+        // backfill of a previous sequencer's stamps and prove nothing.
+        if seqno > self.resync_horizon {
+            self.resync_serial = false;
+        }
         if !self.is_sequencer() {
             self.flush_queued_requests();
         }

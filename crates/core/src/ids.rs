@@ -47,25 +47,52 @@ impl std::fmt::Display for MemberId {
     }
 }
 
-/// The group's incarnation (epoch), bumped by each successful
-/// `ResetGroup` recovery. Ordinary joins and leaves do *not* bump the
-/// view: they are ordinary events inside the total order.
+/// The group's incarnation, bumped by each successful `ResetGroup`
+/// recovery. Ordinary joins and leaves do *not* bump the view: they
+/// are ordinary events inside the total order.
+///
+/// An incarnation is `(epoch, coordinator)`, ordered epoch-first. The
+/// coordinator disambiguator is load-bearing: two recoveries can race
+/// to completion (invitations and abdications are lossy best-effort),
+/// and with a bare epoch both would install the *same* view id over
+/// different member sets and horizons — the epoch check would then
+/// freely mix traffic of two incompatible lineages and the total
+/// order would diverge silently (chaos-explorer finding under
+/// cascading recoveries). With the pair, concurrent incarnations get
+/// distinct, totally-ordered ids; the higher one wins and the other
+/// lineage's members learn they are out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ViewId(pub u32);
+pub struct ViewId(
+    /// The recovery epoch (1 at creation).
+    pub u32,
+    /// The member id of the coordinator that installed this
+    /// incarnation (0 — the founder — at creation).
+    pub u32,
+);
 
 impl ViewId {
     /// The view a freshly created group starts in.
-    pub const INITIAL: ViewId = ViewId(1);
+    pub const INITIAL: ViewId = ViewId(1, 0);
 
-    /// The next view (after a recovery).
-    pub fn next(self) -> ViewId {
-        ViewId(self.0 + 1)
+    /// The view a recovery coordinated by `coord` installs on top of
+    /// this one.
+    pub fn succ(self, coord: MemberId) -> ViewId {
+        ViewId(self.0 + 1, coord.0)
+    }
+
+    /// The recovery epoch.
+    pub fn epoch(self) -> u32 {
+        self.0
     }
 }
 
 impl std::fmt::Display for ViewId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "v{}", self.0)
+        if self.1 == 0 {
+            write!(f, "v{}", self.0)
+        } else {
+            write!(f, "v{}.{}", self.0, self.1)
+        }
     }
 }
 
@@ -125,7 +152,10 @@ mod tests {
 
     #[test]
     fn view_succession() {
-        assert_eq!(ViewId::INITIAL.next(), ViewId(2));
+        assert_eq!(ViewId::INITIAL.succ(MemberId(3)), ViewId(2, 3));
+        assert!(ViewId(2, 1) < ViewId(2, 3), "same epoch orders by coordinator");
+        assert!(ViewId(2, 9) < ViewId(3, 0), "epoch dominates");
+        assert_eq!(ViewId(2, 3).to_string(), "v2.3");
     }
 
     #[test]
@@ -133,7 +163,7 @@ mod tests {
         assert_eq!(GroupId(1).to_string(), "group1");
         assert_eq!(MemberId(3).to_string(), "m3");
         assert_eq!(MemberId::UNASSIGNED.to_string(), "m?");
-        assert_eq!(ViewId(2).to_string(), "v2");
+        assert_eq!(ViewId(2, 0).to_string(), "v2");
         assert_eq!(Seqno(9).to_string(), "#9");
     }
 }

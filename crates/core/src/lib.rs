@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod audit;
 mod codec;
 mod config;
 mod core;
@@ -75,6 +76,7 @@ mod member;
 mod membership;
 mod message;
 mod recovery;
+pub mod sabotage;
 mod sequencer;
 mod stats;
 mod timer;

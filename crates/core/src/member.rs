@@ -22,6 +22,9 @@ impl GroupCore {
         if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
             return;
         }
+        if crate::sabotage::trace_on() {
+            eprintln!("DATA at={} seqno={} next={}", self.me, entry.seqno, self.next_expected);
+        }
         self.pre_accepted.remove(&entry.seqno);
         if let SequencedKind::App { origin, sender_seq, .. } = &entry.kind {
             self.accepted_awaiting_data.remove(*origin, *sender_seq);
@@ -39,9 +42,26 @@ impl GroupCore {
         if !matches!(self.mode, Mode::Normal) || self.is_sequencer() {
             return;
         }
+        if crate::sabotage::trace_on() {
+            eprintln!("TENT at={} seqno={} next={}", self.me, entry.seqno, self.next_expected);
+        }
         let seqno = entry.seqno;
         if seqno < self.next_expected {
             self.stats.duplicates += 1;
+            // Already delivered, so our prefix certainly covers it: if
+            // we are one of the r designated ackers, ack *again* — the
+            // sequencer is re-multicasting precisely because it still
+            // lacks acknowledgements, and our original ack may be the
+            // lost one. Staying silent here live-locked the group
+            // (chaos-explorer finding: a member that delivered early
+            // via a leaked accept never re-acked, and the tentative
+            // was re-sent forever). Robust-repair mode only: the 1996
+            // protocol stayed silent.
+            if self.config.robust_repair
+                && self.view.resilience_ackers(resilience).contains(&self.me)
+            {
+                self.send_tent_ack(seqno);
+            }
             return;
         }
         if !self.seqno_plausible(seqno) {
@@ -57,6 +77,7 @@ impl GroupCore {
         }
         self.tentative.insert(seqno);
         self.ooo.insert_if_absent(seqno, entry);
+        self.watch_tentative_stall();
         let am_acker = self.view.resilience_ackers(resilience).contains(&self.me);
         if am_acker {
             if self.contiguous_prefix() >= seqno {
@@ -260,6 +281,12 @@ impl GroupCore {
         let Some(p) = self.pending_sends.iter().find(|p| p.sender_seq == sender_seq) else {
             return;
         };
+        if crate::sabotage::trace_on() {
+            eprintln!(
+                "XMIT member={} view={} sender_seq={} method={:?} serial={}",
+                self.me, self.view.view_id, sender_seq, p.method, self.resync_serial
+            );
+        }
         let (payload, method) = (p.payload.clone(), p.method);
         match method {
             Method::Pb | Method::Dynamic { .. } => {
@@ -278,6 +305,18 @@ impl GroupCore {
     /// `BcastReqBatch` frames. Called when a completion frees the
     /// pipeline and from the retransmit timer.
     pub(crate) fn flush_queued_requests(&mut self) {
+        if self.resync_serial {
+            // Resync serialization: only the oldest pending request may
+            // be outstanding until the new sequencer's filter latches
+            // (see `GroupCore::resync_serial`).
+            let Some(head) = self.pending_sends.front_mut() else { return };
+            if !head.submitted {
+                head.submitted = true;
+                let seq = head.sender_seq;
+                self.transmit_requests(&[seq]);
+            }
+            return;
+        }
         let queued: Vec<u64> = self
             .pending_sends
             .iter()
@@ -361,6 +400,31 @@ impl GroupCore {
                 self.sequencer_local_send();
                 return; // if still blocked, the timer was re-armed inside
             }
+            if self.resubmit_after.is_some() {
+                // Recovery resubmission is deferred until we catch up
+                // to the install horizon: nothing to retransmit yet
+                // (the nack machinery owns the catch-up), but keep the
+                // timer alive so a member that cannot catch up still
+                // fails its sends and suspects.
+                let head = self.pending_sends.front_mut().expect("checked above");
+                head.retries += 1;
+                if head.retries > self.config.send_max_retries {
+                    while self.pending_sends.pop_front().is_some() {
+                        self.push(Action::SendDone(Err(
+                            crate::error::GroupError::SequencerUnreachable,
+                        )));
+                    }
+                    self.resubmit_after = None;
+                    self.suspect_sequencer();
+                    return;
+                }
+                let backoff = self.config.send_retransmit_us << head.retries.min(6);
+                self.push(Action::SetTimer {
+                    kind: TimerKind::SendRetransmit,
+                    after_us: backoff,
+                });
+                return;
+            }
             let head = self.pending_sends.front_mut().expect("checked above");
             head.retries += 1;
             let retries = head.retries;
@@ -381,18 +445,22 @@ impl GroupCore {
             // sequencer admits strictly in order anyway, so a BB tail
             // entry retries once it becomes the head; this keeps retry
             // wire cost from scaling with the window (the seed resent
-            // exactly one frame here).
+            // exactly one frame here). Under resync serialization only
+            // the head may be on the wire at all (see `resync_serial`).
+            let serial = self.resync_serial;
             let resend: Vec<u64> = self
                 .pending_sends
                 .iter()
                 .enumerate()
                 .filter(|(i, p)| {
-                    *i == 0 || !matches!(p.method, Method::Bb)
+                    *i == 0 || (!serial && !matches!(p.method, Method::Bb))
                 })
                 .map(|(_, p)| p.sender_seq)
                 .collect();
-            for p in self.pending_sends.iter_mut() {
-                p.submitted = true;
+            for (i, p) in self.pending_sends.iter_mut().enumerate() {
+                if !serial || i == 0 {
+                    p.submitted = true;
+                }
             }
             self.transmit_requests(&resend);
             let backoff = self.config.send_retransmit_us << retries.min(6);

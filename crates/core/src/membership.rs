@@ -73,6 +73,9 @@ impl GroupCore {
             return; // malformed ack
         }
         self.me = member;
+        // A joiner into the initial incarnation knows its resume (1);
+        // one admitted after a recovery does not (see `view_resume`).
+        self.view_resume = (view == ViewId::INITIAL).then_some(Seqno(1));
         self.view = GroupView::new(view, members, from);
         self.config.resilience = resilience; // the group's r, not ours
         self.next_expected = join_seqno.next();

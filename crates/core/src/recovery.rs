@@ -78,6 +78,12 @@ impl GroupCore {
                 }
             _ => {}
         }
+        if crate::sabotage::trace_on() {
+            eprintln!(
+                "COORD at={} myview={} attempt={} min={}",
+                self.me, self.view.view_id, self.recovery_attempt + 1, min_members
+            );
+        }
         self.recovery_attempt += 1;
         let attempt = self.recovery_attempt;
         let mut acks = BTreeMap::new();
@@ -110,10 +116,27 @@ impl GroupCore {
         // recovery: teach it the installed view.
         if inviter_view < self.view.view_id {
             if matches!(self.mode, Mode::Normal) {
-                if let Some(meta) = self.view.member(coord) {
-                    let reply = self.current_view_msg();
+                if let (Some(meta), Some(reply)) =
+                    (self.view.member(coord), self.current_view_msg())
+                {
                     self.send_to(Dest::Unicast(meta.addr), reply);
                 }
+            }
+            return;
+        }
+        // The mirror image: *we* missed a recovery. Our contiguous
+        // prefix counts seqnos of a lineage the group has already
+        // abandoned — numerically comparable, semantically not — and
+        // competing with it can elect a stale history and resurrect
+        // re-stamped entries (chaos-explorer finding under cascading
+        // recoveries). Sit this one out and ask what view is current;
+        // the NewView answer (or the announcement itself) tells us we
+        // are no longer a member, and rejoining fresh is the sound
+        // path back in.
+        if inviter_view > self.view.view_id {
+            if let Some(meta) = self.view.member(coord) {
+                let q = self.make_msg(Body::ViewQuery);
+                self.send_to(Dest::Unicast(meta.addr), q);
             }
             return;
         }
@@ -211,7 +234,7 @@ impl GroupCore {
             .max_by_key(|(id, (prefix, _))| (*prefix, std::cmp::Reverse(**id)))
             .expect("acks contains at least ourselves");
         let next_seqno = max_prefix.next();
-        let new_view_id = self.view.view_id.next();
+        let new_view_id = self.view.view_id.succ(self.me);
         let members: Vec<MemberMeta> =
             acks.iter().map(|(&id, &(_, addr))| MemberMeta { id, addr }).collect();
         let body = Body::NewView {
@@ -226,6 +249,22 @@ impl GroupCore {
         self.send_to(Dest::Group, msg);
         for meta in &members {
             if meta.id != self.me {
+                let msg = self.make_msg(body.clone());
+                self.send_to(Dest::Unicast(meta.addr), msg);
+            }
+        }
+        // Also tell the old view's *excluded* members directly. A
+        // non-respondent may be alive (the accepted false positive) —
+        // in the worst case the live old *sequencer*, still serving a
+        // lineage the group just abandoned. The sooner it hears of the
+        // new incarnation, the shorter the split-brain window in which
+        // followers of the dead lineage diverge (chaos-explorer
+        // finding; the epoch check's ViewQuery path catches stragglers
+        // this unicast misses).
+        for meta in self.view.members().to_vec() {
+            let excluded =
+                meta.id != self.me && !members.iter().any(|m| m.id == meta.id);
+            if excluded {
                 let msg = self.make_msg(body.clone());
                 self.send_to(Dest::Unicast(meta.addr), msg);
             }
@@ -249,14 +288,31 @@ impl GroupCore {
         if matches!(self.mode, Mode::Joining(_) | Mode::Left) {
             return;
         }
+        if crate::sabotage::trace_on() {
+            eprintln!(
+                "NEWVIEW at={} myview={} view={} resume={} included={}",
+                self.me, self.view.view_id, view, next_seqno,
+                members.iter().any(|m| m.addr == self.my_addr)
+            );
+        }
         let me_included = members.iter().any(|m| m.addr == self.my_addr);
         if !me_included {
             // Declared dead while alive — the paper's accepted false
             // positive. We are out.
-            self.mode = Mode::Left;
-            self.seq_state = None;
-            self.fail_pending_ops();
-            self.push(Action::Deliver(GroupEvent::Expelled));
+            self.expel_self();
+            return;
+        }
+        if view.epoch() != self.view.view_id.epoch() + 1 {
+            // Included, but this incarnation is not the direct
+            // successor of ours: either we missed a whole recovery, or
+            // a same-epoch rival incarnation outranks the one we
+            // installed (concurrent coordinators both closing — the
+            // ids differ by coordinator now, see ViewId). Either way
+            // our history below its horizon may belong to a lineage it
+            // did not recover from, and adopting it could silently
+            // diverge the order. The sound continuation is out-and-
+            // rejoin. (Chaos-explorer finding.)
+            self.expel_self();
             return;
         }
         self.install_view(view, members, sequencer, next_seqno);
@@ -270,9 +326,29 @@ impl GroupCore {
         sequencer: MemberId,
         next_seqno: Seqno,
     ) {
+        if crate::sabotage::trace_on() {
+            eprintln!(
+                "INSTALL at={} myview={} newview={} resume={} next={} mode_left={}",
+                self.me, self.view.view_id, view, next_seqno, self.next_expected,
+                matches!(self.mode, Mode::Left)
+            );
+        }
+        if self.next_expected > next_seqno {
+            // We delivered past the recovered horizon — old-lineage
+            // entries the rebuilt group did not retain (we kept
+            // delivering between our invite answer and this install,
+            // while the abandoned sequencer was still stamping).
+            // Adopting the view would make us silently skip its
+            // re-stamped range; our log has diverged and the only
+            // sound continuation is to leave and rejoin fresh.
+            // (Chaos-explorer finding under split-brain recoveries.)
+            self.expel_self();
+            return;
+        }
         self.push(Action::CancelTimer { kind: TimerKind::InviteRound });
         self.push(Action::CancelTimer { kind: TimerKind::RecoveryWatchdog });
         self.push(Action::CancelTimer { kind: TimerKind::NackRetry });
+        self.view_resume = Some(next_seqno);
         let was_sequencer = self.is_sequencer();
         self.view = GroupView::new(view, members, sequencer);
         self.mode = Mode::Normal;
@@ -291,6 +367,17 @@ impl GroupCore {
         // Parked BB payloads from others are stale; our own pending send
         // is re-parked below.
         self.parked.retain_origin(self.me);
+
+        // A non-sequencer serializes its sending until the new
+        // sequencer's rebuilt (non-strict) duplicate filter latches.
+        // Raised before ANYTHING below can transmit — the catch-up
+        // drain completes backfilled own sends, and a completion's
+        // pipeline release must not leak the queued tail onto the wire
+        // un-serialized (chaos-explorer finding).
+        if sequencer != self.me {
+            self.resync_serial = true;
+            self.resync_horizon = horizon;
+        }
 
         if sequencer == self.me {
             self.assume_sequencer_role(next_seqno);
@@ -320,8 +407,47 @@ impl GroupCore {
             self.send_nack(self.next_expected, horizon);
         }
 
-        // Resubmit interrupted sends (same sender_seqs, in order: the
-        // new sequencer's duplicate filter keeps this exactly-once).
+        // A pending send we already *delivered* within the recovered
+        // horizon is in the order — the rebuilt group backfills it to
+        // every member — so it completes here. Resubmitting it instead
+        // would stamp it twice: the duplicate filter alone cannot
+        // remember stamps that have been garbage-collected or that the
+        // new sequencer never held (chaos-explorer finding, cascading
+        // recoveries under loss). A delivery *above* the horizon did
+        // not survive; forget it and let the resubmission re-order it.
+        let decided: Vec<(u64, Option<Seqno>)> = self
+            .pending_sends
+            .iter()
+            .filter_map(|p| {
+                p.delivered_at.map(|s| (p.sender_seq, (s <= horizon).then_some(s)))
+            })
+            .collect();
+        for (sender_seq, surviving) in decided {
+            match surviving {
+                Some(seqno) => {
+                    let me = self.me;
+                    self.maybe_complete_send(me, sender_seq, seqno);
+                }
+                None => {
+                    if let Some(p) =
+                        self.pending_sends.iter_mut().find(|p| p.sender_seq == sender_seq)
+                    {
+                        p.delivered_at = None;
+                    }
+                }
+            }
+        }
+
+        // Resubmit interrupted sends (same sender_seqs). A non-sequencer
+        // serializes: the new sequencer's rebuilt duplicate filter is
+        // non-strict, so only the *oldest* pending request goes on the
+        // wire until its completion latches the filter strict — then
+        // the queued tail pipelines (see `GroupCore::resync_serial`).
+        // And if our delivery has not reached the install horizon yet,
+        // even the head waits (`resubmit_after`): the backfill we just
+        // nacked for may complete it, and resubmitting before knowing
+        // would stamp it twice.
+        self.resubmit_after = None;
         if !self.pending_sends.is_empty() {
             if self.is_sequencer() {
                 for p in self.pending_sends.iter_mut() {
@@ -332,11 +458,13 @@ impl GroupCore {
             } else {
                 for p in self.pending_sends.iter_mut() {
                     p.retries = 0;
-                    p.submitted = true;
+                    p.submitted = false;
                 }
-                let all: Vec<u64> =
-                    self.pending_sends.iter().map(|p| p.sender_seq).collect();
-                self.transmit_requests(&all);
+                if self.next_expected > horizon {
+                    self.flush_queued_requests(); // serial: head only
+                } else {
+                    self.resubmit_after = Some(horizon);
+                }
                 self.push(Action::SetTimer {
                     kind: TimerKind::SendRetransmit,
                     after_us: self.config.send_retransmit_us,
@@ -370,26 +498,48 @@ impl GroupCore {
         if !matches!(self.mode, Mode::Normal) {
             return;
         }
-        let reply = self.current_view_msg();
-        self.send_to(Dest::Unicast(from), reply);
+        if let Some(reply) = self.current_view_msg() {
+            self.send_to(Dest::Unicast(from), reply);
+        }
     }
 
-    pub(crate) fn current_view_msg(&self) -> crate::message::WireMsg {
-        let next_seqno = self
-            .seq_state
-            .as_ref()
-            .map(|ss| ss.next_seqno)
-            .unwrap_or(self.next_expected);
-        self.make_msg(Body::NewView {
+    /// The teach-a-straggler `NewView`, or `None` when this member
+    /// does not know the incarnation's true resume point (joined after
+    /// the recovery that installed it) — a wrong horizon is worse than
+    /// silence while the sequencer can still answer. The *sequencer*
+    /// itself never declines: it usually knows, and if it took over
+    /// via handoff after joining post-recovery it advertises the most
+    /// conservative horizon instead — the adopting straggler rejoins
+    /// fresh (sound) rather than stalling unanswered in a dead lineage
+    /// forever.
+    pub(crate) fn current_view_msg(&self) -> Option<crate::message::WireMsg> {
+        let resume = match self.view_resume {
+            Some(r) => r,
+            None if self.is_sequencer() => Seqno(1),
+            None => return None,
+        };
+        Some(self.make_msg(Body::NewView {
             attempt: 0,
             view: self.view.view_id,
             members: self.view.members().to_vec(),
             sequencer: self.view.sequencer,
-            next_seqno,
-        })
+            next_seqno: resume,
+        }))
+    }
+
+    /// The one way out of a view we cannot soundly stay in (declared
+    /// dead, stale lineage, or delivered past a recovered horizon):
+    /// drop every role, fail every pending user operation, and tell
+    /// the application it must rejoin.
+    fn expel_self(&mut self) {
+        self.mode = Mode::Left;
+        self.seq_state = None;
+        self.fail_pending_ops();
+        self.push(Action::Deliver(GroupEvent::Expelled));
     }
 
     fn fail_pending_ops(&mut self) {
+        self.resubmit_after = None;
         while self.pending_sends.pop_front().is_some() {
             self.push(Action::SendDone(Err(GroupError::NotMember)));
         }

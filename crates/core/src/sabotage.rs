@@ -1,0 +1,91 @@
+//! Test-only protocol sabotage, for validating the chaos harness.
+//!
+//! A fault-finding harness that has never found a fault proves
+//! nothing. This module lets the chaos explorer (and its CI sanity
+//! test) deliberately break one protocol branch at runtime and confirm
+//! the [`crate::audit::DeliveryAudit`] flags the damage within its
+//! seed budget. Exactly two branches are breakable — the sequencer's
+//! duplicate filter and its retransmission service — because each maps
+//! to a distinct invariant class (exactly-once/FIFO vs. convergence).
+//!
+//! The mode is a process-global atomic, deliberately crude: it is set
+//! once at the top of a sabotage run (the `chaos --broken …` process,
+//! or a dedicated serial test) and never from production code. The
+//! default, [`Sabotage::None`], is a single relaxed load on two cold
+//! paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Whether `AMOEBA_TRACE_STAMPS` protocol tracing is enabled (cached:
+/// the flag sits on per-message paths).
+pub fn trace_on() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("AMOEBA_TRACE_STAMPS").is_some())
+}
+
+/// Which protocol branch is deliberately broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Nothing; the protocol is intact (the default).
+    None,
+    /// The sequencer admits every request without consulting its
+    /// per-origin duplicate filter: a retransmitted request whose
+    /// original was already stamped gets stamped *again*, producing
+    /// duplicate deliveries (and, under pipelining, FIFO breaks).
+    SkipDupFilter,
+    /// The sequencer ignores retransmission requests: a loss-induced
+    /// gap can never be repaired, so the afflicted member stalls and
+    /// the group never converges after faults stop.
+    SkipRetransmit,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the sabotage mode (process-wide).
+pub fn set(mode: Sabotage) {
+    let v = match mode {
+        Sabotage::None => 0,
+        Sabotage::SkipDupFilter => 1,
+        Sabotage::SkipRetransmit => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected sabotage mode.
+pub fn current() -> Sabotage {
+    match MODE.load(Ordering::Relaxed) {
+        1 => Sabotage::SkipDupFilter,
+        2 => Sabotage::SkipRetransmit,
+        _ => Sabotage::None,
+    }
+}
+
+/// Parses a `--broken` argument (`"dup"` or `"retrans"`).
+pub fn parse(name: &str) -> Option<Sabotage> {
+    match name {
+        "dup" => Some(Sabotage::SkipDupFilter),
+        "retrans" => Some(Sabotage::SkipRetransmit),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_round_trips_and_defaults_to_none() {
+        // Other tests never touch the mode, so the default is observable.
+        assert_eq!(current(), Sabotage::None);
+        set(Sabotage::SkipDupFilter);
+        assert_eq!(current(), Sabotage::SkipDupFilter);
+        set(Sabotage::SkipRetransmit);
+        assert_eq!(current(), Sabotage::SkipRetransmit);
+        set(Sabotage::None);
+        assert_eq!(current(), Sabotage::None);
+        assert_eq!(parse("dup"), Some(Sabotage::SkipDupFilter));
+        assert_eq!(parse("retrans"), Some(Sabotage::SkipRetransmit));
+        assert_eq!(parse("nope"), None);
+    }
+}

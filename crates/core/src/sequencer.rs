@@ -77,6 +77,10 @@ pub(crate) struct SequencerState {
     pub(crate) batch_bytes: u32,
     /// Tentative broadcasts awaiting acknowledgements, by seqno.
     pub(crate) pending_acc: BTreeMap<Seqno, PendingAccept>,
+    /// Consecutive tentative re-multicast rounds without a fresh
+    /// tentative being added (exponential-backoff driver; see
+    /// [`GroupCore::on_tentative_resend`]).
+    pub(crate) resend_round: u32,
     /// The globally acknowledged floor (history ≤ this is discarded).
     pub(crate) gc_floor: Seqno,
     /// An open status round: members yet to answer, and retries used.
@@ -105,6 +109,7 @@ impl SequencerState {
             batch: Vec::new(),
             batch_bytes: 0,
             pending_acc: BTreeMap::new(),
+            resend_round: 0,
             gc_floor: Seqno::ZERO,
             sync: None,
             next_member_id: 1,
@@ -124,6 +129,7 @@ impl SequencerState {
             batch: Vec::new(),
             batch_bytes: 0,
             pending_acc: BTreeMap::new(),
+            resend_round: 0,
             gc_floor: conservative_floor,
             sync: None,
             next_member_id,
@@ -134,6 +140,30 @@ impl SequencerState {
 
     pub(crate) fn note_member_joined(&mut self, id: MemberId, at: Seqno) {
         self.floors.insert(id, at);
+        // A freshly admitted member numbers its requests from 1, so its
+        // duplicate filter starts *strict*: if the head of its first
+        // pipelined window is lost (e.g. an overflowing receive ring
+        // under fragmented BB multicasts), the survivors must NOT be
+        // stamped ahead of it — the member's in-order retransmission
+        // presents them again behind their predecessors. The lenient
+        // accept-as-is path stays reserved for origins unknown after a
+        // recovery rebuild, whose earlier requests may have legitimately
+        // completed in the previous incarnation. (Found by the chaos
+        // explorer: first-contact jump admission broke per-sender FIFO
+        // on a fault-free network.)
+        // Insert-if-absent: member ids are never reused, so an existing
+        // entry can only be the one `assume_sequencer_role` rebuilt
+        // from the retained history/ooo *before* the install drain
+        // re-delivers this Join entry — clobbering it back to seen = 0
+        // would re-admit an already-stamped request #1 (duplicate
+        // delivery) and drop the member's genuine next request forever
+        // under strict FIFO.
+        if self.dup.get(id).is_none() {
+            self.dup.insert(
+                id,
+                DupState { seen: 0, seqno: Seqno::ZERO, strict: true, gaps: BTreeSet::new() },
+            );
+        }
         if id.0 >= self.next_member_id {
             self.next_member_id = id.0 + 1;
         }
@@ -192,6 +222,14 @@ impl GroupCore {
                 d.gaps.remove(sender_seq);
             }
             d.strict = true;
+        }
+        if crate::sabotage::trace_on() {
+            if let SequencedKind::App { origin, sender_seq, .. } = &kind {
+                eprintln!(
+                    "STAMP view={} seq_member={} seqno={} origin={} sender_seq={}",
+                    self.view.view_id, self.me, seqno, origin, sender_seq
+                );
+            }
         }
         let entry = Sequenced { seqno, kind };
         self.history.insert(entry.clone());
@@ -362,6 +400,19 @@ impl GroupCore {
     /// under strict FIFO (the origin's in-order retransmission will
     /// resubmit them behind their predecessors).
     fn admit_request(&mut self, origin: MemberId, sender_seq: u64) -> bool {
+        if crate::sabotage::current() == crate::sabotage::Sabotage::SkipDupFilter {
+            return true; // test-only: prove the chaos audit catches this
+        }
+        if crate::sabotage::trace_on() {
+            let d = self.seq_state.as_ref().and_then(|ss| ss.dup.get(origin));
+            eprintln!(
+                "ADMIT? view={} origin={} sender_seq={} dup={:?}",
+                self.view.view_id,
+                origin,
+                sender_seq,
+                d.map(|d| (d.seen, d.strict, d.gaps.len()))
+            );
+        }
         let ss = self.seq_state.as_ref().expect("sequencer role");
         let Some(d) = ss.dup.get(origin) else {
             // First contact (fresh member, or a post-recovery rebuild
@@ -375,9 +426,18 @@ impl GroupCore {
         if sender_seq == seen {
             // Exact duplicate: re-answer point-to-point; the data can
             // be re-fetched via RetransReq if the origin lacks it.
-            if let Some(meta) = self.view.member(origin) {
-                let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
-                self.send_to(Dest::Unicast(meta.addr), msg);
+            // Never for an entry still awaiting its resilience acks —
+            // an accept now would let the origin deliver and complete
+            // while fewer than r members hold the message, voiding the
+            // r-crash guarantee (the TentativeResend timer keeps
+            // nudging until the acks arrive). Found by the chaos
+            // explorer: the leaked accept also live-locked the group,
+            // because the early-delivering origin stopped re-acking.
+            if self.accept_released(seqno) {
+                if let Some(meta) = self.view.member(origin) {
+                    let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+                    self.send_to(Dest::Unicast(meta.addr), msg);
+                }
             }
             return false;
         }
@@ -387,16 +447,19 @@ impl GroupCore {
                 return true;
             }
             // Older than the newest stamp. If it is still in history it
-            // was stamped — re-answer its accept. If it has been
-            // garbage-collected, every member (the origin included)
-            // delivered it, so the origin cannot be waiting on it:
-            // this is a late network duplicate, and stamping it again
-            // would break exactly-once. Ignore.
+            // was stamped — re-answer its accept (released entries
+            // only, as above). If it has been garbage-collected, every
+            // member (the origin included) delivered it, so the origin
+            // cannot be waiting on it: this is a late network
+            // duplicate, and stamping it again would break
+            // exactly-once. Ignore.
             if let (Some(seqno), Some(meta)) =
                 (self.stamped_seqno(origin, sender_seq), self.view.member(origin))
             {
-                let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
-                self.send_to(Dest::Unicast(meta.addr), msg);
+                if self.accept_released(seqno) {
+                    let msg = self.make_msg(Body::Accept { seqno, origin, sender_seq });
+                    self.send_to(Dest::Unicast(meta.addr), msg);
+                }
             }
             return false;
         }
@@ -406,17 +469,35 @@ impl GroupCore {
         false
     }
 
+    /// Whether a duplicate request may be re-answered with an accept
+    /// for `seqno` — i.e. the entry is not still gathering resilience
+    /// acknowledgements. In paper-exact mode (no `robust_repair`) the
+    /// answer is always yes, as the 1996 protocol re-answered
+    /// unconditionally.
+    fn accept_released(&self, seqno: Seqno) -> bool {
+        !self.config.robust_repair
+            || self
+                .seq_state
+                .as_ref()
+                .is_none_or(|ss| !ss.pending_acc.contains_key(&seqno))
+    }
+
     /// The seqno at which `(origin, sender_seq)` was stamped, if the
-    /// entry is still in the history.
+    /// entry is still in the history — or, right after a recovery, in
+    /// the not-yet-drained out-of-order buffer (see
+    /// [`GroupCore::assume_sequencer_role`]).
     fn stamped_seqno(&self, origin: MemberId, sender_seq: u64) -> Option<Seqno> {
-        self.history.iter().find_map(|e| match &e.kind {
-            SequencedKind::App { origin: o, sender_seq: s, .. }
-                if *o == origin && *s == sender_seq =>
-            {
-                Some(e.seqno)
-            }
-            _ => None,
-        })
+        self.history
+            .iter()
+            .chain(self.ooo.iter().map(|(_, e)| e))
+            .find_map(|e| match &e.kind {
+                SequencedKind::App { origin: o, sender_seq: s, .. }
+                    if *o == origin && *s == sender_seq =>
+                {
+                    Some(e.seqno)
+                }
+                _ => None,
+            })
     }
 
     /// Routes a freshly stamped r = 0 entry to the group: batched when
@@ -531,6 +612,7 @@ impl GroupCore {
             return;
         }
         let ss = self.seq_state.as_mut().expect("sequencer role");
+        ss.resend_round = 0; // fresh entry: resume the base cadence
         ss.pending_acc.insert(
             entry.seqno,
             PendingAccept { need, origin, sender_seq, resends: 0 },
@@ -545,6 +627,9 @@ impl GroupCore {
 
     /// A member acknowledged a tentative broadcast.
     pub(crate) fn handle_tent_ack(&mut self, from: MemberId, seqno: Seqno) {
+        if crate::sabotage::trace_on() {
+            eprintln!("TENTACK at={} from={} seqno={}", self.me, from, seqno);
+        }
         let Some(ss) = self.seq_state.as_mut() else { return };
         let Some(p) = ss.pending_acc.get_mut(&seqno) else { return };
         p.need.remove(&from);
@@ -591,11 +676,22 @@ impl GroupCore {
             }
         }
         // Dead ackers are eventually expelled by sync rounds, which
-        // shrinks the need-sets; keep nudging meanwhile.
+        // shrinks the need-sets; keep nudging meanwhile — with the
+        // congestion guards on, backing off exponentially:
+        // re-multicasting every pending entry (each a multi-fragment
+        // frame burst) at a fixed short cadence can saturate the
+        // shared wire and starve the very acks and repairs that would
+        // drain the backlog (chaos-explorer finding).
         self.sequencer_start_sync_round();
+        let round = {
+            let ss = self.seq_state.as_mut().expect("sequencer role");
+            ss.resend_round += 1;
+            ss.resend_round
+        };
+        let shift = if self.config.robust_repair { round.min(6) } else { 0 };
         self.push(crate::action::Action::SetTimer {
             kind: TimerKind::TentativeResend,
-            after_us: self.config.tentative_resend_us,
+            after_us: self.config.tentative_resend_us << shift,
         });
     }
 
@@ -616,6 +712,12 @@ impl GroupCore {
         if !self.is_sequencer() {
             return; // only the sequencer serves retransmissions
         }
+        if crate::sabotage::current() == crate::sabotage::Sabotage::SkipRetransmit {
+            return; // test-only: prove the chaos audit catches this
+        }
+        if crate::sabotage::trace_on() {
+            eprintln!("RTREQ at={} from={} lo={} hi={}", self.me, from_member, lo, hi);
+        }
         // Watermark trigger: a nack proves a member is waiting on
         // seqnos that may still sit in the pending batch — flush it
         // before serving from history.
@@ -626,7 +728,18 @@ impl GroupCore {
             .map(|m| m.addr)
             .unwrap_or(from_addr);
         let mut served = 0u64;
-        let entries: Vec<Sequenced> = self.history.range(lo, hi).cloned().collect();
+        // With the congestion guards on, serve a bounded chunk per
+        // request. A member many entries behind re-nacks as its
+        // delivery point advances, so the catch-up is flow-controlled
+        // by the receiver instead of dumping the full range — whose
+        // burst (entries × fragments) would otherwise collide with its
+        // own duplicates from the member's retries and melt the shared
+        // wire (chaos-explorer finding: congestion collapse under a
+        // 28-entry backlog of 4-Kbyte messages).
+        let chunk =
+            if self.config.robust_repair { 16 } else { usize::MAX };
+        let entries: Vec<Sequenced> =
+            self.history.range(lo, hi).take(chunk).cloned().collect();
         if self.config.batch.is_on() {
             // Serve in bulk: pack the catch-up into batch frames (one
             // interrupt per frame at the receiver instead of one per
@@ -844,7 +957,14 @@ impl GroupCore {
     // ------------------------------------------------------------------
 
     /// Becomes the sequencer starting at `next_seqno`, rebuilding
-    /// duplicate filters from the retained history.
+    /// duplicate filters from the retained history *and* the surviving
+    /// out-of-order entries. The latter matter after a recovery: the
+    /// winner's not-yet-delivered prefix tail is still in `ooo` when
+    /// this runs (it reaches the history only during the install
+    /// drain), and a duplicate filter blind to those entries would
+    /// re-stamp a resubmitted request that is already in the order.
+    /// (Found by the chaos explorer: a recovery racing in-flight sends
+    /// could deliver the same message twice.)
     pub(crate) fn assume_sequencer_role(&mut self, next_seqno: Seqno) {
         let next_member_id =
             self.view.members().iter().map(|m| m.id.0 + 1).max().unwrap_or(1);
@@ -854,11 +974,21 @@ impl GroupCore {
             .map(|s| s.prev())
             .unwrap_or_else(|| next_seqno.prev());
         let mut ss = SequencerState::assume(next_seqno, next_member_id, conservative_floor);
-        for (origin, sender_seq) in self.history.max_sender_seqs() {
+        let mut max_seqs = self.history.max_sender_seqs();
+        for (_, e) in self.ooo.iter() {
+            if let SequencedKind::App { origin, sender_seq, .. } = &e.kind {
+                let slot = max_seqs.entry(*origin).or_insert(0);
+                if *sender_seq > *slot {
+                    *slot = *sender_seq;
+                }
+            }
+        }
+        for (origin, sender_seq) in max_seqs {
             // Seqno lookup for the dup answer: scan is fine (≤ cap).
             let seqno = self
                 .history
                 .iter()
+                .chain(self.ooo.iter().map(|(_, e)| e))
                 .filter_map(|e| match &e.kind {
                     SequencedKind::App { origin: o, sender_seq: s, .. }
                         if *o == origin && *s == sender_seq =>
@@ -883,6 +1013,7 @@ impl GroupCore {
         let me = self.me;
         ss.floors.insert(me, next_seqno.prev());
         self.seq_state = Some(ss);
+        self.resync_serial = false; // our own sends are stamped locally
         self.arm_sync_interval();
         // Learn real floors promptly.
         self.sequencer_start_sync_round();

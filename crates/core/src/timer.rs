@@ -20,6 +20,16 @@ pub enum TimerKind {
     /// Sequencer: re-multicast tentative broadcasts lacking
     /// acknowledgements.
     TentativeResend,
+    /// Member: delivery has been blocked on a *tentative* (r > 0)
+    /// entry for too long — the accept that releases it was probably
+    /// lost. Unlike an ordinary gap, a missing accept on the **last**
+    /// stamped entry is invisible to the nack machinery (the entry
+    /// itself sits in the out-of-order buffer, so no hole opens and no
+    /// later traffic reveals one); this timer re-fetches the entry's
+    /// authoritative form from the sequencer. Found by the chaos
+    /// explorer (DESIGN.md §9): under loss, a member could stall
+    /// forever holding a tentative tail.
+    TentativeStall,
     /// Sequencer: the oldest batched entry has waited `flush_us`; flush
     /// the pending batch regardless of fill (the *timer* trigger of
     /// DESIGN.md §6 — the other triggers, size and watermark, flush

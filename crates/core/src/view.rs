@@ -192,6 +192,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be a member")]
     fn new_view_requires_sequencer_membership() {
-        GroupView::new(ViewId(2), vec![meta(1)], MemberId(9));
+        GroupView::new(ViewId(2, 0), vec![meta(1)], MemberId(9));
     }
 }

@@ -34,7 +34,7 @@ fn sends(actions: &[Action]) -> Vec<(&Dest, &WireMsg)> {
 fn hdr_from(sender: u32, view: u32) -> Hdr {
     Hdr {
         group: GroupId(1),
-        view: ViewId(view),
+        view: ViewId(view, 0),
         sender: MemberId(sender),
         last_delivered: Seqno::ZERO,
         gc_floor: Seqno::ZERO,
@@ -52,7 +52,7 @@ fn create_completes_synchronously_with_correct_info() {
     };
     assert_eq!(info.me, MemberId(0));
     assert!(info.is_sequencer);
-    assert_eq!(info.view, ViewId(1));
+    assert_eq!(info.view, ViewId(1, 0));
     assert_eq!(info.num_members(), 1);
     assert_eq!(core.group(), GroupId(9));
 }
@@ -124,7 +124,7 @@ fn view_query_is_answered_with_current_view() {
     assert_eq!(s.len(), 1);
     match &s[0].1.body {
         Body::NewView { view, members, sequencer, .. } => {
-            assert_eq!(*view, ViewId(1));
+            assert_eq!(*view, ViewId(1, 0));
             assert_eq!(members.len(), 1);
             assert_eq!(*sequencer, MemberId(0));
         }
@@ -173,7 +173,7 @@ fn method_selection_shapes_the_wire() {
         hdr: hdr_from(0, 1),
         body: Body::JoinAck {
             member: MemberId(1),
-            view: ViewId(1),
+            view: ViewId(1, 0),
             join_seqno: Seqno(1),
             members: vec![
                 amoeba_core::MemberMeta { id: MemberId(0), addr: FlipAddress::process(10) },
@@ -228,7 +228,7 @@ fn second_send_while_pending_is_busy() {
         hdr: hdr_from(0, 1),
         body: Body::JoinAck {
             member: MemberId(1),
-            view: ViewId(1),
+            view: ViewId(1, 0),
             join_seqno: Seqno(1),
             members: vec![
                 amoeba_core::MemberMeta { id: MemberId(0), addr: FlipAddress::process(10) },

@@ -97,6 +97,57 @@ fn absurd_seqno_is_dropped_like_a_garbled_packet() {
 }
 
 #[test]
+fn seqno_plausibility_window_edge_is_exact() {
+    // The guard admits seqnos up to next_expected + max(4·history_cap,
+    // 4096). With the default config (cap 128) and a fresh member at
+    // next_expected = 2, the last admissible seqno is 2 + 4096 = 4098.
+    let window = 4096u64;
+    let make = |seqno: u64| amoeba_core::WireMsg {
+        hdr: hdr_from(MemberId(0)),
+        body: Body::BcastData {
+            entry: Sequenced {
+                seqno: Seqno(seqno),
+                kind: SequencedKind::App {
+                    origin: MemberId(0),
+                    sender_seq: 1,
+                    payload: Bytes::from_static(b"edge"),
+                },
+            },
+        },
+    };
+    let seq_addr = FlipAddress::process(1);
+
+    // At the edge: the entry is admitted into the out-of-order buffer,
+    // which opens a gap and emits a negative acknowledgement.
+    let mut core = member_core();
+    let actions = core.handle_message(seq_addr, make(2 + window));
+    assert!(
+        actions.iter().any(|a| matches!(
+            a,
+            amoeba_core::Action::Send { msg, .. }
+                if matches!(msg.body, Body::RetransReq { .. })
+        )),
+        "the last in-window seqno must be admitted (observable as a nack)"
+    );
+
+    // One past the edge: dropped like a garbled packet — no admission,
+    // no nack, no allocation proportional to the gap.
+    let mut core = member_core();
+    let actions = core.handle_message(seq_addr, make(2 + window + 1));
+    assert!(
+        actions.is_empty(),
+        "one past the window must be ignored outright: {actions:?}"
+    );
+
+    // The boundary never panics or wraps for bases near the integer
+    // edges either (saturating arithmetic on the window addition).
+    let mut core = member_core();
+    for s in [u64::MAX, u64::MAX - window, u32::MAX as u64, u32::MAX as u64 + window] {
+        core.handle_message(seq_addr, make(s));
+    }
+}
+
+#[test]
 fn absurd_member_ids_do_not_resize_the_flat_tables() {
     let mut core = member_core();
     let evil = FlipAddress::process(66);

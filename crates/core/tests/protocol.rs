@@ -292,5 +292,5 @@ fn get_info_reflects_membership() {
     assert!(!info.is_sequencer);
     assert_eq!(info.sequencer, amoeba_core::MemberId(0));
     assert!(net.core(0).info().is_sequencer);
-    assert_eq!(info.view, amoeba_core::ViewId(1));
+    assert_eq!(info.view, amoeba_core::ViewId(1, 0));
 }

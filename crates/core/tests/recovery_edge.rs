@@ -32,7 +32,7 @@ fn coordinator_crash_mid_recovery_is_taken_over() {
         let info = net.core(node).info();
         assert!(!info.recovering, "node {node} stuck recovering");
         assert_eq!(info.num_members(), 2, "node {node} sees wrong membership");
-        assert!(info.view > amoeba_core::ViewId(1), "node {node} never advanced its view");
+        assert!(info.view > amoeba_core::ViewId(1, 0), "node {node} never advanced its view");
     }
     // And the rebuilt pair still orders messages.
     net.send(2, b"after-double-crash");
@@ -118,7 +118,7 @@ fn reset_on_healthy_group_is_harmless() {
     for node in 0..3 {
         let info = net.core(node).info();
         assert_eq!(info.num_members(), 3, "node {node}");
-        assert_eq!(info.view, amoeba_core::ViewId(2), "node {node}");
+        assert_eq!(info.view, amoeba_core::ViewId(2, 2), "node {node}"); // coordinated by member 2
         assert_eq!(net.messages_at(node).len(), 5, "node {node} lost messages");
     }
     net.send(1, b"post");
@@ -220,7 +220,7 @@ fn view_installed_event_reports_the_new_world() {
             _ => None,
         })
         .expect("participant must observe ViewInstalled");
-    assert_eq!(ev.0, amoeba_core::ViewId(2));
+    assert_eq!(ev.0.epoch(), 2, "one recovery installed");
     assert_eq!(ev.1, 2);
     assert_ne!(ev.2, amoeba_core::MemberId(0), "the dead sequencer cannot hold the role");
 }

@@ -16,7 +16,7 @@ use bytes::Bytes;
 fn hdr() -> Hdr {
     Hdr {
         group: GroupId(1),
-        view: ViewId(1),
+        view: ViewId(1, 0),
         sender: MemberId(2),
         last_delivered: Seqno(41),
         gc_floor: Seqno(40),

@@ -774,6 +774,54 @@ impl SimWorld {
         Apps::crash_node(&mut self.sim, n);
     }
 
+    /// Schedules a crash of node `n` at absolute simulated instant
+    /// `at_us` (chaos schedules script failures this way — including
+    /// the sequencer's).
+    pub fn crash_at(&mut self, n: usize, at_us: u64) {
+        self.sim.schedule_at(SimTime::from_micros(at_us), move |sim| {
+            Apps::crash_node(sim, n);
+        });
+    }
+
+    /// Restarts a crashed node at absolute simulated instant `at_us`:
+    /// its address becomes routable again and a fresh `JoinGroup` runs
+    /// against whatever incarnation of `group` is alive then. The node
+    /// rejoins as a *new* member (ids are never reused); any app it
+    /// hosted before the crash stays ended — the restarted node
+    /// participates in the protocol as a passive receiver.
+    pub fn restart_at(&mut self, n: usize, group: GroupId, config: GroupConfig, at_us: u64) {
+        self.sim.schedule_at(SimTime::from_micros(at_us), move |sim| {
+            if sim.world.nodes[n].core.is_some() {
+                return; // never crashed (or already restarted)
+            }
+            let host = HostId(n);
+            let addr = sim.world.nodes[n].addr;
+            sim.world.routes.register_process(addr, host);
+            let gaddr = group.flip_address();
+            sim.world.routes.register_group_member(gaddr, host);
+            sim.world.routes.set_group_mcast(gaddr, group.0 as u32);
+            sim.world.net.host_mut(host).nic.join_multicast(McastAddr(group.0 as u32));
+            let (core, actions) = GroupCore::join(group, addr, config).expect("valid config");
+            sim.world.nodes[n].core = Some(core);
+            sim.world.nodes[n].group = Some(group);
+            sim.world.nodes[n].ready = false;
+            Kernel::execute_group_actions(sim, n, actions);
+        });
+    }
+
+    /// Installs a deterministic fault schedule on the simulated
+    /// delivery path (DESIGN.md §9): per-link drop/duplicate/reorder
+    /// plus scheduled partitions with heals, all driven by `seed`.
+    /// Without this call the network is the paper's perfect Ethernet.
+    pub fn set_chaos(&mut self, plan: amoeba_net::ChaosPlan, seed: u64) {
+        self.sim.world.net.set_chaos(plan, seed);
+    }
+
+    /// What the chaos layer did so far (zeroes when chaos is off).
+    pub fn chaos_stats(&self) -> amoeba_net::ChaosStats {
+        self.sim.world.net.chaos_stats()
+    }
+
     /// Runs the simulation until every node with a group core has
     /// completed admission (panics after simulated 60 s — joins are
     /// sub-millisecond on a quiet network).

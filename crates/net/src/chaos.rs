@@ -1,0 +1,316 @@
+//! Deterministic fault injection for the simulated segment.
+//!
+//! The live runtime has had probabilistic, wall-clock fault injection
+//! since the seed (`amoeba_runtime::FaultPlan`); this module is its
+//! deterministic counterpart. A [`ChaosPlan`] installed on a
+//! [`crate::Net`] intercepts every `(frame, receiver)` delivery and may
+//! drop it, duplicate it, or delay it past its successors (reordering),
+//! and cuts scheduled [`Partition`]s between host sets until their heal
+//! instants. All randomness comes from [`SplitMix64`] streams forked
+//! per directed link from one root seed, so a run is a pure function of
+//! `(plan, seed)` — the property the chaos explorer's replay-by-seed
+//! and plan minimization rest on (DESIGN.md §9, repository root).
+//!
+//! With no plan installed (the default), the delivery path is
+//! byte-identical to the fault-free simulator: no RNG is consumed and
+//! no branch outcome changes, which keeps every paper anchor exact.
+
+use std::collections::HashMap;
+
+use amoeba_sim::{SimTime, SplitMix64};
+
+/// Per-link stochastic faults, applied independently to every
+/// `(frame, receiver)` delivery while the noise window is open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a delivery is dropped.
+    pub drop: f64,
+    /// Probability a surviving delivery is duplicated (two copies).
+    pub duplicate: f64,
+    /// Probability a surviving copy is delayed (reordering past later
+    /// frames on the same link).
+    pub reorder: f64,
+    /// Minimum extra delay of a reordered copy, µs.
+    pub reorder_min_us: u64,
+    /// Maximum extra delay of a reordered copy, µs.
+    pub reorder_max_us: u64,
+}
+
+impl LinkFaults {
+    /// No stochastic faults at all.
+    pub fn none() -> Self {
+        LinkFaults { drop: 0.0, duplicate: 0.0, reorder: 0.0, reorder_min_us: 0, reorder_max_us: 0 }
+    }
+}
+
+/// One scheduled cut between two host sets, healing at `until_us`.
+/// Hosts are named by bit index (the simulator caps a segment well
+/// below 64 stations); traffic crossing the cut in either direction is
+/// dropped while `from_us <= now < until_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Bitmask of hosts on side A (everyone else is side B).
+    pub side_a: u64,
+    /// Simulated instant the cut opens, µs.
+    pub from_us: u64,
+    /// Simulated instant the cut heals, µs.
+    pub until_us: u64,
+}
+
+impl Partition {
+    fn cuts(&self, now_us: u64, a: usize, b: usize) -> bool {
+        if now_us < self.from_us || now_us >= self.until_us {
+            return false;
+        }
+        let in_a = (self.side_a >> a) & 1 == 1;
+        let in_b = (self.side_a >> b) & 1 == 1;
+        in_a != in_b
+    }
+}
+
+/// A complete scripted fault schedule for one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Stochastic per-link faults.
+    pub link: LinkFaults,
+    /// When the stochastic noise starts, µs.
+    pub noise_from_us: u64,
+    /// When the stochastic noise stops, µs (faults cease; the protocol
+    /// is expected to converge afterwards).
+    pub noise_until_us: u64,
+    /// Scheduled partitions (each heals on its own).
+    pub partitions: Vec<Partition>,
+}
+
+impl ChaosPlan {
+    /// A plan that does nothing (useful as a minimization floor).
+    pub fn quiet() -> Self {
+        ChaosPlan {
+            link: LinkFaults::none(),
+            noise_from_us: 0,
+            noise_until_us: 0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The last simulated instant at which any fault is active, µs.
+    /// After this the network behaves perfectly (the audit's post-heal
+    /// convergence clock starts here).
+    pub fn quiescent_after_us(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.until_us)
+            .chain(std::iter::once(self.noise_until_us))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// What the chaos layer did to deliveries, for fingerprints and logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Deliveries dropped by link noise.
+    pub dropped: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Copies delayed (reordered).
+    pub reordered: u64,
+    /// Deliveries cut by an active partition.
+    pub partitioned: u64,
+}
+
+/// What to do with one `(frame, receiver)` delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Verdict {
+    /// Copies delivered immediately (0, 1 or 2).
+    pub(crate) immediate: u32,
+    /// Copies delivered after a delay, with that delay in µs.
+    pub(crate) delayed: Option<(u32, u64)>,
+}
+
+impl Verdict {
+    const PASS: Verdict = Verdict { immediate: 1, delayed: None };
+    const DROP: Verdict = Verdict { immediate: 0, delayed: None };
+}
+
+/// Installed chaos: the plan plus its decorrelated per-link RNG streams.
+#[derive(Debug)]
+pub(crate) struct ChaosState {
+    plan: ChaosPlan,
+    root: SplitMix64,
+    /// One stream per directed link `(src, dst)`, forked lazily from
+    /// the pristine root (fork depends only on the root's seed, so the
+    /// lazy order cannot perturb the draws).
+    links: HashMap<(usize, usize), SplitMix64>,
+    pub(crate) stats: ChaosStats,
+}
+
+impl ChaosState {
+    pub(crate) fn new(plan: ChaosPlan, seed: u64) -> Self {
+        ChaosState {
+            plan,
+            root: SplitMix64::new(seed),
+            links: HashMap::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Decides the fate of one `(frame src → receiver)` delivery at
+    /// `now`. Partitions apply unconditionally inside their windows;
+    /// stochastic faults draw from the link's own stream only inside
+    /// the noise window (so the fault-free tail of a run consumes no
+    /// randomness and quiesces exactly).
+    pub(crate) fn judge(&mut self, now: SimTime, src: usize, dst: usize) -> Verdict {
+        let now_us = now.as_micros();
+        if self.plan.partitions.iter().any(|p| p.cuts(now_us, src, dst)) {
+            self.stats.partitioned += 1;
+            return Verdict::DROP;
+        }
+        let f = self.plan.link;
+        if now_us < self.plan.noise_from_us || now_us >= self.plan.noise_until_us {
+            return Verdict::PASS;
+        }
+        if f.drop == 0.0 && f.duplicate == 0.0 && f.reorder == 0.0 {
+            return Verdict::PASS;
+        }
+        let root = &self.root;
+        let rng = self
+            .links
+            .entry((src, dst))
+            .or_insert_with(|| root.fork((src as u64) << 32 | dst as u64 | 1 << 63));
+        if f.drop > 0.0 && rng.gen_bool(f.drop) {
+            self.stats.dropped += 1;
+            return Verdict::DROP;
+        }
+        let copies: u32 = if f.duplicate > 0.0 && rng.gen_bool(f.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut verdict = Verdict { immediate: 0, delayed: None };
+        for _ in 0..copies {
+            if f.reorder > 0.0 && rng.gen_bool(f.reorder) {
+                let span = f.reorder_max_us.saturating_sub(f.reorder_min_us);
+                let delay = f.reorder_min_us + if span == 0 { 0 } else { rng.gen_range(span + 1) };
+                self.stats.reordered += 1;
+                // Two delayed copies share the later draw's delay: the
+                // distinction is unobservable (both arrive off-order)
+                // and one slot keeps the verdict compact.
+                verdict.delayed = Some((verdict.delayed.map_or(1, |(n, _)| n + 1), delay));
+            } else {
+                verdict.immediate += 1;
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_cuts_across_sides_only_inside_the_window() {
+        let p = Partition { side_a: 0b011, from_us: 100, until_us: 200 };
+        assert!(p.cuts(100, 0, 2), "A→B cut");
+        assert!(p.cuts(199, 2, 1), "B→A cut");
+        assert!(!p.cuts(150, 0, 1), "same side passes");
+        assert!(!p.cuts(99, 0, 2), "before the window");
+        assert!(!p.cuts(200, 0, 2), "heal instant reopens the link");
+    }
+
+    #[test]
+    fn quiet_plan_passes_everything_and_draws_nothing() {
+        let mut st = ChaosState::new(ChaosPlan::quiet(), 7);
+        for t in [0, 5, 1_000_000] {
+            let v = st.judge(SimTime::from_micros(t), 0, 1);
+            assert_eq!(v, Verdict::PASS);
+        }
+        assert!(st.links.is_empty(), "no RNG stream was ever forked");
+        assert_eq!(st.stats, ChaosStats::default());
+    }
+
+    #[test]
+    fn total_drop_inside_noise_window_only() {
+        let plan = ChaosPlan {
+            link: LinkFaults { drop: 1.0, ..LinkFaults::none() },
+            noise_from_us: 10,
+            noise_until_us: 20,
+            partitions: Vec::new(),
+        };
+        let mut st = ChaosState::new(plan, 3);
+        assert_eq!(st.judge(SimTime::from_micros(5), 0, 1), Verdict::PASS);
+        assert_eq!(st.judge(SimTime::from_micros(10), 0, 1), Verdict::DROP);
+        assert_eq!(st.judge(SimTime::from_micros(20), 0, 1), Verdict::PASS);
+        assert_eq!(st.stats.dropped, 1);
+    }
+
+    #[test]
+    fn duplication_and_reorder_produce_copies_and_delays() {
+        let plan = ChaosPlan {
+            link: LinkFaults {
+                drop: 0.0,
+                duplicate: 1.0,
+                reorder: 1.0,
+                reorder_min_us: 50,
+                reorder_max_us: 60,
+            },
+            noise_from_us: 0,
+            noise_until_us: 1_000,
+            partitions: Vec::new(),
+        };
+        let mut st = ChaosState::new(plan, 9);
+        let v = st.judge(SimTime::from_micros(1), 2, 3);
+        assert_eq!(v.immediate, 0);
+        let (copies, delay) = v.delayed.expect("all copies delayed");
+        assert_eq!(copies, 2);
+        assert!((50..=60).contains(&delay), "delay {delay} within bounds");
+        assert_eq!(st.stats.duplicated, 1);
+        assert_eq!(st.stats.reordered, 2);
+    }
+
+    #[test]
+    fn same_seed_same_judgements_and_links_decorrelate() {
+        let plan = ChaosPlan {
+            link: LinkFaults {
+                drop: 0.3,
+                duplicate: 0.2,
+                reorder: 0.2,
+                reorder_min_us: 10,
+                reorder_max_us: 500,
+            },
+            noise_from_us: 0,
+            noise_until_us: u64::MAX,
+            partitions: Vec::new(),
+        };
+        let run = |seed: u64| {
+            let mut st = ChaosState::new(plan.clone(), seed);
+            (0..200)
+                .map(|i| st.judge(SimTime::from_micros(i), (i % 3) as usize, ((i + 1) % 3) as usize))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11), "same seed, same verdict stream");
+        assert_ne!(run(11), run(12), "different seeds diverge");
+        // Interleaving link order must not change a link's own stream.
+        let mut a = ChaosState::new(plan.clone(), 11);
+        let mut b = ChaosState::new(plan, 11);
+        let t = SimTime::from_micros(1);
+        let a01 = (a.judge(t, 0, 1), a.judge(t, 0, 1));
+        b.judge(t, 4, 5); // unrelated link first
+        let b01 = (b.judge(t, 0, 1), b.judge(t, 0, 1));
+        assert_eq!(a01, b01, "per-link streams are independent of fork order");
+    }
+
+    #[test]
+    fn quiescent_after_covers_noise_and_heals() {
+        let plan = ChaosPlan {
+            link: LinkFaults::none(),
+            noise_from_us: 0,
+            noise_until_us: 5_000,
+            partitions: vec![Partition { side_a: 1, from_us: 100, until_us: 9_000 }],
+        };
+        assert_eq!(plan.quiescent_after_us(), 9_000);
+        assert_eq!(ChaosPlan::quiet().quiescent_after_us(), 0);
+    }
+}

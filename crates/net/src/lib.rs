@@ -53,12 +53,14 @@
 //! assert_eq!(sim.world.received, vec![(b, "hello")]);
 //! ```
 
+mod chaos;
 mod cpu;
 mod frame;
 mod medium;
 mod net;
 mod nic;
 
+pub use chaos::{ChaosPlan, ChaosStats, LinkFaults, Partition};
 pub use cpu::{CpuPriority, CpuStats};
 pub use frame::{Frame, FrameDst, MacAddr, McastAddr};
 pub use medium::{MediumState, MediumStats};

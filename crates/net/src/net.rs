@@ -4,6 +4,7 @@
 use amoeba_sim::{SimDuration, SimTime, Simulation, SplitMix64};
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::{ChaosPlan, ChaosState, ChaosStats};
 use crate::cpu::{Cpu, CpuPriority};
 use crate::frame::{Frame, FrameDst, MacAddr};
 use crate::medium::{Medium, MediumState};
@@ -119,6 +120,10 @@ pub struct Net<W: NetView> {
     pub medium: Medium,
     hosts: Vec<Host<W>>,
     rng_seed: SplitMix64,
+    /// Installed fault schedule, if any ([`Net::set_chaos`]). `None`
+    /// (the default) leaves the delivery path byte-identical to the
+    /// fault-free simulator.
+    chaos: Option<ChaosState>,
 }
 
 impl<W: NetView> std::fmt::Debug for Net<W> {
@@ -139,7 +144,25 @@ impl<W: NetView> Net<W> {
             medium: Medium::new(),
             hosts: Vec::new(),
             rng_seed: SplitMix64::new(seed),
+            chaos: None,
         }
+    }
+
+    /// Installs a deterministic fault schedule on the delivery path
+    /// (see [`ChaosPlan`]). `seed` roots the decorrelated per-link
+    /// randomness; the same `(plan, seed)` pair replays bit-exactly.
+    pub fn set_chaos(&mut self, plan: ChaosPlan, seed: u64) {
+        self.chaos = Some(ChaosState::new(plan, seed));
+    }
+
+    /// Removes the fault schedule (subsequent deliveries are perfect).
+    pub fn clear_chaos(&mut self) {
+        self.chaos = None;
+    }
+
+    /// What the chaos layer has done so far (zeroes with no plan).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.chaos.as_ref().map(|c| c.stats).unwrap_or_default()
     }
 
     /// Attaches a new host to the segment and returns its id.
@@ -318,7 +341,11 @@ impl<W: NetView> Net<W> {
     }
 
     /// Copies the frame into every matching receive ring, raising
-    /// [`NetView::on_frame_buffered`] per successful buffering.
+    /// [`NetView::on_frame_buffered`] per successful buffering. With a
+    /// [`ChaosPlan`] installed, each `(frame, receiver)` pair is judged
+    /// independently — one multicast can reach some members and not
+    /// others, the failure mode the negative-acknowledgement scheme
+    /// exists to fix.
     fn deliver(sim: &mut Simulation<W>, frame: Frame<W::Payload>) {
         let receivers: Vec<HostId> = {
             let net = sim.world.net();
@@ -333,11 +360,33 @@ impl<W: NetView> Net<W> {
                 .map(|h| h.id)
                 .collect()
         };
+        let src = frame.src.0 as usize;
         for r in receivers {
-            let buffered = sim.world.net().hosts[r.0].nic.rx_accept(frame.clone());
-            if buffered {
-                W::on_frame_buffered(sim, r);
+            let now = sim.now();
+            let Some(chaos) = sim.world.net().chaos.as_mut() else {
+                Self::deliver_to(sim, r, frame.clone());
+                continue;
+            };
+            let verdict = chaos.judge(now, src, r.0);
+            for _ in 0..verdict.immediate {
+                Self::deliver_to(sim, r, frame.clone());
             }
+            if let Some((copies, delay_us)) = verdict.delayed {
+                for _ in 0..copies {
+                    let late = frame.clone();
+                    sim.schedule_in(SimDuration::from_micros(delay_us), move |sim| {
+                        Self::deliver_to(sim, r, late);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Buffers one frame copy at `host`'s NIC (the tail of the wire).
+    fn deliver_to(sim: &mut Simulation<W>, host: HostId, frame: Frame<W::Payload>) {
+        let buffered = sim.world.net().hosts[host.0].nic.rx_accept(frame);
+        if buffered {
+            W::on_frame_buffered(sim, host);
         }
     }
 
@@ -609,6 +658,103 @@ mod tests {
     fn oversized_frame_panics() {
         let mut sim = world(2);
         Net::send_frame(&mut sim, HostId(0), Frame::unicast(HostId(0), HostId(1), 3000, 0));
+    }
+
+    #[test]
+    fn chaos_partition_cuts_and_heals() {
+        use crate::chaos::{ChaosPlan, LinkFaults, Partition};
+        let mut sim = world(3);
+        // Host 2 is cut off from hosts 0 and 1 until t = 2000 µs.
+        sim.world.net.set_chaos(
+            ChaosPlan {
+                link: LinkFaults::none(),
+                noise_from_us: 0,
+                noise_until_us: 0,
+                partitions: vec![Partition { side_a: 0b100, from_us: 0, until_us: 2_000 }],
+            },
+            1,
+        );
+        Net::send_frame(&mut sim, HostId(0), Frame::broadcast(HostId(0), 116, 1));
+        sim.run_until(amoeba_sim::SimTime::from_micros(2_000));
+        assert_eq!(sim.world.received, vec![(HostId(1), 1)], "host 2 is partitioned away");
+        assert_eq!(sim.world.net.chaos_stats().partitioned, 1);
+        // After the heal, everything flows again.
+        Net::send_frame(&mut sim, HostId(0), Frame::broadcast(HostId(0), 116, 2));
+        sim.run();
+        let mut got = sim.world.received.clone();
+        got.sort_unstable_by_key(|(h, p)| (*p, h.0));
+        assert_eq!(
+            got,
+            vec![(HostId(1), 1), (HostId(1), 2), (HostId(2), 2)],
+            "post-heal broadcast reaches everyone"
+        );
+    }
+
+    #[test]
+    fn chaos_duplication_is_judged_per_receiver() {
+        use crate::chaos::{ChaosPlan, LinkFaults};
+        let mut sim = world(3);
+        // Full-probability duplication: every receiver of the
+        // broadcast gets two copies, each link judged on its own.
+        sim.world.net.set_chaos(
+            ChaosPlan {
+                link: LinkFaults { duplicate: 1.0, ..LinkFaults::none() },
+                noise_from_us: 0,
+                noise_until_us: u64::MAX,
+                partitions: Vec::new(),
+            },
+            5,
+        );
+        Net::send_frame(&mut sim, HostId(0), Frame::broadcast(HostId(0), 116, 7));
+        sim.run();
+        assert_eq!(sim.world.received.len(), 4, "both receivers get two copies");
+        assert_eq!(sim.world.net.chaos_stats().duplicated, 2);
+    }
+
+    #[test]
+    fn chaos_reorder_delays_past_later_frames() {
+        use crate::chaos::{ChaosPlan, LinkFaults};
+        let mut sim = world(2);
+        let mut plan = ChaosPlan::quiet();
+        plan.link = LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 1.0,
+            reorder_min_us: 50_000,
+            reorder_max_us: 50_000,
+        };
+        plan.noise_until_us = 150; // only the first frame is judged inside the window
+        sim.world.net.set_chaos(plan, 2);
+        // Queued back to back: frame 1 lands inside the noise window and
+        // is delayed 50 ms; frame 2 lands after it and passes through.
+        Net::send_frame(&mut sim, HostId(0), Frame::unicast(HostId(0), HostId(1), 116, 1));
+        Net::send_frame(&mut sim, HostId(0), Frame::unicast(HostId(0), HostId(1), 116, 2));
+        sim.run();
+        let payloads: Vec<u32> = sim.world.received.iter().map(|(_, p)| *p).collect();
+        assert_eq!(payloads, vec![2, 1], "the delayed copy arrives after the later frame");
+        assert_eq!(sim.world.net.chaos_stats().reordered, 1);
+    }
+
+    #[test]
+    fn chaos_off_is_the_default_and_clear_restores_it() {
+        let mut sim = world(2);
+        assert_eq!(sim.world.net.chaos_stats(), crate::chaos::ChaosStats::default());
+        sim.world.net.set_chaos(
+            crate::chaos::ChaosPlan {
+                link: crate::chaos::LinkFaults { drop: 1.0, ..crate::chaos::LinkFaults::none() },
+                noise_from_us: 0,
+                noise_until_us: u64::MAX,
+                partitions: Vec::new(),
+            },
+            1,
+        );
+        Net::send_frame(&mut sim, HostId(0), Frame::unicast(HostId(0), HostId(1), 116, 1));
+        sim.run();
+        assert!(sim.world.received.is_empty());
+        sim.world.net.clear_chaos();
+        Net::send_frame(&mut sim, HostId(0), Frame::unicast(HostId(0), HostId(1), 116, 2));
+        sim.run();
+        assert_eq!(sim.world.received, vec![(HostId(1), 2)]);
     }
 
     #[test]

@@ -46,6 +46,11 @@ struct Registry {
     endpoints: HashMap<FlipAddress, Sender<Datagram>>,
     groups: HashMap<GroupId, Vec<FlipAddress>>,
     fault: FaultPlan,
+    /// Per-directed-link overrides of the global plan, keyed
+    /// `(from, to)` — one direction only, so tests can script
+    /// *asymmetric* partitions (A hears B, B never hears A), the live
+    /// mirror of the simulator's chaos partitions (DESIGN.md §9).
+    link_faults: HashMap<(FlipAddress, FlipAddress), FaultPlan>,
 }
 
 /// An immutable copy of the registry that senders read lock-free.
@@ -54,6 +59,7 @@ pub(crate) struct Snapshot {
     endpoints: HashMap<FlipAddress, Sender<Datagram>>,
     groups: HashMap<GroupId, Vec<(FlipAddress, Sender<Datagram>)>>,
     fault: FaultPlan,
+    link_faults: HashMap<(FlipAddress, FlipAddress), FaultPlan>,
 }
 
 impl Snapshot {
@@ -62,7 +68,17 @@ impl Snapshot {
             endpoints: HashMap::new(),
             groups: HashMap::new(),
             fault: FaultPlan::reliable(),
+            link_faults: HashMap::new(),
         }
+    }
+
+    /// The plan governing one directed delivery (the common no-override
+    /// case is a single `is_empty` check).
+    fn fault_for(&self, from: FlipAddress, to: FlipAddress) -> FaultPlan {
+        if self.link_faults.is_empty() {
+            return self.fault;
+        }
+        self.link_faults.get(&(from, to)).copied().unwrap_or(self.fault)
     }
 }
 
@@ -143,6 +159,7 @@ impl LiveNet {
                 endpoints: HashMap::new(),
                 groups: HashMap::new(),
                 fault,
+                link_faults: HashMap::new(),
             }),
             snapshot: Mutex::new(Arc::new(Snapshot::empty())),
             epoch: AtomicU64::new(1),
@@ -170,6 +187,7 @@ impl LiveNet {
                 })
                 .collect(),
             fault: reg.fault,
+            link_faults: reg.link_faults.clone(),
         });
         *self.snapshot.lock() = snap;
         self.epoch.fetch_add(1, Ordering::Release);
@@ -228,7 +246,7 @@ impl LiveNet {
     ) {
         self.refresh(cache);
         let snap = &cache.snap;
-        let fault = snap.fault;
+        let fault = snap.fault_for(from, to);
         if let Some(tx) = snap.endpoints.get(&to) {
             self.deliver_one(tx, from, frame, fault);
         }
@@ -245,10 +263,10 @@ impl LiveNet {
     ) {
         self.refresh(cache);
         let snap = &cache.snap;
-        let fault = snap.fault;
         let Some(targets) = snap.groups.get(&group) else { return };
         for (addr, tx) in targets {
             if *addr != from {
+                let fault = snap.fault_for(from, *addr);
                 self.deliver_one(tx, from, frame.clone(), fault);
             }
         }
@@ -322,6 +340,38 @@ impl LiveNet {
         fault.validate().expect("valid fault plan");
         let mut reg = self.registry.lock();
         reg.fault = fault;
+        self.publish(&reg);
+    }
+
+    /// Overrides the fault plan for the *directed* link `from → to`
+    /// (other links keep the global plan). One direction only, so
+    /// asymmetric partitions are scriptable; cut both directions for a
+    /// full partition, and [`LiveNet::clear_link_fault`] to heal.
+    /// This is the live counterpart of the simulator's deterministic
+    /// chaos partitions (DESIGN.md §9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid.
+    pub fn set_link_fault(&self, from: FlipAddress, to: FlipAddress, fault: FaultPlan) {
+        fault.validate().expect("valid fault plan");
+        let mut reg = self.registry.lock();
+        reg.link_faults.insert((from, to), fault);
+        self.publish(&reg);
+    }
+
+    /// Removes the `from → to` override (the link heals back to the
+    /// global plan).
+    pub fn clear_link_fault(&self, from: FlipAddress, to: FlipAddress) {
+        let mut reg = self.registry.lock();
+        reg.link_faults.remove(&(from, to));
+        self.publish(&reg);
+    }
+
+    /// Removes every per-link override at once (a full heal).
+    pub fn clear_link_faults(&self) {
+        let mut reg = self.registry.lock();
+        reg.link_faults.clear();
         self.publish(&reg);
     }
 }

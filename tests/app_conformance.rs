@@ -170,6 +170,68 @@ fn pipelined_bursts_agree_across_backends_with_batching_off_and_on() {
 }
 
 // ---------------------------------------------------------------------
+// Method matrix: the same scripts under BB and Dynamic selection
+// ---------------------------------------------------------------------
+
+/// The conformance contract must hold for every broadcast method, not
+/// just the PB the default config picks for small payloads: BB routes
+/// the payload and its ordering separately (data multicast + short
+/// accept), and Dynamic switches per message — both backends must land
+/// on identical per-member logs all the same.
+#[test]
+fn bb_steady_traffic_agrees_across_backends() {
+    const MEMBERS: usize = 3;
+    const TOTAL: u32 = 10;
+    let config = GroupConfig { method: Method::Bb, ..GroupConfig::default() };
+    let make = |log| {
+        Box::new(TokenApp { members: MEMBERS as u32, total: TOTAL, log }) as Box<dyn GroupApp>
+    };
+    let spec = || RunSpec::new(21).with_config(config.clone());
+    let sim = run_scenario(Backend::Sim, spec(), MEMBERS, make);
+    let live = run_scenario(Backend::Live, spec(), MEMBERS, make);
+    let expected: Vec<(u32, String)> =
+        (0..TOTAL).map(|k| (k % MEMBERS as u32, format!("m{k}"))).collect();
+    for (m, log) in sim.iter().enumerate() {
+        assert_eq!(log, &expected, "BB sim member {m} diverged from the script");
+    }
+    assert_eq!(sim, live, "BB per-member delivery orders differ between backends");
+}
+
+#[test]
+fn bb_and_dynamic_pipelined_bursts_agree_across_backends() {
+    // Pure BB: every burst payload is a data multicast plus an accept.
+    let bb = GroupConfig { method: Method::Bb, ..GroupConfig::default() };
+    let bb_sim = burst_logs(Backend::Sim, bb.clone());
+    let bb_live = burst_logs(Backend::Live, bb);
+    assert_eq!(bb_sim, bb_live, "BB burst orders differ between backends");
+
+    // Dynamic with a threshold inside the payload-size range: payloads
+    // "b{member}-{j}" are 4–5 bytes, so a 4-byte threshold mixes PB
+    // (short tags) and BB (longer ones) within one pipelined window.
+    let dynamic = GroupConfig {
+        method: Method::Dynamic { bb_threshold: 4 },
+        ..GroupConfig::default()
+    };
+    let dyn_sim = burst_logs(Backend::Sim, dynamic.clone());
+    let dyn_live = burst_logs(Backend::Live, dynamic);
+    assert_eq!(dyn_sim, dyn_live, "Dynamic burst orders differ between backends");
+
+    // The method moves bytes differently; it must not reorder anything.
+    assert_eq!(bb_sim, dyn_sim, "method selection changed the delivery order");
+
+    // And with batching engaged on top of BB (accepts coalesce into
+    // BcastBatch frames), the logs still match.
+    let bb_batched = GroupConfig {
+        method: Method::Bb,
+        ..GroupConfig::with_batching(4)
+    };
+    let batched_sim = burst_logs(Backend::Sim, bb_batched.clone());
+    let batched_live = burst_logs(Backend::Live, bb_batched);
+    assert_eq!(batched_sim, batched_live, "batched-BB burst orders differ between backends");
+    assert_eq!(bb_sim, batched_sim, "batching changed the BB delivery order");
+}
+
+// ---------------------------------------------------------------------
 // Terminal requests void the rest of the callback's batch — identically
 // ---------------------------------------------------------------------
 

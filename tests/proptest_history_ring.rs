@@ -168,7 +168,91 @@ fn assert_equivalent(real: &HistoryBuffer, model: &ModelBuffer) {
     });
 }
 
+/// Offsets at which the high-base variant plants its seqno band. The
+/// ring stores `u64` seqnos, but several wire fields and counters are
+/// 32-bit adjacent — a band straddling `u32::MAX` is where an
+/// accidental narrowing or wrap in index arithmetic would show, and a
+/// floor advance (`gc`) that crosses the boundary walks `base += 1`
+/// right over the edge.
+const HIGH_BASES: [u64; 3] = [
+    u32::MAX as u64 - 60,        // band straddles u32::MAX
+    u32::MAX as u64 + 1,         // band starts just past it
+    (1u64 << 48) - 60,           // and a deeper 64-bit band
+];
+
 proptest! {
+    /// The same model equivalence, with every seqno shifted to a band
+    /// around the `u32` boundary: inserts on both sides of the edge,
+    /// floor advances (`gc`) and recovery truncations crossing it.
+    #[test]
+    fn ring_matches_the_model_near_the_u32_wrap_boundary(
+        which in 0usize..HIGH_BASES.len(),
+        cap in 1usize..24,
+        ops in proptest::collection::vec(arb_op(), 0..120),
+    ) {
+        let base = HIGH_BASES[which];
+        let mut real = HistoryBuffer::new(cap);
+        let mut model = ModelBuffer::new(cap);
+        for op in ops {
+            match op {
+                Op::Insert { seqno, origin, sender_seq } => {
+                    let seqno = base + seqno;
+                    if real.has_room_for_app() || real.contains(Seqno(seqno)) {
+                        let candidate = app(seqno, origin, sender_seq);
+                        let occupied_differently =
+                            real.get(Seqno(seqno)).is_some_and(|e| e != &candidate);
+                        if !occupied_differently {
+                            real.insert(candidate.clone());
+                            model.insert(candidate);
+                        }
+                    }
+                }
+                Op::InsertEvicting { seqno, origin, sender_seq } => {
+                    let candidate = app(base + seqno, origin, sender_seq);
+                    let occupied_differently =
+                        real.get(Seqno(base + seqno)).is_some_and(|e| e != &candidate);
+                    if !occupied_differently {
+                        real.insert_evicting(candidate.clone());
+                        model.insert_evicting(candidate);
+                    }
+                }
+                Op::InsertControl { seqno, member } => {
+                    let candidate = control(base + seqno, member);
+                    let occupied_differently =
+                        real.get(Seqno(base + seqno)).is_some_and(|e| e != &candidate);
+                    if !occupied_differently {
+                        real.insert(candidate.clone());
+                        model.insert(candidate);
+                    }
+                }
+                Op::Gc { floor } => {
+                    // The floor advance crosses the band edge for the
+                    // straddling base.
+                    prop_assert_eq!(real.gc(Seqno(base + floor)), model.gc(Seqno(base + floor)));
+                }
+                Op::TruncateAbove { bound } => {
+                    prop_assert_eq!(
+                        real.truncate_above(Seqno(base + bound)),
+                        model.truncate_above(Seqno(base + bound))
+                    );
+                }
+            }
+            // The cheap observables every step; the full comparison
+            // (ranges, per-origin reconstruction) once at the end.
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert_eq!(real.lowest(), model.entries.keys().next().copied());
+            prop_assert_eq!(real.highest(), model.entries.keys().next_back().copied());
+        }
+        let real_all: Vec<&Sequenced> = real.iter().collect();
+        let model_all: Vec<&Sequenced> = model.entries.values().collect();
+        prop_assert_eq!(real_all, model_all, "iteration diverged at base {}", base);
+        let (lo, hi) = (Seqno(base + 1), Seqno(base + 129));
+        let real_range: Vec<Seqno> = real.range(lo, hi).map(|e| e.seqno).collect();
+        let model_range: Vec<Seqno> =
+            model.entries.range(lo..=hi).map(|(s, _)| *s).collect();
+        prop_assert_eq!(real_range, model_range, "range diverged at base {}", base);
+    }
+
     #[test]
     fn ring_matches_the_ordered_map_model(
         cap in 1usize..24,

@@ -109,7 +109,7 @@ proptest! {
         let msg = WireMsg {
             hdr: Hdr {
                 group: GroupId(group),
-                view: ViewId(view),
+                view: ViewId(view, 0),
                 sender,
                 last_delivered: last,
                 gc_floor: floor,
@@ -138,7 +138,7 @@ proptest! {
         let msg = WireMsg {
             hdr: Hdr {
                 group: GroupId(5),
-                view: ViewId(3),
+                view: ViewId(3, 0),
                 sender,
                 last_delivered: Seqno(10),
                 gc_floor: Seqno(9),
@@ -167,7 +167,7 @@ proptest! {
         let frames = pack_batch_items(items.clone(), max_batch, BatchItem::wire_size);
         let hdr = Hdr {
             group: GroupId(hdr_bits),
-            view: ViewId(hdr_bits as u32),
+            view: ViewId(hdr_bits as u32, 0),
             sender: MemberId(3),
             last_delivered: Seqno(hdr_bits >> 8),
             gc_floor: Seqno(hdr_bits >> 9),
