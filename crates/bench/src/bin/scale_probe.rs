@@ -1,0 +1,165 @@
+//! Scale probe: how many simulated events per wall-clock second the
+//! kernel sustains on large worlds (ROADMAP item 1's yardstick).
+//!
+//! ```text
+//! scale_probe [nodes] [groups] [msgs-per-sender] [senders-per-group]
+//! ```
+//!
+//! Builds `groups` disjoint groups of `nodes / groups` members on one
+//! segment, runs formation, then `senders-per-group` members per group
+//! stream `msgs` messages each. Prints formation and run wall-clock,
+//! simulated time, executed events and events per wall-clock second.
+
+use std::time::Instant;
+
+use amoeba_core::{GroupConfig, GroupId};
+use amoeba_kernel::{CostModel, SimWorld, Workload};
+use amoeba_sim::SimDuration;
+
+fn main() {
+    let args: Vec<u64> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let nodes = *args.first().unwrap_or(&1000) as usize;
+    let groups = *args.get(1).unwrap_or(&1) as usize;
+    let msgs = *args.get(2).unwrap_or(&20);
+    let senders = *args.get(3).unwrap_or(&4) as usize;
+    let run_secs = *args.get(4).unwrap_or(&600);
+    let members = nodes / groups;
+
+    let config = GroupConfig::scaled_for_world(members, groups);
+    // De-phase the sequencers' periodic sync rounds: same-length
+    // intervals armed at the same instant keep every group's round
+    // aligned forever, and the aligned reply streams contend.
+    let cfg_for = |g: usize| {
+        let mut c = config.clone();
+        c.sync_interval_us += g as u64 * (c.sync_round_us / 4);
+        // Different stagger quanta keep overlapping rounds off a
+        // shared microsecond grid (same-instant transmissions collide
+        // chronically, not just once — the schedules re-align every
+        // slot).
+        c.status_stagger_us += 53 * g as u64;
+        c
+    };
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), 42);
+    for _ in 0..groups * members {
+        w.add_node();
+    }
+    let t0 = Instant::now();
+    // Joins staggered so the sequencer is never oversubscribed: a
+    // simultaneous join storm overflows its 32-slot rx ring, and
+    // admitting member m costs it ~1 ms fixed plus 4 µs per existing
+    // member (multicast send-side), so the gap must widen as the
+    // group grows.
+    // The stagger is global across groups — they share one Ethernet,
+    // and per-group schedules running in parallel saturate the wire.
+    // Each slot covers the admission's costs, which grow with the
+    // current membership m: ~1 ms fixed (sequencer CPU), 4 µs × m of
+    // multicast send CPU for the join entry, and ~13 µs × m of wire
+    // time for the JoinAck (it carries the 16-byte-per-member view).
+    for g in 0..groups {
+        w.create_group(g * members, GroupId(1 + g as u64), cfg_for(g));
+    }
+    let mut at = 0u64;
+    for m in 1..members {
+        for g in 0..groups {
+            at += 1_000 + 17 * m as u64;
+            w.join_group_at(g * members + m, GroupId(1 + g as u64), cfg_for(g), at);
+        }
+    }
+    if std::env::var_os("AMOEBA_PROBE_DEBUG").is_some() {
+        for _ in 0..60 {
+            w.run_for(SimDuration::from_secs(1));
+            let unready = w.sim.world.nodes.iter().filter(|n| !n.ready).count();
+            let sizes: Vec<usize> = (0..groups)
+                .map(|g| {
+                    w.sim.world.nodes[g * members]
+                        .core
+                        .as_ref()
+                        .map_or(0, |c| c.info().members.len())
+                })
+                .collect();
+            let seq0 = w.sim.world.nodes[0].core.as_ref().map(|c| c.stats);
+            println!(
+                "t={} unready={} sizes={:?} g1-stats={:?}",
+                w.now(),
+                unready,
+                sizes,
+                seq0
+            );
+            if unready == 0 {
+                break;
+            }
+        }
+    } else {
+        w.run_until_ready();
+    }
+    let formed = t0.elapsed();
+    let formed_events = w.sim.events_executed();
+    println!(
+        "formation: {} nodes, {} groups in {:.2}s wall ({} events, sim t={})",
+        groups * members,
+        groups,
+        formed.as_secs_f64(),
+        formed_events,
+        w.now()
+    );
+
+    for g in 0..groups {
+        let base = g * members;
+        for s in 0..senders.min(members) {
+            w.set_workload(base + s, Workload::Sender { size: 0, remaining: msgs });
+        }
+    }
+    let t1 = Instant::now();
+    w.kick();
+    w.run_for(SimDuration::from_secs(run_secs));
+    let ran = t1.elapsed();
+    let run_events = w.sim.events_executed() - formed_events;
+    let expect = (groups * senders.min(members)) as u64 * msgs;
+    println!(
+        "workload: {}/{} sends ok ({} err), sim t={}, {:.2}s wall, {} events",
+        w.sim.world.metrics.sends_ok.get(),
+        expect,
+        w.sim.world.metrics.sends_err.get(),
+        w.now(),
+        ran.as_secs_f64(),
+        run_events
+    );
+    for g in 0..groups {
+        let base = g * members;
+        if let Some(core) = w.sim.world.nodes[base].core.as_ref() {
+            let info = core.info();
+            let s = core.stats;
+            println!(
+                "group {}: sequencer sees {} members; {} sync rounds, {} expels, \
+                 {} retransmissions, {} flow-control drops, {} sequenced",
+                1 + g,
+                info.members.len(),
+                s.sync_rounds,
+                s.expels,
+                s.retransmissions,
+                s.flow_control_drops,
+                s.sequenced
+            );
+        }
+    }
+    let (mut overflow, mut aborted, mut collisions) = (0u64, 0u64, 0u64);
+    for h in w.sim.world.net.hosts() {
+        overflow += h.nic.stats.rx_overflow;
+        aborted += h.nic.stats.tx_aborted;
+        collisions += h.nic.stats.collisions;
+    }
+    println!(
+        "net: {} rx-ring overflows, {} tx aborts, {} collisions, wire {}",
+        overflow,
+        aborted,
+        collisions,
+        w.sim.world.net.medium.stats.frames
+    );
+    let total = t0.elapsed();
+    println!(
+        "events/s (workload): {:.0}   events/s (total): {:.0}   wall total {:.2}s",
+        run_events as f64 / ran.as_secs_f64(),
+        w.sim.events_executed() as f64 / total.as_secs_f64(),
+        total.as_secs_f64()
+    );
+}

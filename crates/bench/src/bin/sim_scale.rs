@@ -1,0 +1,228 @@
+//! Simulation-kernel scale benchmark: events per wall-clock second and
+//! workload completion on the thousand-node worlds (the PR 7 kernel
+//! refactor's yardstick, archived as the `"sim_scale"` key of the
+//! BENCH json).
+//!
+//! ```text
+//! sim_scale [--json <path>]
+//! ```
+//!
+//! Three worlds, all on one simulated Ethernet:
+//!
+//! * `stress_1000` — one 1000-member group, staggered admission, four
+//!   senders × 20 messages (the `scenarios/stress_1000.toml` shape).
+//! * `multi_8x128` — 1024 nodes in eight 128-member groups, four
+//!   senders × 20 messages per group.
+//! * `storm_1000` — the pre-refactor harness's only option: all 999
+//!   joins fired at the same instant. The join storm overruns the
+//!   sequencer's 32-slot rx ring and the group never converges; the
+//!   run is bounded at 30 simulated seconds and reported as a raw
+//!   event-throughput yardstick, not a completing workload.
+//!
+//! With `--json <path>`: if the file exists (the `figures --json`
+//! document), a `"sim_scale"` object is spliced in before the closing
+//! brace; otherwise a fresh document is written. The baseline numbers
+//! under `"baseline"` were measured offline on the pre-refactor
+//! kernel (commit af20c6e, same container class): the storm was the
+//! only 1000-node world it could express, and it stalled at 20/80
+//! sends. The refactored kernel's claim is therefore completion, not
+//! raw event rate: the staggered 1000-member workload finishes —
+//! 80/80 sends, clean audit — in seconds of wall clock, where the
+//! baseline never converged at all.
+
+use std::time::Instant;
+
+use amoeba_core::{GroupConfig, GroupId};
+use amoeba_kernel::{CostModel, SimWorld, Workload};
+use amoeba_sim::SimDuration;
+
+/// Pre-refactor kernel (af20c6e), measured offline with this same
+/// harness shape: storm formation, 4 × 20 sends, 30 s sim bound.
+const BASELINE_STORM_EVENTS_PER_S: u64 = 2_134_886;
+const BASELINE_STORM_SENDS_OK: u64 = 20;
+const BASELINE_STORM_WALL_S: f64 = 5.59;
+
+struct Run {
+    name: &'static str,
+    events: u64,
+    /// Wall clock of the whole run — formation (where applicable) plus
+    /// the bounded workload phase.
+    wall_s: f64,
+    events_per_s: u64,
+    sends_ok: u64,
+    sends_expected: u64,
+    converged: bool,
+}
+
+fn staggered_world(nodes: usize, groups: usize) -> (SimWorld, f64) {
+    let members = nodes / groups;
+    let base_cfg = GroupConfig::scaled_for_world(members, groups);
+    let cfg_for = |g: usize| {
+        let mut c = base_cfg.clone();
+        c.sync_interval_us += g as u64 * (c.sync_round_us / 4);
+        c.status_stagger_us += 53 * g as u64;
+        c
+    };
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), 1);
+    for _ in 0..nodes {
+        w.add_node();
+    }
+    let t = Instant::now();
+    for g in 0..groups {
+        w.create_group(g * members, GroupId(1 + g as u64), cfg_for(g));
+    }
+    let mut at = 0u64;
+    for m in 1..members {
+        for g in 0..groups {
+            at += 1_000 + 17 * m as u64;
+            w.join_group_at(g * members + m, GroupId(1 + g as u64), cfg_for(g), at);
+        }
+    }
+    w.run_until_ready();
+    (w, t.elapsed().as_secs_f64())
+}
+
+fn run_workload(
+    mut w: SimWorld,
+    formation_wall_s: f64,
+    name: &'static str,
+    groups: usize,
+    senders: usize,
+) -> Run {
+    let nodes = w.sim.world.nodes.len();
+    let members = nodes / groups;
+    for g in 0..groups {
+        for s in 0..senders {
+            w.set_workload(g * members + s, Workload::Sender { size: 0, remaining: 20 });
+        }
+    }
+    let t = Instant::now();
+    w.kick();
+    w.run_for(SimDuration::from_secs(30));
+    let wall = formation_wall_s + t.elapsed().as_secs_f64();
+    let events = w.sim.events_executed();
+    let sends_ok = w.sim.world.metrics.sends_ok.get();
+    let expected = (groups * senders) as u64 * 20;
+    Run {
+        name,
+        events,
+        wall_s: wall,
+        events_per_s: (events as f64 / wall) as u64,
+        sends_ok,
+        sends_expected: expected,
+        converged: sends_ok == expected,
+    }
+}
+
+fn storm_1000() -> Run {
+    // The pre-refactor shape: create, then every join at once.
+    let cfg = GroupConfig::scaled_for(1000);
+    let mut w = SimWorld::new(CostModel::mc68030_ether10(), 1);
+    for _ in 0..1000 {
+        w.add_node();
+    }
+    w.create_group(0, GroupId(1), cfg.clone());
+    for m in 1..1000 {
+        w.join_group(m, GroupId(1), cfg.clone());
+    }
+    for s in 0..4 {
+        w.set_workload(s, Workload::Sender { size: 0, remaining: 20 });
+    }
+    let t = Instant::now();
+    w.kick();
+    w.run_for(SimDuration::from_secs(30));
+    let wall = t.elapsed().as_secs_f64();
+    let events = w.sim.events_executed();
+    let sends_ok = w.sim.world.metrics.sends_ok.get();
+    Run {
+        name: "storm_1000",
+        events,
+        wall_s: wall,
+        events_per_s: (events as f64 / wall) as u64,
+        sends_ok,
+        sends_expected: 80,
+        converged: sends_ok == 80,
+    }
+}
+
+fn json_run(r: &Run) -> String {
+    format!(
+        "{{\"events\": {}, \"wall_s\": {:.3}, \"events_per_s\": {}, \"sends_ok\": {}, \
+         \"sends_expected\": {}, \"converged\": {}}}",
+        r.events, r.wall_s, r.events_per_s, r.sends_ok, r.sends_expected, r.converged
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut runs = Vec::new();
+    let t0 = Instant::now();
+    let (w, formed) = staggered_world(1000, 1);
+    runs.push(run_workload(w, formed, "stress_1000", 1, 4));
+    let (w, formed) = staggered_world(1024, 8);
+    runs.push(run_workload(w, formed, "multi_8x128", 8, 4));
+    runs.push(storm_1000());
+
+    for r in &runs {
+        println!(
+            "{:<12} {:>9} events  {:>6.2}s wall  {:>9} events/s  sends {}/{}{}",
+            r.name,
+            r.events,
+            r.wall_s,
+            r.events_per_s,
+            r.sends_ok,
+            r.sends_expected,
+            if r.converged { "" } else { "  (STALLED)" }
+        );
+    }
+    // The comparable number: delivered messages (sends × group size)
+    // per wall second over the whole run, formation included. The
+    // baseline storm never converged, so its figure is the ceiling it
+    // reached before stalling.
+    let stress = &runs[0];
+    let delivered_per_wall_s = (stress.sends_ok * 1000) as f64 / stress.wall_s;
+    let baseline_delivered_per_wall_s =
+        (BASELINE_STORM_SENDS_OK * 1000) as f64 / BASELINE_STORM_WALL_S;
+    let speedup = delivered_per_wall_s / baseline_delivered_per_wall_s;
+    println!(
+        "1000-node workload: {:.0} delivered msgs per wall second vs {:.0} on the \
+         pre-refactor kernel (stalled) — {:.1}x",
+        delivered_per_wall_s, baseline_delivered_per_wall_s, speedup
+    );
+    println!("total wall {:.2}s", t0.elapsed().as_secs_f64());
+
+    if let Some(path) = json_path {
+        let mut obj = String::from("{\n");
+        for r in &runs {
+            obj.push_str(&format!("    \"{}\": {},\n", r.name, json_run(r)));
+        }
+        obj.push_str(&format!(
+            "    \"baseline\": {{\"commit\": \"af20c6e\", \"storm_events_per_s\": {}, \
+             \"storm_sends_ok\": {}, \"storm_wall_s\": {:.2}, \"note\": \"pre-refactor kernel; \
+             join storm was its only 1000-node formation and it never converged\"}},\n",
+            BASELINE_STORM_EVENTS_PER_S, BASELINE_STORM_SENDS_OK, BASELINE_STORM_WALL_S
+        ));
+        obj.push_str(&format!(
+            "    \"delivered_msgs_per_wall_s\": {:.0},\n    \
+             \"baseline_delivered_msgs_per_wall_s\": {:.0},\n    \
+             \"workload_speedup\": {:.1}\n  }}",
+            delivered_per_wall_s, baseline_delivered_per_wall_s, speedup
+        ));
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(existing) => {
+                let trimmed = existing.trim_end();
+                let body = trimmed.strip_suffix('}').expect("existing json document");
+                format!("{},\n  \"sim_scale\": {}\n}}\n", body.trim_end().trim_end_matches(','), obj)
+            }
+            Err(_) => format!("{{\n  \"sim_scale\": {}\n}}\n", obj),
+        };
+        std::fs::write(&path, doc).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -24,7 +24,7 @@ use amoeba_app::{AppEvent, Ctx, GroupApp, TimerId};
 use amoeba_core::audit::{AuditDelivery, DeliveryAudit, EndFate, MemberRecord, Violation};
 use amoeba_core::{BatchPolicy, GroupConfig, GroupEvent, GroupId, Method, ViewId};
 use amoeba_kernel::{CostModel, SimWorld};
-use amoeba_net::{ChaosPlan, ChaosStats, LinkFaults, Partition};
+use amoeba_net::{ChaosPlan, ChaosStats, HostSet, LinkFaults, Partition};
 use amoeba_sim::{SimDuration, SplitMix64};
 use bytes::Bytes;
 
@@ -188,7 +188,11 @@ pub fn gen_case(root_seed: u64, case: u64) -> CasePlan {
                 let side_a = rng.gen_range(all - 1) + 1;
                 let from_us = 1_000_000 + rng.gen_range(4_000_000);
                 let dur = 300_000 + rng.gen_range(1_500_000);
-                partitions.push(Partition { side_a, from_us, until_us: from_us + dur });
+                partitions.push(Partition {
+                    side_a: HostSet::from_mask(side_a),
+                    from_us,
+                    until_us: from_us + dur,
+                });
             }
         }
         2 => {
@@ -669,8 +673,9 @@ mod tests {
             assert!(p.nodes >= 3 && p.nodes <= 8);
             assert!(p.run_us >= SETTLE_US, "the settle window is always present");
             for part in &p.chaos.partitions {
-                let all = (1u64 << p.nodes) - 1;
-                assert!(part.side_a > 0 && part.side_a < all, "proper subset");
+                assert!(!part.side_a.is_empty(), "side A is non-empty");
+                assert!(part.side_a.len() < p.nodes, "proper subset");
+                assert!(part.side_a.iter().all(|h| h < p.nodes), "hosts in range");
                 assert!(part.until_us > part.from_us);
             }
         }

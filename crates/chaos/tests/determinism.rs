@@ -37,6 +37,29 @@ fn same_seed_same_run_bit_for_bit() {
     assert!(families.2, "sample must include link noise");
 }
 
+/// The scale pin: the thousand-node, eight-group scenario world must
+/// replay bit-for-bit. The chaos engine's determinism argument covers
+/// small worlds case by case; this extends it to the calendar-wheel
+/// hot path at full scale, where a single unstable ordering decision
+/// (a heap tie, an iteration over an unordered map, a stray
+/// `HashMap` in per-node state) would shift the digest.
+#[test]
+fn thousand_node_scenario_replays_bit_for_bit() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios/multi_8x128.toml");
+    let text = std::fs::read_to_string(&path).expect("scenarios/multi_8x128.toml");
+    let plan = amoeba_scenario::ScenarioPlan::parse(&text).expect("pinned scenario parses");
+    let a = amoeba_scenario::run_plan(&plan);
+    let b = amoeba_scenario::run_plan(&plan);
+    assert_eq!(a.digest, b.digest, "scenario digests diverged across replays");
+    assert_eq!(a.events, b.events, "event counts diverged");
+    assert_eq!(a.now_us, b.now_us, "final clocks diverged");
+    assert_eq!(a.live_members, b.live_members, "member fates diverged");
+    assert_eq!(a.delivered, b.delivered, "delivery counts diverged");
+    assert!(a.violations.is_empty(), "the pinned scenario must audit clean: {:?}", a.violations);
+    assert!(a.expect_failures.is_empty(), "expectations failed: {:?}", a.expect_failures);
+}
+
 #[test]
 fn different_seeds_and_cases_diverge() {
     let base = run_case(&gen_case(1, 0));

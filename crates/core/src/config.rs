@@ -253,6 +253,66 @@ impl GroupConfig {
         GroupConfig { resilience: r, ..Default::default() }
     }
 
+    /// Defaults with the timing knobs widened for a group of `members`.
+    ///
+    /// The paper's configuration is tuned for its 30-host testbed and
+    /// stops working two ways as groups grow past a couple of hundred
+    /// members. First, staggered `Status` replies (rank × 700 µs) stop
+    /// fitting in the sync round: the highest ranks answer after the
+    /// sequencer has already spent its `sync_max_retries` re-asks and
+    /// declared them dead. Second, join-request retries come back
+    /// faster than an overloaded sequencer admits, so a thundering
+    /// herd of joiners never converges. This constructor scales the
+    /// sync round to cover the full reply span with 50 % margin, keeps
+    /// dependent intervals (periodic sync, invitation rounds, recovery
+    /// watchdog) proportionally above it, and backs join retries off
+    /// to the group size. At `members` ≤ 64 every knob stays at its
+    /// default, so small-world results are unaffected.
+    pub fn scaled_for(members: usize) -> Self {
+        Self::scaled_for_world(members, 1)
+    }
+
+    /// [`GroupConfig::scaled_for`], for a group sharing its Ethernet
+    /// with `groups - 1` others of the same size. Status staggers widen
+    /// further with the group count: the wire carries every group's
+    /// reply stream, and when rounds align (they do — sequencers arm
+    /// their periodic timers at creation) the aggregate must still
+    /// stay under wire capacity or every round degenerates into
+    /// collisions and re-asks.
+    pub fn scaled_for_world(members: usize, groups: usize) -> Self {
+        let mut c = GroupConfig::default();
+        let n = members.max(1) as u64;
+        let g = groups.max(1) as u64;
+        // The default stagger leaves ~150 µs of sequencer CPU slack per
+        // reply. A big group eats that concurrently: every accept the
+        // sequencer multicasts during a round costs it 4 µs × members
+        // of send CPU, so the gap between replies must grow with the
+        // group or the rx ring overflows mid-round and the silent
+        // ranks get expelled.
+        c.status_stagger_us = c.status_stagger_us.max(3 * n / 2).max(250 * g);
+        if members > 95 {
+            c.sync_max_retries = 6;
+        }
+        // Keep admission-era control entries (one per join) below the
+        // high-water mark, or formation itself triggers pressure sync
+        // rounds on a still-growing membership.
+        c.history_cap = c.history_cap.max(members + 64);
+        c.history_high_water = c.history_cap * 3 / 4;
+        let reply_span = n * c.status_stagger_us;
+        c.sync_round_us = c.sync_round_us.max(reply_span + reply_span / 2);
+        c.sync_interval_us = c.sync_interval_us.max(2 * c.sync_round_us);
+        c.invite_round_us = c.invite_round_us.max(c.sync_round_us);
+        c.recovery_watchdog_us = c.recovery_watchdog_us.max(2 * c.sync_interval_us);
+        c.join_retry_us = c.join_retry_us.max(n * 1_000);
+        c.join_max_retries = c.join_max_retries.max(30);
+        // Past the same boundary, naive repair melts down: a burst of
+        // accepts overflows 32-slot receive rings, the gapped members
+        // all nack, and un-backed-off retransmission bursts re-overflow
+        // the rings they were healing (DESIGN.md §9).
+        c.robust_repair = members > 95;
+        c
+    }
+
     /// A configuration with sequencer batching of up to `max_batch`
     /// messages (200 µs flush timer), a matching sender pipelining
     /// window, and defaults otherwise. This is the "throughput" preset

@@ -118,18 +118,18 @@ impl Apps {
                     break;
                 }
                 AppCmd::SetTimer(id, after) => {
-                    if let Some(old) = sim.world.app_timers.remove(&(n, id)) {
+                    if let Some(old) = sim.world.nodes[n].app_timers.remove(&id) {
                         sim.cancel(old);
                     }
                     let after = SimDuration::from_micros(after.as_micros() as u64);
                     let ev = sim.schedule_in(after, move |sim| {
-                        sim.world.app_timers.remove(&(n, id));
+                        sim.world.nodes[n].app_timers.remove(&id);
                         Apps::call(sim, n, AppCall::Timer(id));
                     });
-                    sim.world.app_timers.insert((n, id), ev);
+                    sim.world.nodes[n].app_timers.insert(id, ev);
                 }
                 AppCmd::CancelTimer(id) => {
-                    if let Some(ev) = sim.world.app_timers.remove(&(n, id)) {
+                    if let Some(ev) = sim.world.nodes[n].app_timers.remove(&id) {
                         sim.cancel(ev);
                     }
                 }
@@ -163,16 +163,14 @@ impl Apps {
         }
         node.app_done = true;
         node.pending_sends.clear();
+        sim.world.running_apps -= 1;
         Self::cancel_app_timers(sim, n);
     }
 
     fn cancel_app_timers(sim: &mut Sim, n: usize) {
-        let pending: Vec<(usize, TimerId)> =
-            sim.world.app_timers.keys().filter(|(m, _)| *m == n).copied().collect();
-        for key in pending {
-            if let Some(ev) = sim.world.app_timers.remove(&key) {
-                sim.cancel(ev);
-            }
+        let armed: Vec<_> = sim.world.nodes[n].app_timers.drain().map(|(_, ev)| ev).collect();
+        for ev in armed {
+            sim.cancel(ev);
         }
     }
 
@@ -181,14 +179,11 @@ impl Apps {
     pub(crate) fn crash_node(sim: &mut Sim, n: usize) {
         Self::finish(sim, n);
         // Protocol timers die with the kernel.
-        let timers: Vec<_> =
-            sim.world.timers.keys().filter(|(m, _)| *m == n).copied().collect();
-        for key in timers {
-            if let Some(ev) = sim.world.timers.remove(&key) {
-                sim.cancel(ev);
-            }
+        let armed: Vec<_> = sim.world.nodes[n].proto_timers.drain().map(|(_, ev)| ev).collect();
+        for ev in armed {
+            sim.cancel(ev);
         }
-        if let Some(ev) = sim.world.rpc_timers.remove(&n) {
+        if let Some(ev) = sim.world.nodes[n].rpc_timer.take() {
             sim.cancel(ev);
         }
         // The machine goes silent: unroutable, deaf to its multicasts.
@@ -196,12 +191,9 @@ impl Apps {
         sim.world.routes.unregister(addr);
         if let Some(group) = sim.world.nodes[n].group {
             sim.world.routes.unregister_group_member(group.flip_address(), HostId(n));
-            sim.world
-                .net
-                .host_mut(HostId(n))
-                .nic
-                .leave_multicast(McastAddr(group.0 as u32));
+            sim.world.net.leave_multicast(HostId(n), McastAddr(group.0 as u32));
         }
+        Kernel::admission_settle(sim, n);
         let node = &mut sim.world.nodes[n];
         node.core = None;
         node.rpc_client = None;

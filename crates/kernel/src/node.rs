@@ -1,12 +1,12 @@
 //! One simulated machine: its kernel protocol entities and the
 //! application workload driving them.
 
-use amoeba_app::GroupApp;
-use amoeba_core::{GroupCore, GroupId};
+use amoeba_app::{GroupApp, TimerId};
+use amoeba_core::{GroupCore, GroupId, TimerKind};
 use amoeba_flip::{FlipAddress, Reassembler};
 use amoeba_net::HostId;
 use amoeba_rpc::{RpcClient, RpcServer};
-use amoeba_sim::SimTime;
+use amoeba_sim::{EventId, SimTime};
 
 use crate::payload::SimPacket;
 
@@ -107,6 +107,17 @@ pub struct SimNode {
     pub(crate) issuing: bool,
     /// Admission completed (JoinDone(Ok) observed).
     pub ready: bool,
+    /// Counted in the world's `unready_cores` (an admission outcome —
+    /// success, failure, or crash — is still pending). Guards every
+    /// increment/decrement so no path can double-count.
+    pub(crate) admission_pending: bool,
+    /// Armed group-protocol timers. Per-node (not a world-global map
+    /// keyed by node) so a crash cancels O(own timers), not O(world).
+    pub(crate) proto_timers: std::collections::HashMap<TimerKind, EventId>,
+    /// The armed RPC-client retransmit timer, if any.
+    pub(crate) rpc_timer: Option<EventId>,
+    /// Armed application timers (`Ctx::set_timer`).
+    pub(crate) app_timers: std::collections::HashMap<TimerId, EventId>,
     /// Measurement counters.
     pub stats: NodeStats,
 }
@@ -135,6 +146,10 @@ impl SimNode {
             issued_q: std::collections::VecDeque::new(),
             issuing: false,
             ready: false,
+            admission_pending: false,
+            proto_timers: std::collections::HashMap::new(),
+            rpc_timer: None,
+            app_timers: std::collections::HashMap::new(),
             stats: NodeStats::default(),
         }
     }

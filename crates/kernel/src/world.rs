@@ -4,14 +4,14 @@
 
 use std::collections::HashMap;
 
-use amoeba_app::{AppEvent, GroupApp, SenderApp, TimerId};
+use amoeba_app::{AppEvent, GroupApp, SenderApp};
 use amoeba_core::{
     Action, Dest, GroupConfig, GroupCore, GroupEvent, GroupId, Seqno, TimerKind,
 };
 use amoeba_flip::{FlipAddress, FragKey, Route, RouteTable, FLIP_HEADER_LEN};
 use amoeba_net::{CpuPriority, Frame, HostId, McastAddr, Net, NetConfig, NetView};
 use amoeba_rpc::{RpcAction, RpcClient, RpcMsg, RpcServer, ServerEvent};
-use amoeba_sim::{Counter, EventId, Histogram, SimDuration, SimTime, Simulation};
+use amoeba_sim::{Counter, Histogram, SimDuration, SimTime, Simulation};
 use bytes::Bytes;
 
 use crate::cost::CostModel;
@@ -51,10 +51,16 @@ pub struct KernelWorld {
     pub cost: CostModel,
     /// Measurements.
     pub metrics: WorldMetrics,
-    pub(crate) timers: HashMap<(usize, TimerKind), EventId>,
-    pub(crate) rpc_timers: HashMap<usize, EventId>,
-    /// Pending application timers (armed via `Ctx::set_timer`).
-    pub(crate) app_timers: HashMap<(usize, TimerId), EventId>,
+    /// Nodes whose group core has not completed admission yet. Kept
+    /// incrementally so `run_until_ready` tests one integer per event
+    /// instead of scanning every node.
+    pub(crate) unready_cores: usize,
+    /// Installed applications that have not ended yet (same role, for
+    /// `run_until_apps_done`).
+    pub(crate) running_apps: usize,
+    /// Joins that gave up (`JoinDone(Err)`): `run_until_ready` fails
+    /// fast on these instead of spinning to its deadline.
+    pub(crate) join_failures: usize,
     payload_cache: HashMap<u32, Bytes>,
 }
 
@@ -276,6 +282,45 @@ impl Kernel {
     // Group protocol action execution
     // ------------------------------------------------------------------
 
+    pub(crate) fn register_membership(sim: &mut Sim, n: usize, group: GroupId) {
+        let host = HostId(n);
+        let gaddr = group.flip_address();
+        sim.world.routes.register_group_member(gaddr, host);
+        sim.world.routes.set_group_mcast(gaddr, group.0 as u32);
+        sim.world.net.join_multicast(host, McastAddr(group.0 as u32));
+    }
+
+    /// Marks node `n`'s admission outcome as pending (counted in
+    /// `unready_cores`). Idempotent: the flag guards the counter.
+    pub(crate) fn admission_begin(sim: &mut Sim, n: usize) {
+        if !sim.world.nodes[n].admission_pending {
+            sim.world.nodes[n].admission_pending = true;
+            sim.world.unready_cores += 1;
+        }
+    }
+
+    /// Resolves node `n`'s pending admission (success, failure, or
+    /// crash). Idempotent.
+    pub(crate) fn admission_settle(sim: &mut Sim, n: usize) {
+        if sim.world.nodes[n].admission_pending {
+            sim.world.nodes[n].admission_pending = false;
+            sim.world.unready_cores -= 1;
+        }
+    }
+
+    /// Starts `JoinGroup` for node `n` — the event-context form of
+    /// [`SimWorld::join_group`], shared by the immediate and the
+    /// scheduled (`join_group_at`) paths.
+    pub(crate) fn admit_join(sim: &mut Sim, n: usize, group: GroupId, config: GroupConfig) {
+        Self::register_membership(sim, n, group);
+        let addr = sim.world.nodes[n].addr;
+        let (core, actions) = GroupCore::join(group, addr, config).expect("valid config");
+        sim.world.nodes[n].core = Some(core);
+        sim.world.nodes[n].group = Some(group);
+        Self::admission_begin(sim, n);
+        Self::execute_group_actions(sim, n, actions);
+    }
+
     pub(crate) fn execute_group_actions(sim: &mut Sim, n: usize, actions: Vec<Action>) {
         for action in actions {
             match action {
@@ -291,17 +336,24 @@ impl Kernel {
                 }
                 Action::SetTimer { kind, after_us } => Self::set_timer(sim, n, kind, after_us),
                 Action::CancelTimer { kind } => {
-                    if let Some(ev) = sim.world.timers.remove(&(n, kind)) {
+                    if let Some(ev) = sim.world.nodes[n].proto_timers.remove(&kind) {
                         sim.cancel(ev);
                     }
                 }
                 Action::Deliver(ev) => Self::app_deliver(sim, n, ev),
                 Action::SendDone(result) => Self::app_send_done(sim, n, result),
                 Action::JoinDone(result) => {
+                    // Both outcomes resolve the pending admission; a
+                    // failure additionally counts so `run_until_ready`
+                    // can fail fast instead of spinning to its
+                    // deadline.
+                    Self::admission_settle(sim, n);
                     if result.is_ok() {
                         sim.world.nodes[n].ready = true;
                         Apps::maybe_start(sim, n);
                         Self::maybe_kick(sim, n);
+                    } else {
+                        sim.world.join_failures += 1;
                     }
                 }
                 Action::LeaveDone(_) => {
@@ -321,11 +373,11 @@ impl Kernel {
     }
 
     fn set_timer(sim: &mut Sim, n: usize, kind: TimerKind, after_us: u64) {
-        if let Some(old) = sim.world.timers.remove(&(n, kind)) {
+        if let Some(old) = sim.world.nodes[n].proto_timers.remove(&kind) {
             sim.cancel(old);
         }
         let ev = sim.schedule_in(SimDuration::from_micros(after_us), move |sim| {
-            sim.world.timers.remove(&(n, kind));
+            sim.world.nodes[n].proto_timers.remove(&kind);
             let cost = sim.world.cost.timer_dispatch;
             amoeba_net::Net::cpu_run(
                 sim,
@@ -339,7 +391,7 @@ impl Kernel {
                 },
             );
         });
-        sim.world.timers.insert((n, kind), ev);
+        sim.world.nodes[n].proto_timers.insert(kind, ev);
     }
 
     // ------------------------------------------------------------------
@@ -576,21 +628,21 @@ impl Kernel {
                     );
                 }
                 RpcAction::SetTimer { after_us } => {
-                    if let Some(old) = sim.world.rpc_timers.remove(&n) {
+                    if let Some(old) = sim.world.nodes[n].rpc_timer.take() {
                         sim.cancel(old);
                     }
                     let ev = sim.schedule_in(SimDuration::from_micros(after_us), move |sim| {
-                        sim.world.rpc_timers.remove(&n);
+                        sim.world.nodes[n].rpc_timer = None;
                         let Some(client) = sim.world.nodes[n].rpc_client.as_mut() else {
                             return;
                         };
                         let actions = client.handle_timer();
                         Self::execute_rpc_actions(sim, n, actions);
                     });
-                    sim.world.rpc_timers.insert(n, ev);
+                    sim.world.nodes[n].rpc_timer = Some(ev);
                 }
                 RpcAction::CancelTimer => {
-                    if let Some(old) = sim.world.rpc_timers.remove(&n) {
+                    if let Some(old) = sim.world.nodes[n].rpc_timer.take() {
                         sim.cancel(old);
                     }
                 }
@@ -667,9 +719,9 @@ impl SimWorld {
             routes: RouteTable::new(),
             cost,
             metrics: WorldMetrics::default(),
-            timers: HashMap::new(),
-            rpc_timers: HashMap::new(),
-            app_timers: HashMap::new(),
+            unready_cores: 0,
+            running_apps: 0,
+            join_failures: 0,
             payload_cache: HashMap::new(),
         };
         SimWorld { sim: Simulation::new(world, seed), next_addr: 1 }
@@ -693,26 +745,37 @@ impl SimWorld {
         let (core, actions) = GroupCore::create(group, addr, config).expect("valid config");
         self.sim.world.nodes[n].core = Some(core);
         self.sim.world.nodes[n].group = Some(group);
+        // Counted before executing the actions: a creator's
+        // JoinDone(Ok) fires synchronously and settles this.
+        Kernel::admission_begin(&mut self.sim, n);
         Kernel::execute_group_actions(&mut self.sim, n, actions);
     }
 
     /// Starts `JoinGroup` for node `n` (runs asynchronously; see
     /// [`SimWorld::run_until_ready`]).
     pub fn join_group(&mut self, n: usize, group: GroupId, config: GroupConfig) {
-        self.register_membership(n, group);
-        let addr = self.sim.world.nodes[n].addr;
-        let (core, actions) = GroupCore::join(group, addr, config).expect("valid config");
-        self.sim.world.nodes[n].core = Some(core);
-        self.sim.world.nodes[n].group = Some(group);
-        Kernel::execute_group_actions(&mut self.sim, n, actions);
+        Kernel::admit_join(&mut self.sim, n, group, config);
+    }
+
+    /// Like [`SimWorld::join_group`], but the join request is issued at
+    /// simulated instant `at_us` instead of time zero. Large worlds
+    /// need this: a thousand simultaneous join requests overflow the
+    /// sequencer's 32-slot receive ring faster than retries drain it,
+    /// so admission never converges. Staggering the joins (a few
+    /// hundred microseconds apart) keeps the ring shallow.
+    pub fn join_group_at(&mut self, n: usize, group: GroupId, config: GroupConfig, at_us: u64) {
+        // Counted as unready from scheduling time, so a
+        // `run_until_ready` issued before `at_us` waits for this
+        // admission too (`admission_begin` in `admit_join` is then a
+        // no-op — the flag is already set).
+        Kernel::admission_begin(&mut self.sim, n);
+        self.sim.schedule_at(SimTime::from_micros(at_us), move |sim| {
+            Kernel::admit_join(sim, n, group, config);
+        });
     }
 
     fn register_membership(&mut self, n: usize, group: GroupId) {
-        let host = HostId(n);
-        let gaddr = group.flip_address();
-        self.sim.world.routes.register_group_member(gaddr, host);
-        self.sim.world.routes.set_group_mcast(gaddr, group.0 as u32);
-        self.sim.world.net.host_mut(host).nic.join_multicast(McastAddr(group.0 as u32));
+        Kernel::register_membership(&mut self.sim, n, group);
     }
 
     /// Configures a node's application behaviour (set before
@@ -729,23 +792,33 @@ impl SimWorld {
             Workload::RpcPinger { .. } => {
                 let addr = self.sim.world.nodes[n].addr;
                 self.sim.world.nodes[n].rpc_client = Some(RpcClient::new(addr));
-                self.sim.world.nodes[n].ready = true;
+                self.mark_ready(n);
             }
             Workload::RpcEcho => {
                 let addr = self.sim.world.nodes[n].addr;
                 self.sim.world.nodes[n].rpc_server = Some(RpcServer::new(addr));
-                self.sim.world.nodes[n].ready = true;
+                self.mark_ready(n);
             }
             Workload::Idle => {}
         }
         self.sim.world.nodes[n].workload = workload;
     }
 
+    /// Flips `ready` while keeping the admission counter exact.
+    fn mark_ready(&mut self, n: usize) {
+        Kernel::admission_settle(&mut self.sim, n);
+        self.sim.world.nodes[n].ready = true;
+    }
+
     /// Installs an event-driven application on node `n`. The app
     /// starts (`on_start`) at the next [`SimWorld::kick`], or at
     /// admission if the world was already kicked.
     pub fn set_app(&mut self, n: usize, app: Box<dyn GroupApp>) {
-        let node = &mut self.sim.world.nodes[n];
+        let w = &mut self.sim.world;
+        if w.nodes[n].app.is_none() || w.nodes[n].app_done {
+            w.running_apps += 1;
+        }
+        let node = &mut w.nodes[n];
         node.app = Some(app);
         node.app_started = false;
         node.app_done = false;
@@ -755,7 +828,11 @@ impl SimWorld {
     /// Removes and returns node `n`'s application (typically after
     /// [`SimWorld::run_until_apps_done`], to inspect final state).
     pub fn take_app(&mut self, n: usize) -> Option<Box<dyn GroupApp>> {
-        self.sim.world.nodes[n].app.take()
+        let w = &mut self.sim.world;
+        if w.nodes[n].app.is_some() && !w.nodes[n].app_done {
+            w.running_apps -= 1;
+        }
+        w.nodes[n].app.take()
     }
 
     /// Whether node `n`'s app is still running (installed, not yet
@@ -800,11 +877,12 @@ impl SimWorld {
             let gaddr = group.flip_address();
             sim.world.routes.register_group_member(gaddr, host);
             sim.world.routes.set_group_mcast(gaddr, group.0 as u32);
-            sim.world.net.host_mut(host).nic.join_multicast(McastAddr(group.0 as u32));
+            sim.world.net.join_multicast(host, McastAddr(group.0 as u32));
             let (core, actions) = GroupCore::join(group, addr, config).expect("valid config");
             sim.world.nodes[n].core = Some(core);
             sim.world.nodes[n].group = Some(group);
             sim.world.nodes[n].ready = false;
+            Kernel::admission_begin(sim, n);
             Kernel::execute_group_actions(sim, n, actions);
         });
     }
@@ -826,13 +904,26 @@ impl SimWorld {
     /// completed admission (panics after simulated 60 s — joins are
     /// sub-millisecond on a quiet network).
     pub fn run_until_ready(&mut self) {
+        // Bounded stepping (not `run_while`): periodic protocol timers
+        // keep the queue non-empty forever, so a formation that cannot
+        // converge must be cut off by simulated time, not queue
+        // exhaustion.
         let deadline = self.sim.now() + SimDuration::from_secs(60);
-        let ok = self.sim.run_while(|w| {
-            !w.nodes.iter().filter(|n| n.core.is_some()).all(|n| n.ready)
-        });
-        assert!(
-            ok && self.sim.now() <= deadline,
-            "group formation did not converge within 60 simulated seconds"
+        while self.sim.world.unready_cores > 0 {
+            assert_eq!(
+                self.sim.world.join_failures, 0,
+                "group formation failed: JoinGroup gave up on {} node(s)",
+                self.sim.world.join_failures
+            );
+            assert!(
+                self.sim.now() <= deadline && self.sim.step(),
+                "group formation did not converge within 60 simulated seconds"
+            );
+        }
+        assert_eq!(
+            self.sim.world.join_failures, 0,
+            "group formation failed: JoinGroup gave up on {} node(s)",
+            self.sim.world.join_failures
         );
     }
 
@@ -856,8 +947,7 @@ impl SimWorld {
     pub fn run_until_apps_done(&mut self, limit: SimDuration) -> bool {
         let deadline = self.sim.now() + limit;
         loop {
-            let running = (0..self.sim.world.nodes.len()).any(|n| self.app_running(n));
-            if !running {
+            if self.sim.world.running_apps == 0 {
                 return true;
             }
             if self.sim.now() > deadline || !self.sim.step() {

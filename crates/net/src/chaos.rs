@@ -43,14 +43,81 @@ impl LinkFaults {
     }
 }
 
+/// A set of hosts named by index, stored as a bitmap. Grows on demand,
+/// so partitions work on thousand-station segments (the original design
+/// used one `u64` word, capping a segment at 64 stations).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostSet {
+    words: Vec<u64>,
+}
+
+impl HostSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        HostSet::default()
+    }
+
+    /// The set encoded by one bitmask word (hosts 0..64) — the legacy
+    /// representation, still the most convenient for small cases.
+    pub fn from_mask(mask: u64) -> Self {
+        HostSet { words: vec![mask] }
+    }
+
+    /// The set containing exactly `hosts`.
+    pub fn from_hosts(hosts: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = HostSet::new();
+        for h in hosts {
+            s.insert(h);
+        }
+        s
+    }
+
+    /// Adds `host` to the set.
+    pub fn insert(&mut self, host: usize) {
+        let word = host / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (host % 64);
+    }
+
+    /// Whether `host` is in the set.
+    pub fn contains(&self, host: usize) -> bool {
+        self.words.get(host / 64).is_some_and(|w| (w >> (host % 64)) & 1 == 1)
+    }
+
+    /// True when no host is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of hosts in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The hosts in the set, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(i, w)| (0..64).filter(move |b| (w >> b) & 1 == 1).map(move |b| i * 64 + b))
+    }
+}
+
+impl FromIterator<usize> for HostSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        HostSet::from_hosts(iter)
+    }
+}
+
 /// One scheduled cut between two host sets, healing at `until_us`.
-/// Hosts are named by bit index (the simulator caps a segment well
-/// below 64 stations); traffic crossing the cut in either direction is
-/// dropped while `from_us <= now < until_us`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Traffic crossing the cut in either direction is dropped while
+/// `from_us <= now < until_us`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
-    /// Bitmask of hosts on side A (everyone else is side B).
-    pub side_a: u64,
+    /// Hosts on side A (everyone else is side B).
+    pub side_a: HostSet,
     /// Simulated instant the cut opens, µs.
     pub from_us: u64,
     /// Simulated instant the cut heals, µs.
@@ -62,9 +129,7 @@ impl Partition {
         if now_us < self.from_us || now_us >= self.until_us {
             return false;
         }
-        let in_a = (self.side_a >> a) & 1 == 1;
-        let in_b = (self.side_a >> b) & 1 == 1;
-        in_a != in_b
+        self.side_a.contains(a) != self.side_a.contains(b)
     }
 }
 
@@ -212,12 +277,33 @@ mod tests {
 
     #[test]
     fn partition_cuts_across_sides_only_inside_the_window() {
-        let p = Partition { side_a: 0b011, from_us: 100, until_us: 200 };
+        let p = Partition { side_a: HostSet::from_mask(0b011), from_us: 100, until_us: 200 };
         assert!(p.cuts(100, 0, 2), "A→B cut");
         assert!(p.cuts(199, 2, 1), "B→A cut");
         assert!(!p.cuts(150, 0, 1), "same side passes");
         assert!(!p.cuts(99, 0, 2), "before the window");
         assert!(!p.cuts(200, 0, 2), "heal instant reopens the link");
+    }
+
+    #[test]
+    fn host_set_spans_word_boundaries() {
+        let s = HostSet::from_hosts([0, 63, 64, 500, 999]);
+        for h in [0, 63, 64, 500, 999] {
+            assert!(s.contains(h));
+        }
+        for h in [1, 62, 65, 501, 998, 1000, 100_000] {
+            assert!(!s.contains(h));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 500, 999]);
+        assert_eq!(HostSet::from_mask(0b101), HostSet::from_hosts([0, 2]));
+        assert!(HostSet::new().is_empty());
+
+        // Partitions work beyond the old 64-station cap.
+        let p = Partition { side_a: HostSet::from_hosts([700]), from_us: 0, until_us: 10 };
+        assert!(p.cuts(5, 700, 3));
+        assert!(p.cuts(5, 3, 700));
+        assert!(!p.cuts(5, 3, 4));
     }
 
     #[test]
@@ -308,7 +394,11 @@ mod tests {
             link: LinkFaults::none(),
             noise_from_us: 0,
             noise_until_us: 5_000,
-            partitions: vec![Partition { side_a: 1, from_us: 100, until_us: 9_000 }],
+            partitions: vec![Partition {
+                side_a: HostSet::from_mask(1),
+                from_us: 100,
+                until_us: 9_000,
+            }],
         };
         assert_eq!(plan.quiescent_after_us(), 9_000);
         assert_eq!(ChaosPlan::quiet().quiescent_after_us(), 0);

@@ -60,7 +60,7 @@ mod medium;
 mod net;
 mod nic;
 
-pub use chaos::{ChaosPlan, ChaosStats, LinkFaults, Partition};
+pub use chaos::{ChaosPlan, ChaosStats, HostSet, LinkFaults, Partition};
 pub use cpu::{CpuPriority, CpuStats};
 pub use frame::{Frame, FrameDst, MacAddr, McastAddr};
 pub use medium::{MediumState, MediumStats};

@@ -1,12 +1,14 @@
 //! The network orchestrator: hosts, medium access (CSMA/CD) and CPU
 //! dispatch, driven by the discrete-event simulation.
 
+use std::collections::{BTreeSet, HashMap};
+
 use amoeba_sim::{SimDuration, SimTime, Simulation, SplitMix64};
 use serde::{Deserialize, Serialize};
 
 use crate::chaos::{ChaosPlan, ChaosState, ChaosStats};
 use crate::cpu::{Cpu, CpuPriority};
-use crate::frame::{Frame, FrameDst, MacAddr};
+use crate::frame::{Frame, FrameDst, MacAddr, McastAddr};
 use crate::medium::{Medium, MediumState};
 use crate::nic::{Nic, TxState};
 
@@ -119,6 +121,16 @@ pub struct Net<W: NetView> {
     /// The shared wire.
     pub medium: Medium,
     hosts: Vec<Host<W>>,
+    /// Hosts subscribed to each multicast address, ascending by id.
+    /// Mirrors the per-NIC filters so the delivery fan-out is
+    /// O(listeners) instead of a scan over every station — the scan is
+    /// what made thousand-node worlds quadratic in the segment size.
+    mcast_members: HashMap<McastAddr, Vec<HostId>>,
+    /// Hosts with frames queued for transmission. Lets the idle-kick
+    /// walk only the backlog instead of every station on the segment;
+    /// `BTreeSet` keeps the kick order (ascending id) identical to the
+    /// full scan it replaces.
+    tx_backlog: BTreeSet<HostId>,
     rng_seed: SplitMix64,
     /// Installed fault schedule, if any ([`Net::set_chaos`]). `None`
     /// (the default) leaves the delivery path byte-identical to the
@@ -143,6 +155,8 @@ impl<W: NetView> Net<W> {
             config,
             medium: Medium::new(),
             hosts: Vec::new(),
+            mcast_members: HashMap::new(),
+            tx_backlog: BTreeSet::new(),
             rng_seed: SplitMix64::new(seed),
             chaos: None,
         }
@@ -205,6 +219,31 @@ impl<W: NetView> Net<W> {
         self.hosts.iter()
     }
 
+    /// Subscribes `host` to `group`: programs the NIC filter and the
+    /// segment-wide membership index the delivery fan-out reads. Always
+    /// use this (not [`Nic::join_multicast`] directly) on an attached
+    /// NIC, or multicast frames will miss the host.
+    pub fn join_multicast(&mut self, host: HostId, group: McastAddr) {
+        self.hosts[host.0].nic.join_multicast(group);
+        let members = self.mcast_members.entry(group).or_default();
+        if let Err(i) = members.binary_search(&host) {
+            members.insert(i, host);
+        }
+    }
+
+    /// Unsubscribes `host` from `group` (filter and index).
+    pub fn leave_multicast(&mut self, host: HostId, group: McastAddr) {
+        self.hosts[host.0].nic.leave_multicast(group);
+        if let Some(members) = self.mcast_members.get_mut(&group) {
+            if let Ok(i) = members.binary_search(&host) {
+                members.remove(i);
+            }
+            if members.is_empty() {
+                self.mcast_members.remove(&group);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Transmit path (CSMA/CD)
     // ------------------------------------------------------------------
@@ -221,6 +260,7 @@ impl<W: NetView> Net<W> {
         );
         frame.src = net.hosts[host.0].nic.mac;
         net.hosts[host.0].nic.tx_queue.push_back(frame);
+        net.tx_backlog.insert(host);
         Self::try_start_tx(sim, host);
     }
 
@@ -300,6 +340,9 @@ impl<W: NetView> Net<W> {
             }
         };
         if let Some(frame) = aborted {
+            if sim.world.net().hosts[host.0].nic.tx_queue.is_empty() {
+                sim.world.net().tx_backlog.remove(&host);
+            }
             W::on_tx_aborted(sim, host, frame);
             // The next queued frame (if any) gets a fresh chance once the
             // medium idles; register interest via the deferral list.
@@ -331,6 +374,9 @@ impl<W: NetView> Net<W> {
             nic.tx_state = TxState::Idle;
             nic.attempts = 0;
             nic.stats.tx_frames += 1;
+            if net.hosts[host.0].nic.tx_queue.is_empty() {
+                net.tx_backlog.remove(&host);
+            }
             net.medium.stats.frames += 1;
             net.medium.stats.busy_us += net.config.wire_time(frame.wire_len).as_micros();
             net.medium.state = MediumState::InterFrameGap;
@@ -347,18 +393,38 @@ impl<W: NetView> Net<W> {
     /// others, the failure mode the negative-acknowledgement scheme
     /// exists to fix.
     fn deliver(sim: &mut Simulation<W>, frame: Frame<W::Payload>) {
+        // Receiver resolution is indexed — O(listeners), not a scan of
+        // the segment — but always yields ascending host order, exactly
+        // like the scan it replaced (delivery order is observable
+        // through chaos-delayed event sequence numbers).
         let receivers: Vec<HostId> = {
-            let net = sim.world.net();
-            net.hosts
-                .iter()
-                .filter(|h| h.nic.mac != frame.src)
-                .filter(|h| match frame.dst {
-                    FrameDst::Unicast(mac) => h.nic.mac == mac,
-                    FrameDst::Multicast(group) => h.nic.accepts_multicast(group),
-                    FrameDst::Broadcast => true,
-                })
-                .map(|h| h.id)
-                .collect()
+            let net = &*sim.world.net();
+            match frame.dst {
+                // MACs are host indices by construction (`add_host`).
+                FrameDst::Unicast(mac) => net
+                    .hosts
+                    .get(mac.0 as usize)
+                    .filter(|h| h.nic.mac != frame.src)
+                    .map(|h| vec![h.id])
+                    .unwrap_or_default(),
+                FrameDst::Multicast(group) => net
+                    .mcast_members
+                    .get(&group)
+                    .map(|members| {
+                        members
+                            .iter()
+                            .copied()
+                            .filter(|h| net.hosts[h.0].nic.mac != frame.src)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+                FrameDst::Broadcast => net
+                    .hosts
+                    .iter()
+                    .filter(|h| h.nic.mac != frame.src)
+                    .map(|h| h.id)
+                    .collect(),
+            }
         };
         let src = frame.src.0 as usize;
         for r in receivers {
@@ -407,13 +473,13 @@ impl<W: NetView> Net<W> {
                     nic.tx_state = TxState::Idle;
                 }
             }
-            // Also wake stations that finished a frame and have more queued.
-            for h in &net.hosts {
-                if h.nic.tx_state == TxState::Idle
-                    && !h.nic.tx_queue.is_empty()
-                    && !kick.contains(&h.id)
-                {
-                    kick.push(h.id);
+            // Also wake stations that finished a frame and have more
+            // queued — the backlog set, in ascending id order like the
+            // full-segment scan this replaced.
+            for &h in &net.tx_backlog {
+                let nic = &net.hosts[h.0].nic;
+                if nic.tx_state == TxState::Idle && !nic.tx_queue.is_empty() && !kick.contains(&h) {
+                    kick.push(h);
                 }
             }
             kick
@@ -540,8 +606,8 @@ mod tests {
     fn multicast_respects_filters() {
         let mut sim = world(4);
         let g = McastAddr(1);
-        sim.world.net.host_mut(HostId(2)).nic.join_multicast(g);
-        sim.world.net.host_mut(HostId(3)).nic.join_multicast(g);
+        sim.world.net.join_multicast(HostId(2), g);
+        sim.world.net.join_multicast(HostId(3), g);
         Net::send_frame(&mut sim, HostId(0), Frame::multicast(HostId(0), g, 116, 1));
         sim.run();
         let mut hosts: Vec<usize> = sim.world.received.iter().map(|(h, _)| h.0).collect();
@@ -662,7 +728,7 @@ mod tests {
 
     #[test]
     fn chaos_partition_cuts_and_heals() {
-        use crate::chaos::{ChaosPlan, LinkFaults, Partition};
+        use crate::chaos::{ChaosPlan, HostSet, LinkFaults, Partition};
         let mut sim = world(3);
         // Host 2 is cut off from hosts 0 and 1 until t = 2000 µs.
         sim.world.net.set_chaos(
@@ -670,7 +736,11 @@ mod tests {
                 link: LinkFaults::none(),
                 noise_from_us: 0,
                 noise_until_us: 0,
-                partitions: vec![Partition { side_a: 0b100, from_us: 0, until_us: 2_000 }],
+                partitions: vec![Partition {
+                    side_a: HostSet::from_mask(0b100),
+                    from_us: 0,
+                    until_us: 2_000,
+                }],
             },
             1,
         );

@@ -1,0 +1,103 @@
+//! The `scenario` binary: run (or just validate) scenario files.
+//!
+//! ```text
+//! scenario [--check] <file.toml>...
+//! ```
+//!
+//! For each file: parse + validate (errors carry line numbers), run it
+//! on the simulated kernel, and print the outcome — including the
+//! stable digest the golden suite pins. Exit status is non-zero if any
+//! file fails to parse or any `[expect]` assertion does not hold.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use amoeba_scenario::{run_plan, ScenarioPlan};
+
+fn main() -> ExitCode {
+    let mut check_only = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            "--help" | "-h" => {
+                println!("usage: scenario [--check] <file.toml>...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: scenario [--check] <file.toml>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let plan = match ScenarioPlan::parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{file}:{e}");
+                failed = true;
+                continue;
+            }
+        };
+        if check_only {
+            println!(
+                "{file}: ok ({} nodes, {} group(s), {} workload(s), {} fault(s))",
+                plan.nodes,
+                plan.groups.len(),
+                plan.workloads.len(),
+                plan.faults.len()
+            );
+            continue;
+        }
+        let t0 = Instant::now();
+        let out = run_plan(&plan);
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{}: digest {:016x}, {} events, sim t = {:.3} s, {:.2} s wall",
+            out.name,
+            out.digest,
+            out.events,
+            out.now_us as f64 / 1_000_000.0,
+            wall
+        );
+        println!(
+            "  sends {} ok / {} err, {} delivered, {} live member(s)",
+            out.sends_ok, out.sends_err, out.delivered, out.live_members
+        );
+        if let (Some(rate), Some(util)) = (out.rate, out.utilization) {
+            println!("  rate {rate:.0} msg/s, utilization {:.1} %", util * 100.0);
+        }
+        let c = out.chaos;
+        if c.dropped + c.duplicated + c.reordered + c.partitioned > 0 {
+            println!(
+                "  chaos: {} dropped, {} duplicated, {} reordered, {} partitioned",
+                c.dropped, c.duplicated, c.reordered, c.partitioned
+            );
+        }
+        for v in &out.violations {
+            println!("  violation: {v}");
+        }
+        for f in &out.expect_failures {
+            println!("  EXPECT FAILED: {f}");
+        }
+        if !out.expect_failures.is_empty() {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

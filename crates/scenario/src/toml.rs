@@ -1,0 +1,377 @@
+//! A hand-written parser for the TOML subset scenario files use.
+//!
+//! The build environment is offline (DESIGN.md §5), so rather than a
+//! vendored full TOML implementation this is the small, strict subset
+//! the scenario format needs — and nothing else:
+//!
+//! - `key = value` pairs (bare keys: letters, digits, `_`, `-`)
+//! - values: integers (`_` separators allowed), floats, booleans,
+//!   `"strings"` (with `\"` `\\` `\n` `\t` escapes), and single-line
+//!   arrays of scalars
+//! - `[table]` headers and `[[array-of-tables]]` headers, one level
+//!   deep (no dotted paths)
+//! - `#` comments and blank lines
+//!
+//! Strictness is the point: anything outside the subset is an error
+//! **with the line number**, because scenario files are edited by hand
+//! and a silently-ignored key is a scenario that tests nothing (the
+//! schema layer in [`crate::plan`] rejects unknown keys for the same
+//! reason).
+
+use crate::Error;
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A quoted string.
+    Str(String),
+    /// A single-line array of scalars.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::List(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` pair with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// 1-based source line of the key.
+    pub line: usize,
+    /// The parsed value.
+    pub value: Value,
+}
+
+/// An ordered set of `key = value` pairs (the root, a `[table]`, or
+/// one `[[array]]` element).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// 1-based line of the table header (0 for the root table).
+    pub line: usize,
+    /// Pairs in file order.
+    pub keys: Vec<(String, Entry)>,
+}
+
+impl Table {
+    fn insert(&mut self, key: String, entry: Entry) -> Result<(), Error> {
+        if self.keys.iter().any(|(k, _)| *k == key) {
+            return Err(Error::at(entry.line, format!("duplicate key `{key}`")));
+        }
+        self.keys.push((key, entry));
+        Ok(())
+    }
+}
+
+/// A whole parsed scenario document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Doc {
+    /// Top-level `key = value` pairs.
+    pub root: Table,
+    /// `[name]` tables, in file order. Names are unique.
+    pub tables: Vec<(String, Table)>,
+    /// `[[name]]` elements, in file order (elements of the same name
+    /// need not be adjacent, though scenarios conventionally group them).
+    pub arrays: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// The `[name]` table, if present.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// All `[[name]]` elements, in file order.
+    pub fn array(&self, name: &str) -> Vec<&Table> {
+        self.arrays.iter().filter(|(n, _)| n == name).map(|(_, t)| t).collect()
+    }
+}
+
+/// Which section new `key = value` pairs belong to.
+enum Cursor {
+    Root,
+    Table(usize),
+    Array(usize),
+}
+
+/// Parses a scenario document. Every rejection carries the 1-based
+/// line it happened on.
+pub fn parse(text: &str) -> Result<Doc, Error> {
+    let mut doc = Doc::default();
+    let mut cursor = Cursor::Root;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let stripped = strip_comment(raw, line)?;
+        let s = stripped.trim();
+        if s.is_empty() {
+            continue;
+        }
+        if let Some(rest) = s.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| Error::at(line, "unterminated `[[` table header"))?
+                .trim();
+            check_name(name, line)?;
+            if doc.tables.iter().any(|(n, _)| n == name) {
+                return Err(Error::at(
+                    line,
+                    format!("`{name}` is already a plain [table]; it cannot also be an array"),
+                ));
+            }
+            doc.arrays.push((name.to_string(), Table { line, keys: Vec::new() }));
+            cursor = Cursor::Array(doc.arrays.len() - 1);
+        } else if let Some(rest) = s.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| Error::at(line, "unterminated `[` table header"))?
+                .trim();
+            check_name(name, line)?;
+            if doc.tables.iter().any(|(n, _)| n == name) {
+                return Err(Error::at(line, format!("duplicate table `[{name}]`")));
+            }
+            if doc.arrays.iter().any(|(n, _)| n == name) {
+                return Err(Error::at(
+                    line,
+                    format!("`{name}` is already an [[array]]; it cannot also be a plain table"),
+                ));
+            }
+            doc.tables.push((name.to_string(), Table { line, keys: Vec::new() }));
+            cursor = Cursor::Table(doc.tables.len() - 1);
+        } else {
+            let (key, value) = s
+                .split_once('=')
+                .ok_or_else(|| Error::at(line, "expected `key = value` or a `[table]` header"))?;
+            let key = key.trim();
+            check_name(key, line)?;
+            let entry = Entry { line, value: parse_value(value.trim(), line)? };
+            let table = match cursor {
+                Cursor::Root => &mut doc.root,
+                Cursor::Table(i) => &mut doc.tables[i].1,
+                Cursor::Array(i) => &mut doc.arrays[i].1,
+            };
+            table.insert(key.to_string(), entry)?;
+        }
+    }
+    Ok(doc)
+}
+
+/// Removes a trailing `# comment`, respecting string literals.
+fn strip_comment(raw: &str, line: usize) -> Result<String, Error> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '#' if !in_str => break,
+            '"' => {
+                in_str = !in_str;
+                out.push(c);
+            }
+            '\\' if in_str => {
+                out.push(c);
+                match chars.next() {
+                    Some(esc) => out.push(esc),
+                    None => return Err(Error::at(line, "dangling escape at end of line")),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    if in_str {
+        return Err(Error::at(line, "unterminated string literal"));
+    }
+    Ok(out)
+}
+
+fn check_name(name: &str, line: usize) -> Result<(), Error> {
+    if name.is_empty() {
+        return Err(Error::at(line, "empty name"));
+    }
+    if name.contains('.') {
+        return Err(Error::at(
+            line,
+            format!("dotted name `{name}`: nested tables are not part of the scenario format"),
+        ));
+    }
+    if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+        return Err(Error::at(line, format!("invalid name `{name}` (use letters, digits, `_`, `-`)")));
+    }
+    Ok(())
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, Error> {
+    if s.is_empty() {
+        return Err(Error::at(line, "missing value after `=`"));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let body = rest
+            .strip_suffix(']')
+            .ok_or_else(|| Error::at(line, "unterminated array (arrays are single-line)"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(body, line)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let v = parse_value(part, line)?;
+            if matches!(v, Value::List(_)) {
+                return Err(Error::at(line, "nested arrays are not supported"));
+            }
+            items.push(v);
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let body = rest
+            .strip_suffix('"')
+            .ok_or_else(|| Error::at(line, "unterminated string literal"))?;
+        return Ok(Value::Str(unescape(body, line)?));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits: String = s.chars().filter(|&c| c != '_').collect();
+    if digits.contains(['.', 'e', 'E']) && !digits.ends_with('.') {
+        if let Ok(f) = digits.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+        }
+    } else if let Ok(n) = digits.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(Error::at(line, format!("unrecognized value `{s}`")))
+}
+
+/// Splits an array body on commas that are outside string literals.
+fn split_top_level(body: &str, line: usize) -> Result<Vec<String>, Error> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                match chars.next() {
+                    Some(esc) => cur.push(esc),
+                    None => return Err(Error::at(line, "dangling escape in array")),
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    Ok(parts)
+}
+
+fn unescape(body: &str, line: usize) -> Result<String, Error> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => {
+                return Err(Error::at(line, format!("unsupported escape `\\{other}`")));
+            }
+            None => return Err(Error::at(line, "dangling escape in string")),
+        }
+    }
+    Ok(out)
+}
+
+/// Escapes a string for emission (the inverse of [`unescape`]).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_the_format_uses() {
+        let doc = parse(
+            r#"
+name = "demo" # trailing comment
+seed = 1_000
+
+[topology]
+nodes = 8
+
+[[group]]
+id = 1
+members = "0..8"
+drop = 0.25
+flags = [1, 2, 3]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.root.keys[0].1.value, Value::Str("demo".into()));
+        assert_eq!(doc.root.keys[1].1.value, Value::Int(1000));
+        assert_eq!(doc.table("topology").unwrap().keys[0].1.value, Value::Int(8));
+        let groups = doc.array("group");
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].keys[2].1.value, Value::Float(0.25));
+        assert_eq!(
+            groups[0].keys[3].1.value,
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, want_line, want_msg) in [
+            ("a = 1\na = 2", 2, "duplicate key"),
+            ("x = ", 1, "missing value"),
+            ("\n\n[a.b]", 3, "dotted name"),
+            ("[t]\n[t]", 2, "duplicate table"),
+            ("k = \"unterminated", 1, "unterminated string"),
+            ("k = [1, [2]]", 1, "nested arrays"),
+            ("k = zebra", 1, "unrecognized value"),
+            ("just a line", 1, "expected `key = value`"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert_eq!(err.line, want_line, "{text}");
+            assert!(err.msg.contains(want_msg), "{text}: {}", err.msg);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Equivalence pin: the declarative `fig6_parallel_peak.toml` scenario
+//! reproduces the bench harness's Figure 6 sweep point bit for bit.
+//!
+//! The scenario format is only trustworthy as an experiment notation
+//! if writing the same experiment as data yields the same floats as
+//! the hand-coded harness — same seed, same formation call order,
+//! same warmup/window arithmetic. A divergence here means the runner
+//! quietly does something the harness does not (or vice versa), and
+//! every scenario-derived number becomes incomparable with the
+//! paper-anchored figures.
+
+use std::path::Path;
+
+use amoeba_bench::experiments::fig6_parallel_groups;
+use amoeba_bench::Scale;
+use amoeba_scenario::{run_plan, ScenarioPlan};
+
+#[test]
+fn scenario_reproduces_fig6_quick_peak_bit_for_bit() {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/fig6_parallel_peak.toml");
+    let text = std::fs::read_to_string(&path).expect("scenarios/fig6_parallel_peak.toml");
+    let plan = ScenarioPlan::parse(&text).expect("pinned scenario parses");
+    let out = run_plan(&plan);
+    let rate = out.rate.expect("continuous scenario measures a rate");
+    let util = out.utilization.expect("continuous scenario measures utilization");
+
+    let fig = fig6_parallel_groups(Scale::Quick);
+    let two = fig
+        .series
+        .iter()
+        .find(|s| s.label() == "2 members")
+        .expect("fig6 sweeps 2-member groups");
+    let bench_rate = two.y_at(7.0).expect("fig6 sweeps 7 parallel groups");
+    assert_eq!(
+        rate.to_bits(),
+        bench_rate.to_bits(),
+        "scenario rate {rate} != bench rate {bench_rate} at 7 groups of 2"
+    );
+
+    // The quick-scale sweep peaks at this point (seven 2-member
+    // groups), so the sweep's anchor values are this point's.
+    assert_eq!(
+        bench_rate.to_bits(),
+        fig.anchors[0].measured.to_bits(),
+        "the sweep peak moved away from 7 groups of 2"
+    );
+    assert_eq!(
+        util.to_bits(),
+        fig.anchors[1].measured.to_bits(),
+        "scenario utilization {util} != bench utilization at the peak {}",
+        fig.anchors[1].measured
+    );
+}

@@ -1,42 +1,16 @@
 //! The event queue and simulation driver.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::CalendarQueue;
 
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
 type EventFn<W> = Box<dyn FnOnce(&mut Simulation<W>)>;
-
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    id: EventId,
-    run: EventFn<W>,
-}
-
-// Ordering: earliest time first; FIFO among equal times (by insertion
-// sequence number) so the simulation is deterministic.
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
 
 /// A deterministic discrete-event simulation over a world `W`.
 ///
@@ -60,7 +34,10 @@ pub struct Simulation<W> {
     /// The state mutated by events.
     pub world: W,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Entry<W>>>,
+    /// Future-event set: an indexed calendar queue popping in exact
+    /// `(at, seq)` order. The event's sequence number doubles as its
+    /// [`EventId`].
+    queue: CalendarQueue<EventFn<W>>,
     next_seq: u64,
     cancelled: HashSet<EventId>,
     rng: SplitMix64,
@@ -73,7 +50,7 @@ impl<W> Simulation<W> {
         Simulation {
             world,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             next_seq: 0,
             cancelled: HashSet::new(),
             rng: SplitMix64::new(seed),
@@ -108,12 +85,7 @@ impl<W> Simulation<W> {
     ) -> EventId {
         assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
         let id = EventId(self.next_seq);
-        self.queue.push(Reverse(Entry {
-            at,
-            seq: self.next_seq,
-            id,
-            run: Box::new(event),
-        }));
+        self.queue.push(at.as_micros(), self.next_seq, Box::new(event));
         self.next_seq += 1;
         id
     }
@@ -137,14 +109,15 @@ impl<W> Simulation<W> {
     ///
     /// Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(Reverse(entry)) = self.queue.pop() {
-            if self.cancelled.remove(&entry.id) {
+        while let Some((at, seq, run)) = self.queue.pop() {
+            if self.cancelled.remove(&EventId(seq)) {
                 continue;
             }
-            debug_assert!(entry.at >= self.now);
-            self.now = entry.at;
+            let at = SimTime::from_micros(at);
+            debug_assert!(at >= self.now);
+            self.now = at;
             self.executed += 1;
-            (entry.run)(self);
+            run(self);
             return true;
         }
         false
@@ -159,8 +132,8 @@ impl<W> Simulation<W> {
     /// `deadline`. Events scheduled exactly at the deadline still run;
     /// the clock never advances beyond the last executed event.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _)) = self.queue.peek() {
+            if SimTime::from_micros(at) > deadline {
                 break;
             }
             self.step();
@@ -179,6 +152,14 @@ impl<W> Simulation<W> {
             }
         }
         true
+    }
+}
+
+impl<W> Simulation<W> {
+    /// The number of events still queued (including cancelled ones not
+    /// yet reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 }
 

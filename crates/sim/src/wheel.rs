@@ -1,0 +1,344 @@
+//! An indexed calendar queue (Brown 1988) for the event loop.
+//!
+//! The simulation's future-event set used to be a single binary heap:
+//! every push and pop paid `O(log n)` comparisons over the whole
+//! future-event set and moved entries around the heap array. On
+//! thousand-node worlds the queue holds tens of thousands of timers and
+//! the heap traffic dominates the profile. A calendar queue buckets
+//! events by time — `bucket = (at / width) mod n` — so a push lands in
+//! the small heap for its "day" and a pop takes the root of the current
+//! day's heap: `O(log k)` where `k` is the day's population, not the
+//! whole queue's.
+//!
+//! Buckets are min-heaps, not plain vectors, because simulated worlds
+//! produce large same-instant bursts (one multicast on a
+//! thousand-member group schedules a thousand deliveries at the same
+//! microsecond) and same-instant events land in the same bucket no
+//! matter how the width is tuned. Scanning such a bucket linearly on
+//! every pop would be `O(k²)` per burst; a per-bucket heap keeps it
+//! `O(k log k)`.
+//!
+//! The queue pops in **exactly** total `(at, seq)` order — earliest
+//! time first, FIFO among equal times — which is the property every
+//! golden test and paper anchor depends on. The bucket layout is pure
+//! bookkeeping; it can never change pop order, only the cost of finding
+//! the minimum.
+//!
+//! Layout invariant: no queued item is earlier than the current bucket
+//! window (`day_end - width`). Pops keep it by parking the cursor on
+//! the popped item's window; pushes behind the cursor (possible after
+//! an idle `run_until` advanced the clock) move the cursor back. The
+//! invariant is what makes "current day's heap root" the global
+//! minimum: a day maps to exactly one bucket, earlier laps of that
+//! bucket are already drained, and later laps sort after the current
+//! day.
+
+use std::collections::BinaryHeap;
+
+/// One scheduled item: the priority key plus the caller's payload.
+///
+/// `Ord` is **inverted** (larger key = smaller in `Ord` terms) so a
+/// `BinaryHeap<Slot<T>>`, a max-heap, pops the smallest `(at, seq)`
+/// first. The payload does not participate in ordering.
+struct Slot<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<T> Eq for Slot<T> {}
+
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue over `(at, seq)` keys with O(1) amortized
+/// bucket-location and O(log day-population) heap work per operation.
+pub struct CalendarQueue<T> {
+    /// Power-of-two bucket array; `bucket = (at / width) & (n - 1)`.
+    /// Each bucket is a min-heap over `(at, seq)` (via inverted `Ord`).
+    buckets: Vec<BinaryHeap<Slot<T>>>,
+    /// Microseconds of simulated time per bucket (the "day" length).
+    width: u64,
+    len: usize,
+    /// Index of the bucket holding the current day.
+    cur: usize,
+    /// Absolute end (exclusive) of the current day. `u128` so laps over
+    /// far-future timers cannot overflow.
+    day_end: u128,
+    /// Time of the last popped item; all queued items are at or after it.
+    horizon: u64,
+}
+
+const MIN_BUCKETS: usize = 32;
+const MAX_BUCKETS: usize = 1 << 20;
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            width: 64,
+            len: 0,
+            cur: 0,
+            day_end: 64,
+            horizon: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Start of the current day.
+    fn day_start(&self) -> u128 {
+        self.day_end - self.width as u128
+    }
+
+    /// Parks the cursor on the day containing `at`.
+    fn seek(&mut self, at: u64) {
+        self.cur = self.bucket_of(at);
+        self.day_end = (at as u128 / self.width as u128 + 1) * self.width as u128;
+    }
+
+    /// Inserts an item. `seq` must be unique; `(at, seq)` is the pop key.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        if (at as u128) < self.day_start() {
+            // Behind the cursor (clock was idle-advanced past this day):
+            // move the cursor back so the layout invariant holds.
+            self.seek(at);
+        }
+        let b = self.bucket_of(at);
+        self.buckets[b].push(Slot { at, seq, item });
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    /// Key of the earliest item, without removing it.
+    pub fn peek(&mut self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.find_min();
+        let slot = self.buckets[b].peek().expect("find_min returns a non-empty bucket");
+        Some((slot.at, slot.seq))
+    }
+
+    /// Removes and returns the earliest item as `(at, seq, item)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.find_min();
+        let slot = self.buckets[b].pop().expect("find_min returns a non-empty bucket");
+        self.len -= 1;
+        self.horizon = slot.at;
+        self.seek(slot.at);
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 8 {
+            self.rebuild();
+        }
+        Some((slot.at, slot.seq, slot.item))
+    }
+
+    /// Advances the cursor to the day of the minimum `(at, seq)` item
+    /// and returns its bucket index; the item is that bucket's root.
+    fn find_min(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        let n = self.buckets.len();
+        for _ in 0..n {
+            // The root is the bucket's minimum; if it falls inside the
+            // current day it is the queue's minimum (the layout
+            // invariant rules out anything earlier, and other buckets
+            // hold other days).
+            if let Some(s) = self.buckets[self.cur].peek() {
+                if (s.at as u128) < self.day_end {
+                    return self.cur;
+                }
+            }
+            self.cur = (self.cur + 1) & (n - 1);
+            self.day_end += self.width as u128;
+        }
+        // A whole lap of empty days: everything is far in the future
+        // (e.g. a lone watchdog seconds ahead). Compare bucket roots
+        // directly and jump the cursor to the winner's day.
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(s) = bucket.peek() {
+                if best.is_none_or(|(_, at, seq)| (s.at, s.seq) < (at, seq)) {
+                    best = Some((b, s.at, s.seq));
+                }
+            }
+        }
+        let (b, at, _) = best.expect("non-empty queue has a minimum");
+        self.seek(at);
+        debug_assert_eq!(b, self.cur);
+        b
+    }
+
+    /// Re-sizes the bucket array to fit `len` and re-derives the day
+    /// width from the observed event spacing (Brown's rule: a few items
+    /// per day on average).
+    fn rebuild(&mut self) {
+        let slots: Vec<Slot<T>> =
+            self.buckets.iter_mut().flat_map(|b| std::mem::take(b).into_vec()).collect();
+        let n = (2 * slots.len().max(1))
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut min_at = u64::MAX;
+        let mut max_at = 0;
+        for s in &slots {
+            min_at = min_at.min(s.at);
+            max_at = max_at.max(s.at);
+        }
+        let span = max_at - min_at;
+        self.width = (span / slots.len() as u64).saturating_mul(3).max(1);
+        self.buckets = (0..n).map(|_| BinaryHeap::new()).collect();
+        self.seek(min_at);
+        for s in slots {
+            let b = self.bucket_of(s.at);
+            self.buckets[b].push(s);
+        }
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn pops_in_at_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(30, 0, "c");
+        q.push(10, 1, "a");
+        q.push(10, 2, "a2");
+        q.push(20, 3, "b");
+        assert_eq!(q.peek(), Some((10, 1)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(10, 1, "a"), (10, 2, "a2"), (20, 3, "b"), (30, 0, "c")]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_behind_cursor_after_idle_jump_is_found() {
+        let mut q = CalendarQueue::new();
+        q.push(1_000_000, 0, 0);
+        assert_eq!(q.pop(), Some((1_000_000, 0, 0)));
+        // The cursor is parked at t=1s; a later push at t=1s+1µs must
+        // still pop first even though a far-future item arrives too.
+        q.push(5_000_000, 1, 1);
+        assert_eq!(q.peek(), Some((5_000_000, 1)));
+        q.push(1_000_001, 2, 2);
+        assert_eq!(q.pop(), Some((1_000_001, 2, 2)));
+        assert_eq!(q.pop(), Some((5_000_000, 1, 1)));
+    }
+
+    #[test]
+    fn same_instant_burst_is_fifo() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..1000 {
+            q.push(42, seq, seq);
+        }
+        for seq in 0..1000 {
+            assert_eq!(q.pop(), Some((42, seq, seq)));
+        }
+    }
+
+    /// The property everything depends on: identical pop order to a
+    /// binary heap over `(at, seq)`, across grows, shrinks, sparse and
+    /// dense phases.
+    #[test]
+    fn differential_vs_binary_heap() {
+        let mut rng = SplitMix64::new(0xCA1E);
+        let mut q = CalendarQueue::new();
+        let mut heap: std::collections::BinaryHeap<Reverse<(u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for round in 0..30_000u64 {
+            // Mixed workload: mostly near-future pushes, occasional
+            // far-future timers, interleaved pops, bursty phases.
+            let burst = if round % 7_000 < 300 { 4 } else { 1 };
+            for _ in 0..burst {
+                let delta = match rng.gen_range(10) {
+                    0 => rng.gen_range(2_000_000),       // watchdog-like
+                    1..=3 => 0,                          // same instant
+                    _ => rng.gen_range(500),             // typical spacing
+                };
+                let at = now + delta;
+                q.push(at, seq, seq);
+                heap.push(Reverse((at, seq)));
+                seq += 1;
+            }
+            if rng.gen_range(3) > 0 {
+                let got = q.pop();
+                let want = heap.pop().map(|Reverse((at, s))| (at, s, s));
+                assert_eq!(got, want, "diverged at round {round}");
+                if let Some((at, _, _)) = got {
+                    now = at;
+                }
+            }
+        }
+        while let Some(Reverse((at, s))) = heap.pop() {
+            assert_eq!(q.pop(), Some((at, s, s)));
+        }
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn shrinks_and_regrows_without_losing_items() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..10_000u64 {
+            q.push(seq * 3, seq, seq);
+        }
+        for seq in 0..9_990u64 {
+            assert_eq!(q.pop(), Some((seq * 3, seq, seq)));
+        }
+        assert_eq!(q.len(), 10);
+        for seq in 10_000..20_000u64 {
+            q.push(seq * 3, seq, seq);
+        }
+        let mut last = (0, 0);
+        let mut count = 0;
+        while let Some((at, s, _)) = q.pop() {
+            assert!((at, s) > last || count == 0);
+            last = (at, s);
+            count += 1;
+        }
+        assert_eq!(count, 10_010);
+    }
+}
