@@ -1,0 +1,131 @@
+//! Sharding scale benchmark: aggregate key-ops/s of the sharded
+//! serving layer (DESIGN.md §11) as the shard count grows on one
+//! simulated Ethernet, archived as the `"shard_scale"` key of
+//! BENCH_9.json.
+//!
+//! ```text
+//! shard_scale [--json <path>]
+//! ```
+//!
+//! One world per shard count (1, 2, 4, 8 data groups of 3 replicas
+//! each, one 3-member meta group), identical routed workload: 960
+//! writes over 256 keys with up to 64 in flight. The figure of merit
+//! is acked writes per *simulated* second from workload start to
+//! drain — each shard is an independent total order with its own
+//! sequencer and gateway, so the aggregate rate should scale until
+//! the shared 10 Mbit/s wire saturates. Sequencer batching is on
+//! (`BatchPolicy::On`), which is what keeps the eight-sequencer world
+//! inside the wire's budget (DESIGN.md §6).
+//!
+//! With `--json <path>`: if the file exists, a `"shard_scale"` object
+//! is spliced in before the closing brace; otherwise a fresh document
+//! is written.
+
+use std::time::Instant;
+
+use amoeba_core::BatchPolicy;
+use amoeba_shard::{Cluster, ShardSpec, SimCluster};
+
+const OPS: u64 = 960;
+const KEYS: u64 = 256;
+const WINDOW: usize = 64;
+const MEMBERS: usize = 3;
+
+struct Run {
+    shards: usize,
+    /// Simulated time from workload start to the last ack, µs.
+    sim_us: u64,
+    /// Acked writes per simulated second.
+    ops_per_sim_s: f64,
+    /// Wall clock of the whole run, formation included.
+    wall_s: f64,
+    retries: u64,
+}
+
+fn run_world(shards: usize) -> Run {
+    let t0 = Instant::now();
+    let mut spec = ShardSpec::new(90 + shards as u64, shards, MEMBERS);
+    // Batch the sequencers' accepts: unbatched small-payload PB
+    // saturates the 10 Mbit/s wire near 4000 ops/s aggregate, which
+    // would flatten the curve for reasons that have nothing to do
+    // with sharding.
+    let groups = shards + 1;
+    let mut data = amoeba_core::GroupConfig::scaled_for_world(MEMBERS, groups);
+    data.batch = BatchPolicy::On { max_batch: 8, flush_us: 200 };
+    spec.data_config = Some(data);
+    let mut c = SimCluster::new(spec);
+
+    let started_us = c.now_us();
+    let mut submitted = 0u64;
+    let mut cycles = 0u64;
+    while c.router().stats().puts_acked < OPS {
+        while submitted < OPS && c.router().in_flight() < WINDOW {
+            let key = format!("k{}", submitted % KEYS);
+            c.router().put(&key, &format!("v{submitted}"));
+            submitted += 1;
+        }
+        c.advance();
+        cycles += 1;
+        assert!(cycles < 600_000, "{shards}-shard workload never drained");
+    }
+    let sim_us = c.now_us() - started_us;
+    let retries = c.router().stats().retries;
+    assert!(c.halt(), "{shards}-shard cluster did not halt");
+    Run {
+        shards,
+        sim_us,
+        ops_per_sim_s: OPS as f64 / (sim_us as f64 / 1_000_000.0),
+        wall_s: t0.elapsed().as_secs_f64(),
+        retries,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let runs: Vec<Run> = [1, 2, 4, 8].into_iter().map(run_world).collect();
+    for r in &runs {
+        println!(
+            "{} shard(s): {:>7.0} key-ops/s  (sim {:>6.3} s for {OPS} ops, {} retries, \
+             {:>5.2} s wall)",
+            r.shards,
+            r.ops_per_sim_s,
+            r.sim_us as f64 / 1_000_000.0,
+            r.retries,
+            r.wall_s
+        );
+    }
+    let scaling = runs.last().unwrap().ops_per_sim_s / runs[0].ops_per_sim_s;
+    println!("1 → 8 shard scaling: {scaling:.2}x aggregate key-ops/s");
+
+    if let Some(path) = json_path {
+        let mut obj = String::from("{\n");
+        for r in &runs {
+            obj.push_str(&format!(
+                "    \"shards_{}\": {{\"ops\": {OPS}, \"sim_us\": {}, \"ops_per_sim_s\": {:.0}, \
+                 \"retries\": {}, \"wall_s\": {:.3}}},\n",
+                r.shards, r.sim_us, r.ops_per_sim_s, r.retries, r.wall_s
+            ));
+        }
+        obj.push_str(&format!("    \"scaling_1_to_8\": {scaling:.2}\n  }}"));
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(existing) => {
+                let trimmed = existing.trim_end();
+                let body = trimmed.strip_suffix('}').expect("existing json document");
+                format!(
+                    "{},\n  \"shard_scale\": {}\n}}\n",
+                    body.trim_end().trim_end_matches(','),
+                    obj
+                )
+            }
+            Err(_) => format!("{{\n  \"shard_scale\": {}\n}}\n", obj),
+        };
+        std::fs::write(&path, doc).expect("write json");
+        println!("wrote {path}");
+    }
+}

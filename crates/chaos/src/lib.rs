@@ -16,7 +16,15 @@
 //!
 //! The `chaos` binary (same crate) is the command-line face: CI runs a
 //! bounded smoke (`chaos --cases 64`), a nightly soak runs thousands,
-//! and `chaos --seed S --case K` reproduces any failure.
+//! and `chaos --seed S --case K` reproduces any failure. The [`shard`]
+//! module applies the same discipline to the sharded serving layer
+//! (`chaos --shard-cases N`): sequencer crashes under routed load,
+//! splits racing partitions, and a no-acked-write-lost audit across
+//! every rebalance.
+
+pub mod shard;
+
+pub use shard::{gen_shard_case, run_shard_case, ShardCaseOutcome, ShardCasePlan, ShardFault};
 
 use std::sync::{Arc, Mutex};
 

@@ -3,6 +3,8 @@
 //! ```text
 //! chaos [--seed S] [--cases N]     explore cases 0..N under root seed S
 //! chaos --seed S --case K          replay exactly one case (a repro line)
+//! chaos --shard-cases N            explore N shard cases (sharded layer)
+//! chaos --seed S --shard-case K    replay exactly one shard case
 //! chaos --broken dup|retrans …     sabotage one protocol branch first
 //! chaos --out FILE                 where to write a failing report
 //! chaos --no-minimize              report the raw failing plan as-is
@@ -14,12 +16,16 @@
 
 use std::io::Write as _;
 
-use amoeba_chaos::{gen_case, minimize, run_case, CaseOutcome, CasePlan};
+use amoeba_chaos::{
+    gen_case, gen_shard_case, minimize, run_case, run_shard_case, CaseOutcome, CasePlan,
+};
 
 struct Args {
     seed: u64,
     cases: u64,
     case: Option<u64>,
+    shard_cases: Option<u64>,
+    shard_case: Option<u64>,
     broken: Option<amoeba_core::sabotage::Sabotage>,
     out: String,
     minimize: bool,
@@ -31,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         cases: 64,
         case: None,
+        shard_cases: None,
+        shard_case: None,
         broken: None,
         out: "chaos_failure.txt".into(),
         minimize: true,
@@ -48,6 +56,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--case" => {
                 args.case = Some(value("--case")?.parse().map_err(|e| format!("--case: {e}"))?)
+            }
+            "--shard-cases" => {
+                args.shard_cases = Some(
+                    value("--shard-cases")?.parse().map_err(|e| format!("--shard-cases: {e}"))?,
+                )
+            }
+            "--shard-case" => {
+                args.shard_case = Some(
+                    value("--shard-case")?.parse().map_err(|e| format!("--shard-case: {e}"))?,
+                )
             }
             "--broken" => {
                 let name = value("--broken")?;
@@ -122,6 +140,68 @@ fn report_failure(args: &Args, plan: &CasePlan, outcome: &CaseOutcome) {
     });
 }
 
+/// Explores (or replays) shard cases: the sharded serving layer's
+/// fault families (sequencer crash under routed load, split racing a
+/// partition), audited for delivery invariants and lost acked writes.
+/// Exits 0 when clean, 1 on the first violation.
+fn run_shard_mode(args: &Args) {
+    let cases: Vec<u64> = match args.shard_case {
+        Some(k) => vec![k],
+        None => (0..args.shard_cases.unwrap_or(16)).collect(),
+    };
+    let start = std::time::Instant::now();
+    let (mut acked, mut retries, mut refreshes) = (0u64, 0u64, 0u64);
+    for (i, &k) in cases.iter().enumerate() {
+        let plan = gen_shard_case(args.seed, k);
+        let outcome = run_shard_case(&plan);
+        acked += outcome.acked;
+        retries += outcome.retries;
+        refreshes += outcome.map_refreshes;
+        if !outcome.violations.is_empty() {
+            eprintln!("VIOLATION seed={} shard case={k}", args.seed);
+            for v in &outcome.violations {
+                eprintln!("  {v}");
+            }
+            let mut body = format!(
+                "shard chaos failure under root seed {}\nrepro: {}\nplan: {plan:?}\nviolations:\n",
+                args.seed,
+                plan.repro()
+            );
+            for v in &outcome.violations {
+                body.push_str(&format!("  {v}\n"));
+            }
+            match std::fs::File::create(&args.out).and_then(|mut f| f.write_all(body.as_bytes())) {
+                Ok(()) => eprintln!("report written to {}", args.out),
+                Err(e) => eprintln!("could not write {}: {e}", args.out),
+            }
+            eprintln!("repro: {}", plan.repro());
+            std::process::exit(1);
+        }
+        if !args.quiet && args.shard_case.is_none() && (i + 1) % 10 == 0 {
+            eprintln!("… {}/{} shard cases clean", i + 1, cases.len());
+        }
+        if args.shard_case.is_some() {
+            println!(
+                "shard case {k}: clean; fingerprint {:016x}; {} acked, {} retried, \
+                 {} map refresh(es), {} final range(s)",
+                outcome.fingerprint, outcome.acked, outcome.retries, outcome.map_refreshes,
+                outcome.final_ranges
+            );
+            println!("plan: {plan:?}");
+        }
+    }
+    println!(
+        "chaos: {} shard case(s) clean under seed {} in {:.1}s — {} writes acked, \
+         {} retried, {} map refreshes",
+        cases.len(),
+        args.seed,
+        start.elapsed().as_secs_f64(),
+        acked,
+        retries,
+        refreshes,
+    );
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -133,6 +213,10 @@ fn main() {
     if let Some(mode) = args.broken {
         amoeba_core::sabotage::set(mode);
         eprintln!("sabotage armed: {mode:?}");
+    }
+    if args.shard_cases.is_some() || args.shard_case.is_some() {
+        run_shard_mode(&args);
+        return;
     }
     let cases: Vec<u64> = match args.case {
         Some(k) => vec![k],

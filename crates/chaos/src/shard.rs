@@ -1,0 +1,394 @@
+//! Shard-aware chaos cases (DESIGN.md §11): the same seeded-explorer
+//! discipline as the single-group families in the crate root, aimed at
+//! the sharded serving layer's two hard races:
+//!
+//! - **Sequencer crash under routed load** — the owning data group's
+//!   founding sequencer dies mid-stream; the fault-tolerant knob set
+//!   auto-resets the group and the router's retry loop (fresh `gseq`
+//!   per re-send) must carry every acked write through. Half of these
+//!   cases then rebalance the wounded group's whole range onto a spare
+//!   group, auditing that no acked write is lost across the move.
+//! - **Split racing a partition** — a range split runs its
+//!   freeze → install → commit → retire pipeline while a follower
+//!   replica of the source group is partitioned away; after the heal
+//!   it must repair the ops it missed (including the freeze and the
+//!   retire) into the identical total order.
+//!
+//! Every case ends with the per-group [`amoeba_shard::audit_group`]
+//! delivery audit plus [`amoeba_shard::lost_acked_writes`]: a write
+//! the router acked must be readable, at its last acked value, from
+//! the group owning the key under the *final* map. Everything is a
+//! pure function of `(root seed, case index)` — a red case replays
+//! from `chaos --seed S --shard-case K`.
+
+use amoeba_core::audit::EndFate;
+use amoeba_net::{ChaosPlan, HostSet, LinkFaults, Partition};
+use amoeba_shard::{
+    audit_group, fault_tolerant_config, lost_acked_writes, Cluster, MoveController, ReshardGoal,
+    ShardMap, ShardSpec, SimCluster,
+};
+use amoeba_sim::SplitMix64;
+
+/// The fault schedule of one shard case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Crash the founding sequencer (member 0) of data group `group`
+    /// (1-based) once `at_op` writes have been acked; optionally
+    /// rebalance that group's whole range onto the spare group after
+    /// `rebalance_at` acks.
+    SeqCrash { group: u64, at_op: u64, rebalance_at: Option<u64> },
+    /// Split data group `shard`'s range (0-based initial-boundary
+    /// index) at its midpoint onto the spare group once `at_op` writes
+    /// have been acked, while member `victim` of that group is
+    /// partitioned away for `[from_ms, until_ms)` (relative to
+    /// formation).
+    SplitVsPartition { shard: usize, at_op: u64, victim: usize, from_ms: u64, until_ms: u64 },
+}
+
+/// One complete shard chaos case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCasePlan {
+    /// The explorer seed this case came from.
+    pub root_seed: u64,
+    /// The case index under that seed.
+    pub case: u64,
+    /// Derived per-case seed (drives the world).
+    pub seed: u64,
+    /// Data groups serving ranges at the start.
+    pub shards: usize,
+    /// Members per data group.
+    pub members: usize,
+    /// Idle spare groups (the reshard destination).
+    pub spares: usize,
+    /// Total routed writes.
+    pub ops: u64,
+    /// Distinct keys the writes cycle over.
+    pub keys: u64,
+    /// Router in-flight window.
+    pub window: usize,
+    /// The scheduled fault.
+    pub fault: ShardFault,
+    /// Run budget, 1 ms advance cycles.
+    pub limit_cycles: u64,
+}
+
+impl ShardCasePlan {
+    /// The one-line command reproducing this case from scratch.
+    pub fn repro(&self) -> String {
+        format!("chaos --seed {} --shard-case {}", self.root_seed, self.case)
+    }
+}
+
+/// Everything one shard case run produced.
+#[derive(Debug, Clone)]
+pub struct ShardCaseOutcome {
+    /// Audit violations and lost acked writes (empty = invariants held).
+    pub violations: Vec<String>,
+    /// Order-sensitive digest of the run (logs, fates, map, stats).
+    pub fingerprint: u64,
+    /// Writes the router acked.
+    pub acked: u64,
+    /// Gateway re-sends under a fresh `gseq`.
+    pub retries: u64,
+    /// Map refreshes the router performed.
+    pub map_refreshes: u64,
+    /// Ranges in the final map.
+    pub final_ranges: usize,
+    /// Did the cluster drain and halt inside the budget?
+    pub halted: bool,
+}
+
+/// Expands `(root_seed, case)` into a concrete shard case. Pure, and
+/// deliberately a *different* stream from [`crate::gen_case`]: the two
+/// families explore independent spaces under the same root seed.
+pub fn gen_shard_case(root_seed: u64, case: u64) -> ShardCasePlan {
+    let mut rng = SplitMix64::new(root_seed ^ 0x5AAD_CA5E).fork(case.wrapping_add(1));
+    let shards = 2 + rng.gen_range(2) as usize;
+    let members = 3 + rng.gen_range(2) as usize;
+    let ops = 48 + rng.gen_range(49);
+    let keys = 8 + rng.gen_range(17);
+    let window = [2usize, 4, 8][rng.gen_range(3) as usize];
+    let fault = if rng.gen_bool(0.5) {
+        let group = 1 + rng.gen_range(shards as u64);
+        let at_op = 8 + rng.gen_range(ops / 3);
+        let rebalance_at = rng.gen_bool(0.5).then(|| at_op + 8 + rng.gen_range(ops / 4));
+        ShardFault::SeqCrash { group, at_op, rebalance_at }
+    } else {
+        let shard = rng.gen_range(shards as u64) as usize;
+        let at_op = 8 + rng.gen_range(ops / 3);
+        // Neither the sequencer (member 0) nor the gateway (member 1):
+        // a pure follower, so the group keeps serving while it is gone.
+        let victim = 2 + rng.gen_range(members as u64 - 2) as usize;
+        let from_ms = 50 + rng.gen_range(150);
+        let until_ms = from_ms + 200 + rng.gen_range(400);
+        ShardFault::SplitVsPartition { shard, at_op, victim, from_ms, until_ms }
+    };
+    ShardCasePlan {
+        root_seed,
+        case,
+        seed: SplitMix64::new(root_seed ^ 0x5AAD_CA5E).fork(case.wrapping_add(1)).next_u64(),
+        shards,
+        members,
+        spares: 1,
+        ops,
+        keys,
+        window,
+        fault,
+        limit_cycles: 120_000,
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        for &b in v {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Runs one shard case through the simulated cluster and audits the
+/// result. Deterministic: the same plan always returns the same
+/// outcome.
+pub fn run_shard_case(plan: &ShardCasePlan) -> ShardCaseOutcome {
+    let groups_total = plan.shards + plan.spares + 1;
+    let mut spec = ShardSpec::new(plan.seed, plan.shards, plan.members).with_spares(plan.spares);
+    if matches!(plan.fault, ShardFault::SeqCrash { .. }) {
+        // A dead sequencer must be detected and the group auto-reset
+        // inside the run budget; the stock timers take tens of
+        // simulated seconds to give up on one.
+        spec.data_config = Some(fault_tolerant_config(plan.members, groups_total, 1));
+        spec.meta_config = Some(fault_tolerant_config(spec.meta_members, groups_total, 1));
+    }
+    let mut c = SimCluster::new(spec);
+
+    // The partition window is scheduled in absolute simulated time,
+    // relative to the end of formation.
+    if let ShardFault::SplitVsPartition { shard, victim, from_ms, until_ms, .. } = plan.fault {
+        let node = c.spec.data_node(shard, victim);
+        let now = c.now_us();
+        c.world.set_chaos(
+            ChaosPlan {
+                link: LinkFaults::none(),
+                noise_from_us: 0,
+                noise_until_us: 0,
+                partitions: vec![Partition {
+                    side_a: HostSet::from_mask(1 << node),
+                    from_us: now + from_ms * 1_000,
+                    until_us: now + until_ms * 1_000,
+                }],
+            },
+            plan.seed ^ 0xC4A0_5EED,
+        );
+    }
+
+    let spare_group = plan.shards as u64 + 1;
+    let mut submitted = 0u64;
+    let mut crash_fired = false;
+    let mut reshards: Vec<(u64, ReshardGoal)> = Vec::new();
+    let mut reshard_next = 0usize;
+    let mut controller: Option<MoveController> = None;
+    let meta = c.meta_port();
+    let mut halted = false;
+    match plan.fault {
+        ShardFault::SeqCrash { group, rebalance_at: Some(at), .. } => {
+            let start = ShardMap::uniform_boundary(group as usize - 1, plan.shards);
+            reshards.push((at, ReshardGoal::Rebalance { start, to: spare_group }));
+        }
+        ShardFault::SeqCrash { .. } => {}
+        ShardFault::SplitVsPartition { shard, at_op, .. } => {
+            // Midpoint of the shard's initial range (the map is still
+            // uniform when the split starts — one reshard per case).
+            let start = ShardMap::uniform_boundary(shard, plan.shards);
+            let end = ShardMap::uniform_boundary(shard + 1, plan.shards);
+            reshards.push((at_op, ReshardGoal::Split {
+                at: start + end.wrapping_sub(start) / 2,
+                to: spare_group,
+            }));
+        }
+    }
+
+    for _ in 0..plan.limit_cycles {
+        while submitted < plan.ops && c.router().in_flight() < plan.window {
+            let key = format!("k{}", submitted % plan.keys);
+            c.router().put(&key, &format!("v{submitted}"));
+            submitted += 1;
+        }
+        let acked = c.router().stats().puts_acked;
+        if let ShardFault::SeqCrash { group, at_op, .. } = plan.fault {
+            if !crash_fired && acked >= at_op {
+                c.world.crash(c.spec.data_node(group as usize - 1, 0));
+                crash_fired = true;
+            }
+        }
+        if controller.is_none()
+            && reshard_next < reshards.len()
+            && reshards[reshard_next].0 <= acked
+        {
+            controller = Some(MoveController::new(reshards[reshard_next].1));
+        }
+        if let Some(ctl) = controller.as_mut() {
+            if ctl.step(c.router(), &meta) {
+                controller = None;
+                reshard_next += 1;
+            }
+        }
+        c.advance();
+        let faults_done = match plan.fault {
+            ShardFault::SeqCrash { .. } => crash_fired,
+            // The heal instant is part of the schedule; the halt
+            // drain below gives the victim time to repair.
+            ShardFault::SplitVsPartition { until_ms, .. } => {
+                c.now_us() >= until_ms * 1_000
+            }
+        };
+        if submitted == plan.ops
+            && c.router().idle()
+            && reshard_next == reshards.len()
+            && faults_done
+        {
+            halted = c.halt();
+            break;
+        }
+    }
+
+    let acked_writes = c.router().acked_writes().clone();
+    let stats = c.router().stats().clone();
+    let mut violations = Vec::new();
+    let mut fnv = Fnv::new();
+    fnv.u64(plan.seed);
+    // A crash forfeits whole-group convergence (the dead member's log
+    // is frozen mid-stream); a healed partition does not.
+    let converged = !matches!(plan.fault, ShardFault::SeqCrash { .. });
+    for (gi, group) in c.groups.iter().enumerate() {
+        let mut fates = vec![EndFate::Live; group.logs.len()];
+        if let ShardFault::SeqCrash { group: g, .. } = plan.fault {
+            if crash_fired && g == gi as u64 + 1 {
+                fates[0] = EndFate::Crashed;
+            }
+        }
+        for v in audit_group(group, &fates, converged) {
+            violations.push(format!("group {}: {v}", gi + 1));
+        }
+        fnv.u64(group.id);
+        fnv.u64(*group.port.submitted.lock().unwrap());
+        for (j, log) in group.logs.iter().enumerate() {
+            fnv.u64(matches!(fates[j], EndFate::Crashed) as u64);
+            let log = log.lock().unwrap();
+            fnv.u64(log.len() as u64);
+            for &(origin, gseq) in log.iter() {
+                fnv.u64(origin as u64);
+                fnv.u64(gseq);
+            }
+        }
+    }
+    let crashed_seq = match plan.fault {
+        ShardFault::SeqCrash { group, .. } if crash_fired => Some(group),
+        _ => None,
+    };
+    let live_member = move |gi: usize| usize::from(crashed_seq == Some(gi as u64 + 1));
+    for lost in lost_acked_writes(&acked_writes, &c.board, &c.groups, live_member) {
+        violations.push(format!("lost acked write: {lost}"));
+    }
+    for (k, v) in &acked_writes {
+        fnv.bytes(k.as_bytes());
+        fnv.bytes(v.as_bytes());
+    }
+    let final_map = c.board.lock().unwrap().clone();
+    fnv.u64(final_map.epoch);
+    for r in &final_map.ranges {
+        fnv.u64(r.start);
+        fnv.u64(r.group);
+    }
+    fnv.u64(stats.puts_acked);
+    fnv.u64(stats.retries);
+    fnv.u64(stats.map_refreshes);
+    fnv.u64(c.now_us());
+    if !halted {
+        violations.push(format!(
+            "cluster did not drain inside {} cycles ({} of {} acked)",
+            plan.limit_cycles, stats.puts_acked, plan.ops
+        ));
+    }
+    fnv.u64(violations.len() as u64);
+
+    ShardCaseOutcome {
+        violations,
+        fingerprint: fnv.0,
+        acked: stats.puts_acked,
+        retries: stats.retries,
+        map_refreshes: stats.map_refreshes,
+        final_ranges: final_map.ranges.len(),
+        halted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_shard_case_is_pure_and_varies() {
+        assert_eq!(gen_shard_case(1, 3), gen_shard_case(1, 3));
+        let plans: Vec<ShardCasePlan> = (0..24).map(|k| gen_shard_case(1, k)).collect();
+        assert!(plans.iter().any(|p| matches!(p.fault, ShardFault::SeqCrash { .. })));
+        assert!(
+            plans
+                .iter()
+                .any(|p| matches!(p.fault, ShardFault::SeqCrash { rebalance_at: Some(_), .. })),
+            "some crashes are followed by a rebalance"
+        );
+        assert!(plans.iter().any(|p| matches!(p.fault, ShardFault::SplitVsPartition { .. })));
+        for p in &plans {
+            assert!(p.shards >= 2 && p.members >= 3 && p.spares == 1);
+            match p.fault {
+                ShardFault::SeqCrash { group, .. } => {
+                    assert!(group >= 1 && group <= p.shards as u64)
+                }
+                ShardFault::SplitVsPartition { shard, victim, from_ms, until_ms, .. } => {
+                    assert!(shard < p.shards);
+                    assert!(victim >= 2 && victim < p.members, "victim is a pure follower");
+                    assert!(until_ms > from_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequencer_crash_case_runs_clean() {
+        let plan = (0..64)
+            .map(|k| gen_shard_case(1, k))
+            .find(|p| matches!(p.fault, ShardFault::SeqCrash { rebalance_at: Some(_), .. }))
+            .expect("a crash+rebalance case in the first 64");
+        let out = run_shard_case(&plan);
+        assert!(out.halted, "did not drain: {:?}", out.violations);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.acked, plan.ops);
+        assert_eq!(run_shard_case(&plan).fingerprint, out.fingerprint, "replay is bit-equal");
+    }
+
+    #[test]
+    fn split_vs_partition_case_runs_clean() {
+        let plan = (0..64)
+            .map(|k| gen_shard_case(1, k))
+            .find(|p| matches!(p.fault, ShardFault::SplitVsPartition { .. }))
+            .expect("a split-vs-partition case in the first 64");
+        let out = run_shard_case(&plan);
+        assert!(out.halted, "did not drain: {:?}", out.violations);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.acked, plan.ops);
+        assert_eq!(out.final_ranges, plan.shards + 1, "the split landed");
+    }
+}

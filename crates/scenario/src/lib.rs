@@ -18,11 +18,18 @@
 //! The `scenarios/` directory at the repo root is the suite: paper-scale
 //! worlds up to 1000-node stress runs, each pinned by digest in
 //! `tests/scenario_golden.rs`.
+//!
+//! A second schema shares the format: files with a `[shard]` section
+//! describe a sharded serving cluster (DESIGN.md §11) — shard shape,
+//! routed workload, online reshard steps, crash faults — validated by
+//! [`ShardPlan::parse`] and executed by [`run_shard_plan`]. Use
+//! [`is_shard_scenario`] to dispatch.
 
 #![warn(missing_docs)]
 
 pub mod plan;
 pub mod run;
+pub mod shard;
 pub mod toml;
 
 pub use plan::{
@@ -30,6 +37,7 @@ pub use plan::{
     WorkloadSpec,
 };
 pub use run::{run_plan, Outcome};
+pub use shard::{is_shard_scenario, run_shard_plan, ShardOutcome, ShardPlan};
 
 /// A scenario-file error: what went wrong and on which line.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use amoeba_scenario::{run_plan, ScenarioPlan};
+use amoeba_scenario::{is_shard_scenario, run_plan, run_shard_plan, ScenarioPlan, ShardPlan};
 
 fn main() -> ExitCode {
     let mut check_only = false;
@@ -42,6 +42,52 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        // Shard scenarios ([shard] section) take the sharding schema
+        // and runner; everything else takes the classic one.
+        if is_shard_scenario(&text) {
+            let plan = match ShardPlan::parse(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{file}:{e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            if check_only {
+                println!(
+                    "{file}: ok ({} shard(s) × {} member(s), {} reshard(s), {} fault(s))",
+                    plan.shards,
+                    plan.members,
+                    plan.reshards.len(),
+                    plan.faults.len()
+                );
+                continue;
+            }
+            let t0 = Instant::now();
+            let out = run_shard_plan(&plan);
+            let wall = t0.elapsed().as_secs_f64();
+            println!(
+                "{}: digest {:016x}, sim t = {:.3} s, {:.2} s wall",
+                out.name,
+                out.digest,
+                out.now_us as f64 / 1_000_000.0,
+                wall
+            );
+            println!(
+                "  {} op(s) acked, {} retried, {} map refresh(es), {} final range(s)",
+                out.acked, out.retries, out.map_refreshes, out.final_ranges
+            );
+            for v in &out.violations {
+                println!("  violation: {v}");
+            }
+            for f in &out.expect_failures {
+                println!("  EXPECT FAILED: {f}");
+            }
+            if !out.expect_failures.is_empty() {
+                failed = true;
+            }
+            continue;
+        }
         let plan = match ScenarioPlan::parse(&text) {
             Ok(p) => p,
             Err(e) => {

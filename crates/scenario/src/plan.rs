@@ -317,15 +317,16 @@ pub struct ScenarioPlan {
 // ---------------------------------------------------------------------
 
 /// A [`Table`] reader that tracks which keys were consumed so the
-/// leftovers can be rejected by name and line.
-struct Keys<'a> {
+/// leftovers can be rejected by name and line. Shared with the shard
+/// scenario schema (`crate::shard`).
+pub(crate) struct Keys<'a> {
     section: &'a str,
     table: &'a Table,
     used: Vec<bool>,
 }
 
 impl<'a> Keys<'a> {
-    fn new(section: &'a str, table: &'a Table) -> Self {
+    pub(crate) fn new(section: &'a str, table: &'a Table) -> Self {
         Keys { section, table, used: vec![false; table.keys.len()] }
     }
 
@@ -357,7 +358,7 @@ impl<'a> Keys<'a> {
     }
 
     /// A non-negative integer fitting `u64`.
-    fn uint(&mut self, key: &str) -> Result<Option<(u64, usize)>, Error> {
+    pub(crate) fn uint(&mut self, key: &str) -> Result<Option<(u64, usize)>, Error> {
         match self.int(key)? {
             None => Ok(None),
             Some((n, line)) if n >= 0 => Ok(Some((n as u64, line))),
@@ -378,7 +379,7 @@ impl<'a> Keys<'a> {
         }
     }
 
-    fn boolean(&mut self, key: &str) -> Result<Option<(bool, usize)>, Error> {
+    pub(crate) fn boolean(&mut self, key: &str) -> Result<Option<(bool, usize)>, Error> {
         match self.take(key) {
             None => Ok(None),
             Some(e) => match e.value {
@@ -388,7 +389,7 @@ impl<'a> Keys<'a> {
         }
     }
 
-    fn string(&mut self, key: &str) -> Result<Option<(&'a str, usize)>, Error> {
+    pub(crate) fn string(&mut self, key: &str) -> Result<Option<(&'a str, usize)>, Error> {
         match self.take(key) {
             None => Ok(None),
             Some(e) => match &e.value {
@@ -457,7 +458,7 @@ impl<'a> Keys<'a> {
     }
 
     /// Rejects any key not consumed by the schema.
-    fn finish(self) -> Result<(), Error> {
+    pub(crate) fn finish(self) -> Result<(), Error> {
         for (i, (k, e)) in self.table.keys.iter().enumerate() {
             if !self.used[i] {
                 return Err(Error::at(e.line, format!("unknown key `{k}` in {}", self.section)));

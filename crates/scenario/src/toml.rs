@@ -308,7 +308,8 @@ fn unescape(body: &str, line: usize) -> Result<String, Error> {
     Ok(out)
 }
 
-/// Escapes a string for emission (the inverse of [`unescape`]).
+/// Escapes a string for emission (the inverse of the parser's
+/// unescaping).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {

@@ -215,3 +215,29 @@ proptest! {
         prop_assert_eq!(&canon, &p2.to_toml(), "to_toml is not a fixpoint");
     }
 }
+
+/// The same identity + fixpoint property for the shard schema, over
+/// the checked-in shard scenarios (the schema's surface is small
+/// enough that the three files cover every section kind).
+#[test]
+fn shard_plans_round_trip() {
+    use amoeba_scenario::ShardPlan;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios/") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("shard_") || !name.ends_with(".toml") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("read scenario");
+        let p1 = ShardPlan::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let canon = p1.to_toml();
+        let p2 = ShardPlan::parse(&canon)
+            .unwrap_or_else(|e| panic!("{name}: canonical form must re-parse: {e}\n---\n{canon}"));
+        assert_eq!(p1, p2, "{name}: round-trip changed the plan:\n---\n{canon}");
+        assert_eq!(canon, p2.to_toml(), "{name}: to_toml is not a fixpoint");
+    }
+    assert!(seen >= 3, "expected at least three shard_*.toml scenarios, found {seen}");
+}

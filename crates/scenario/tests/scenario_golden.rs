@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use amoeba_scenario::{run_plan, ScenarioPlan};
+use amoeba_scenario::{is_shard_scenario, run_plan, run_shard_plan, ScenarioPlan, ShardPlan};
 
 fn scenarios_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
@@ -112,6 +112,45 @@ fn stress_1000() {
     golden("stress_1000.toml", 0x59bd7767b807503a, (0, 0, 0, 0));
 }
 
+/// Runs one *shard* scenario file (the `[shard]` schema, DESIGN.md
+/// §11) and checks its pinned digest plus the invariants every golden
+/// shard scenario must hold: clean audit, zero lost acked writes, and
+/// no failed `[expect]` assertions.
+fn golden_shard(file: &str, digest: u64) {
+    let path = scenarios_dir().join(file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert!(is_shard_scenario(&text), "{file}: expected a [shard] scenario");
+    let plan = ShardPlan::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let out = run_shard_plan(&plan);
+    assert_eq!(
+        out.digest, digest,
+        "{file}: digest {:016x} != pinned {digest:016x} — simulation behaviour changed",
+        out.digest
+    );
+    assert!(out.violations.is_empty(), "{file}: violations: {:?}", out.violations);
+    assert!(
+        out.expect_failures.is_empty(),
+        "{file}: expectations failed: {:?}",
+        out.expect_failures
+    );
+}
+
+#[test]
+fn shard_8x32() {
+    golden_shard("shard_8x32.toml", 0x4c81a6b8a327295e);
+}
+
+#[test]
+fn shard_split_under_load() {
+    golden_shard("shard_split_under_load.toml", 0x4ad2c42514a0420d);
+}
+
+#[test]
+fn shard_rebalance_after_crash() {
+    golden_shard("shard_rebalance_after_crash.toml", 0xe97bb9132e1f2e68);
+}
+
 /// Every file in `scenarios/` must be pinned above — a scenario with
 /// no golden entry is invisible to regression testing — and the suite
 /// must stay at or above the ten-file floor.
@@ -130,6 +169,9 @@ fn every_scenario_file_is_pinned() {
         "paper_8.toml",
         "partition_heal.toml",
         "resilience_r4.toml",
+        "shard_8x32.toml",
+        "shard_rebalance_after_crash.toml",
+        "shard_split_under_load.toml",
         "stress_1000.toml",
     ]
     .into_iter()

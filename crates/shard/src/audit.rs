@@ -1,0 +1,72 @@
+//! Cluster-level auditing: per-group delivery audits plus the
+//! sharding layer's own invariant — no acknowledged write is ever
+//! lost, across any amount of routing, retry and resharding.
+
+use std::collections::BTreeMap;
+
+use amoeba_core::audit::{AuditDelivery, DeliveryAudit, EndFate, MemberRecord, Violation};
+
+use crate::cluster::ShardGroup;
+use crate::map::{key_hash, MapBoard};
+
+/// Runs the standard delivery audit over one group's recorded logs.
+/// `fates[j]` is member j's end-of-run fate; pass
+/// `converged = true` when faults stopped and the run quiesced (live
+/// members must then have identical logs).
+pub fn audit_group(group: &ShardGroup, fates: &[EndFate], converged: bool) -> Vec<Violation> {
+    let mut audit = DeliveryAudit::new().require_convergence(converged);
+    let gw = group
+        .port
+        .member
+        .lock()
+        .unwrap()
+        .unwrap_or(crate::cluster::ShardSpec::gateway_member(group.logs.len()) as u32);
+    audit.submitted(gw, *group.port.submitted.lock().unwrap());
+    for (j, log) in group.logs.iter().enumerate() {
+        audit.member(MemberRecord {
+            fate: fates[j],
+            deliveries: log
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|&(origin, index)| AuditDelivery { origin, index })
+                .collect(),
+        });
+    }
+    audit.check()
+}
+
+/// Checks that every write the router acknowledged is present, with
+/// its last acknowledged value, in the store of the group that owns
+/// the key under the final map. `live(group_index)` picks a member
+/// whose store is authoritative (i.e. a member that ended live).
+///
+/// Returns one description per lost write (empty = invariant holds).
+pub fn lost_acked_writes(
+    acked: &BTreeMap<String, String>,
+    board: &MapBoard,
+    groups: &[ShardGroup],
+    live: impl Fn(usize) -> usize,
+) -> Vec<String> {
+    let map = board.lock().unwrap().clone();
+    let mut lost = Vec::new();
+    for (key, value) in acked {
+        let owner = map.owner(key_hash(key));
+        let Some(gi) = groups.iter().position(|g| g.id == owner) else {
+            lost.push(format!("key {key:?}: owning group {owner} has no harness record"));
+            continue;
+        };
+        let member = live(gi);
+        let store = groups[gi].stores[member].lock().unwrap();
+        match store.get(key) {
+            Some(v) if v == value => {}
+            Some(v) => lost.push(format!(
+                "key {key:?}: acked {value:?} but group {owner} member {member} holds {v:?}"
+            )),
+            None => lost.push(format!(
+                "key {key:?}: acked {value:?} but missing from group {owner} member {member}"
+            )),
+        }
+    }
+    lost
+}

@@ -1,0 +1,156 @@
+//! The gateway: the one member per group that injects routed
+//! operations into the group's total order.
+//!
+//! A router cannot broadcast into a group it is not a member of, so
+//! every group designates one member — member index 1, deliberately
+//! *not* the founding sequencer, so a sequencer crash does not sever
+//! routing — as its gateway. The gateway polls a shared inbox on an
+//! app timer, frames each body under its own monotone sequence number
+//! and broadcasts it; because one gateway serializes all routed
+//! operations for its group, replicas never see two racing copies of
+//! the control plane.
+//!
+//! Failed sends are retried under a *fresh* sequence number (the
+//! delivery audit tolerates per-origin gaps but flags duplicates),
+//! either when a recovery installs a new view or on a retry timer —
+//! whichever comes first.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use amoeba_app::{Ctx, TimerId};
+use bytes::Bytes;
+
+use crate::op::{frame, Reply};
+
+/// Queue of encoded operation bodies a router pushes for a gateway.
+pub type Inbox = Arc<Mutex<VecDeque<String>>>;
+/// Queue of replies a gateway pushes for its router.
+pub type Outbox = Arc<Mutex<VecDeque<Reply>>>;
+/// The gateway's submission count (its next gseq), read by the audit
+/// as the per-origin "messages submitted" figure.
+pub type SubmitCount = Arc<Mutex<u64>>;
+
+/// The shared-memory endpoints connecting one gateway to its router.
+#[derive(Clone, Default)]
+pub struct GatewayPort {
+    /// Router → gateway: operation bodies to broadcast.
+    pub inbox: Inbox,
+    /// Gateway → router: replies from applied operations.
+    pub outbox: Outbox,
+    /// How many payloads the gateway has submitted (for auditing).
+    pub submitted: SubmitCount,
+    /// The gateway's actual member id, recorded at app start (`None`
+    /// until then) — the audit keys submissions by member id.
+    pub member: Arc<Mutex<Option<u32>>>,
+}
+
+impl GatewayPort {
+    /// Fresh, empty endpoints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one body for the gateway to broadcast.
+    pub fn push(&self, body: String) {
+        self.inbox.lock().unwrap().push_back(body);
+    }
+}
+
+/// Timer the gateway polls its inbox on.
+pub const POLL_TIMER: TimerId = TimerId(0xFEED_0001);
+/// Timer the gateway retries failed sends on.
+pub const RETRY_TIMER: TimerId = TimerId(0xFEED_0002);
+/// Backoff before re-sending bodies whose send failed, if no new view
+/// arrives first.
+const RETRY_AFTER: Duration = Duration::from_millis(500);
+
+/// The embeddable gateway role. Apps that may act as a gateway hold an
+/// `Option<Gateway>` and forward their callbacks here.
+pub struct Gateway {
+    port: GatewayPort,
+    /// Next sequence number to assign (== payloads submitted so far).
+    gseq: u64,
+    /// Bodies submitted but not yet completed, in submission order
+    /// (send completions are FIFO per sender).
+    inflight: VecDeque<String>,
+    /// Bodies whose send failed, awaiting re-submission.
+    retry: Vec<String>,
+    poll: Duration,
+}
+
+impl Gateway {
+    /// A gateway serving `port`, polling its inbox every `poll`.
+    pub fn new(port: GatewayPort, poll: Duration) -> Self {
+        Gateway { port, gseq: 0, inflight: VecDeque::new(), retry: Vec::new(), poll }
+    }
+
+    /// Call from `GroupApp::on_start`.
+    pub fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        *self.port.member.lock().unwrap() = Some(ctx.info().me.0);
+        ctx.set_timer(POLL_TIMER, self.poll);
+    }
+
+    /// Call from `GroupApp::on_timer`; returns `true` if the timer was
+    /// one of the gateway's.
+    pub fn on_timer(&mut self, ctx: &mut dyn Ctx, timer: TimerId) -> bool {
+        match timer {
+            POLL_TIMER => {
+                loop {
+                    let body = self.port.inbox.lock().unwrap().pop_front();
+                    match body {
+                        Some(b) => self.submit(ctx, b),
+                        None => break,
+                    }
+                }
+                ctx.set_timer(POLL_TIMER, self.poll);
+                true
+            }
+            RETRY_TIMER => {
+                self.flush_retries(ctx);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Call for every `AppEvent::SendDone`.
+    pub fn on_send_done(&mut self, ctx: &mut dyn Ctx, ok: bool) {
+        let body = self.inflight.pop_front().expect("SendDone without an inflight send");
+        if !ok {
+            // The send may or may not have been ordered (ambiguity is
+            // inherent); the body will be re-broadcast under a fresh
+            // gseq and replicas apply it idempotently.
+            self.retry.push(body);
+            ctx.set_timer(RETRY_TIMER, RETRY_AFTER);
+        }
+    }
+
+    /// Call when a `ViewInstalled` arrives: recovery finished, so
+    /// failed bodies can go out immediately.
+    pub fn on_view_installed(&mut self, ctx: &mut dyn Ctx) {
+        if !self.retry.is_empty() {
+            self.flush_retries(ctx);
+        }
+    }
+
+    fn flush_retries(&mut self, ctx: &mut dyn Ctx) {
+        for body in std::mem::take(&mut self.retry) {
+            self.submit(ctx, body);
+        }
+    }
+
+    fn submit(&mut self, ctx: &mut dyn Ctx, body: String) {
+        let payload = frame(self.gseq, &body);
+        self.gseq += 1;
+        *self.port.submitted.lock().unwrap() = self.gseq;
+        self.inflight.push_back(body);
+        ctx.send(Bytes::from(payload));
+    }
+
+    /// Pushes a reply onto the outbox for the router.
+    pub fn reply(&self, r: Reply) {
+        self.port.outbox.lock().unwrap().push_back(r);
+    }
+}

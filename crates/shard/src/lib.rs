@@ -1,0 +1,52 @@
+//! # amoeba-shard — the sharded multi-group serving layer
+//!
+//! The paper's protocol totally orders *one* group through *one*
+//! sequencer; its throughput ceiling is that sequencer's CPU and the
+//! shared wire. Production scale comes from running many groups and
+//! partitioning work between them. This crate is that layer:
+//!
+//! - **Keyspace partitioning** ([`map`]): keys hash onto a 64-bit
+//!   ring; a [`ShardMap`] of sorted ranges assigns each slice to one
+//!   data group. The map is itself replicated state of a tiny *meta
+//!   group* app ([`MetaApp`]) — map changes ride a total order too, so
+//!   reconfiguration has one well-defined history.
+//! - **Routing** ([`router`]): a [`Router`] caches the map, feeds each
+//!   group's *gateway* member (the one member that broadcasts routed
+//!   operations into its group), and retries on `WrongShard` nacks
+//!   after refreshing the map — the retry-on-stale-map loop.
+//! - **Split / merge / rebalance** ([`moves`]): every reshape lowers
+//!   onto one range-move pipeline (freeze → install → commit →
+//!   retire), each step ordered by exactly one total order. Acked
+//!   writes cannot be lost across a move, and [`audit`] checks exactly
+//!   that, alongside the standard per-group delivery audit.
+//! - **Cross-shard reads** ([`Router::fence`]) and 2PC-style
+//!   cross-shard writes ([`Router::cross_put`]).
+//! - **Hosting** ([`cluster`]): [`SimCluster`] (simulated kernel) and
+//!   [`LiveCluster`] (live runtime threads) assemble the same
+//!   topology behind the [`Cluster`] trait, so orchestration code and
+//!   the replica apps run unmodified on both backends.
+//!
+//! See DESIGN.md §11 for the protocol rules and their rationale.
+
+pub mod audit;
+pub mod cluster;
+pub mod gateway;
+pub mod map;
+pub mod meta;
+pub mod moves;
+pub mod op;
+pub mod router;
+pub mod server;
+
+pub use audit::{audit_group, lost_acked_writes};
+pub use cluster::{
+    fault_tolerant_config, run_reshard, run_until, Cluster, LiveCluster, ShardGroup, ShardSpec,
+    SimCluster, META_GROUP_ID,
+};
+pub use gateway::{Gateway, GatewayPort};
+pub use map::{key_hash, new_board, MapBoard, MapCmd, ShardMap, ShardRange};
+pub use meta::MetaApp;
+pub use moves::{MoveController, ReshardGoal};
+pub use op::{NackReason, Reply, ShardOp};
+pub use router::{Completion, Router, RouterStats};
+pub use server::{SharedLog, SharedStore, ShardServerApp};

@@ -1,0 +1,345 @@
+//! The replicated shard map: which group owns which slice of the
+//! keyspace.
+//!
+//! Keys hash (FNV-1a, 64-bit) onto the ring `0..2^64`; the map is a
+//! sorted list of half-open ranges, each owned by one data group. The
+//! map itself is replicated state of a small *meta group* app
+//! ([`crate::MetaApp`]): every change travels through the meta group's
+//! total order as a [`MapCmd`], so all meta members apply the same
+//! change sequence and the map has a single well-defined history.
+//! Routers read the latest map from a [`MapBoard`] the meta members
+//! publish into.
+
+use std::sync::{Arc, Mutex};
+
+/// Hash placing a key on the ring: FNV-1a 64-bit followed by a
+/// SplitMix64-style finalizer. The finalizer matters — ranges
+/// partition by the *top* bits, where bare FNV-1a barely avalanches
+/// on short keys (every `"k0".."k99"` lands in the first quadrant
+/// without it).
+pub fn key_hash(key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// One slice of the ring: `[start, next.start)` (the last range wraps
+/// to the top of the ring), owned by data group `group`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Inclusive lower bound of the slice.
+    pub start: u64,
+    /// Wire id of the owning data group.
+    pub group: u64,
+    /// Set while a range move is in flight: the destination group.
+    /// Ownership changes only at `CommitMove`.
+    pub moving_to: Option<u64>,
+}
+
+/// The shard map: a full partition of the ring into owned ranges.
+///
+/// `epoch` increments on every applied [`MapCmd`]; routers use it to
+/// detect staleness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Monotone version counter, bumped once per applied command.
+    pub epoch: u64,
+    /// Sorted by `start`; `ranges[0].start == 0`; never empty.
+    pub ranges: Vec<ShardRange>,
+}
+
+impl ShardMap {
+    /// A map that splits the ring evenly across `groups` (in the given
+    /// order). Epoch starts at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn uniform(groups: &[u64]) -> Self {
+        assert!(!groups.is_empty(), "a shard map needs at least one group");
+        let n = groups.len() as u64;
+        let step = if n == 1 { 0 } else { u64::MAX / n + 1 };
+        let ranges = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| ShardRange { start: step.wrapping_mul(i as u64), group: g, moving_to: None })
+            .collect();
+        ShardMap { epoch: 0, ranges }
+    }
+
+    /// The boundaries an even split across `n` shards produces —
+    /// `boundary(i, n)` is the `start` of the i-th initial range.
+    pub fn uniform_boundary(i: usize, n: usize) -> u64 {
+        let step = if n == 1 { 0u64 } else { u64::MAX / n as u64 + 1 };
+        step.wrapping_mul(i as u64)
+    }
+
+    /// Index of the range containing hash `h`.
+    pub fn range_index(&self, h: u64) -> usize {
+        self.ranges.partition_point(|r| r.start <= h) - 1
+    }
+
+    /// The owning group for hash `h`.
+    pub fn owner(&self, h: u64) -> u64 {
+        self.ranges[self.range_index(h)].group
+    }
+
+    /// `(start, end)` of range `i`, with `end == 0` meaning "the top of
+    /// the ring" (the conventions used by every range in this crate:
+    /// ranges are half-open and an exclusive end of 0 wraps).
+    pub fn bounds(&self, i: usize) -> (u64, u64) {
+        let start = self.ranges[i].start;
+        let end = self.ranges.get(i + 1).map_or(0, |r| r.start);
+        (start, end)
+    }
+
+    /// The range starting exactly at `start`, if any.
+    pub fn range_at(&self, start: u64) -> Option<&ShardRange> {
+        self.ranges.iter().find(|r| r.start == start)
+    }
+
+    /// All `(start, end)` slices currently owned by `group`.
+    pub fn ranges_of(&self, group: u64) -> Vec<(u64, u64)> {
+        (0..self.ranges.len())
+            .filter(|&i| self.ranges[i].group == group)
+            .map(|i| self.bounds(i))
+            .collect()
+    }
+
+    /// Applies one totally-ordered command. Every application bumps the
+    /// epoch, including structural no-ops, so duplicated commands (a
+    /// gateway retrying an ambiguous send) stay harmless.
+    pub fn apply(&mut self, cmd: &MapCmd) {
+        self.epoch += 1;
+        match *cmd {
+            MapCmd::Split { at } => {
+                if at == 0 || self.range_at(at).is_some() {
+                    return; // boundary already exists
+                }
+                let i = self.range_index(at);
+                if self.ranges[i].moving_to.is_some() {
+                    return; // never split a range mid-move
+                }
+                let group = self.ranges[i].group;
+                self.ranges.insert(i + 1, ShardRange { start: at, group, moving_to: None });
+            }
+            MapCmd::BeginMove { start, to } => {
+                if let Some(r) = self.ranges.iter_mut().find(|r| r.start == start) {
+                    if r.group != to && r.moving_to.is_none() {
+                        r.moving_to = Some(to);
+                    }
+                }
+            }
+            MapCmd::CommitMove { start } => {
+                if let Some(r) = self.ranges.iter_mut().find(|r| r.start == start) {
+                    if let Some(to) = r.moving_to.take() {
+                        r.group = to;
+                    }
+                }
+            }
+            MapCmd::AbortMove { start } => {
+                if let Some(r) = self.ranges.iter_mut().find(|r| r.start == start) {
+                    r.moving_to = None;
+                }
+            }
+            MapCmd::MergeIntoPrev { start } => {
+                if let Some(i) = self.ranges.iter().position(|r| r.start == start) {
+                    if i > 0
+                        && self.ranges[i - 1].group == self.ranges[i].group
+                        && self.ranges[i - 1].moving_to.is_none()
+                        && self.ranges[i].moving_to.is_none()
+                    {
+                        self.ranges.remove(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A totally-ordered shard-map change. Encoded as a short text command
+/// and broadcast through the meta group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapCmd {
+    /// Introduce a boundary at `at` (the containing range splits in
+    /// two, both halves keeping their owner).
+    Split { at: u64 },
+    /// Mark the range starting at `start` as moving to group `to`.
+    BeginMove { start: u64, to: u64 },
+    /// Transfer ownership of the moving range starting at `start`.
+    CommitMove { start: u64 },
+    /// Cancel an in-flight move.
+    AbortMove { start: u64 },
+    /// Remove the boundary at `start`, folding the range into its
+    /// predecessor (legal only when both halves share an owner).
+    MergeIntoPrev { start: u64 },
+}
+
+impl MapCmd {
+    /// Wire encoding (pipe-separated, decimal).
+    pub fn encode(&self) -> String {
+        match *self {
+            MapCmd::Split { at } => format!("S|{at}"),
+            MapCmd::BeginMove { start, to } => format!("B|{start}|{to}"),
+            MapCmd::CommitMove { start } => format!("C|{start}"),
+            MapCmd::AbortMove { start } => format!("A|{start}"),
+            MapCmd::MergeIntoPrev { start } => format!("M|{start}"),
+        }
+    }
+
+    /// Parses [`MapCmd::encode`] output.
+    pub fn decode(s: &str) -> Option<MapCmd> {
+        let mut it = s.split('|');
+        let tag = it.next()?;
+        let a = it.next()?.parse().ok()?;
+        let cmd = match tag {
+            "S" => MapCmd::Split { at: a },
+            "B" => MapCmd::BeginMove { start: a, to: it.next()?.parse().ok()? },
+            "C" => MapCmd::CommitMove { start: a },
+            "A" => MapCmd::AbortMove { start: a },
+            "M" => MapCmd::MergeIntoPrev { start: a },
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        Some(cmd)
+    }
+}
+
+/// Where meta members publish the map for routers to read. Each member
+/// publishes after applying a command; the epoch guard keeps a slow
+/// member from rolling the board backwards.
+pub type MapBoard = Arc<Mutex<ShardMap>>;
+
+/// Creates a board holding `map`.
+pub fn new_board(map: ShardMap) -> MapBoard {
+    Arc::new(Mutex::new(map))
+}
+
+/// Publishes `map` onto `board` if it is newer than what is there.
+pub fn publish(board: &MapBoard, map: &ShardMap) {
+    let mut b = board.lock().unwrap();
+    if map.epoch > b.epoch {
+        *b = map.clone();
+    }
+}
+
+/// Does the half-open range `(start, end)` (end 0 = top) contain `h`?
+pub fn range_contains(range: (u64, u64), h: u64) -> bool {
+    h >= range.0 && (range.1 == 0 || h < range.1)
+}
+
+/// Is `inner` fully inside `outer` (both half-open, end 0 = top)?
+pub fn range_covers(outer: (u64, u64), inner: (u64, u64)) -> bool {
+    inner.0 >= outer.0
+        && match (inner.1, outer.1) {
+            (0, 0) => true,
+            (0, _) => false,
+            (_, 0) => true,
+            (i, o) => i <= o,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_ring() {
+        let m = ShardMap::uniform(&[1, 2, 3, 4]);
+        assert_eq!(m.ranges.len(), 4);
+        assert_eq!(m.ranges[0].start, 0);
+        assert_eq!(m.owner(0), 1);
+        assert_eq!(m.owner(u64::MAX), 4);
+        let q = u64::MAX / 4 + 1;
+        assert_eq!(m.owner(q - 1), 1);
+        assert_eq!(m.owner(q), 2);
+        let single = ShardMap::uniform(&[9]);
+        assert_eq!(single.owner(0), 9);
+        assert_eq!(single.owner(u64::MAX), 9);
+    }
+
+    #[test]
+    fn split_move_merge_round_trip() {
+        let mut m = ShardMap::uniform(&[1, 2]);
+        let half = u64::MAX / 2 + 1;
+        let quarter = half / 2;
+        m.apply(&MapCmd::Split { at: quarter });
+        assert_eq!(m.ranges.len(), 3);
+        assert_eq!(m.owner(quarter), 1);
+        m.apply(&MapCmd::BeginMove { start: quarter, to: 2 });
+        assert_eq!(m.range_at(quarter).unwrap().moving_to, Some(2));
+        assert_eq!(m.owner(quarter), 1, "ownership holds until commit");
+        m.apply(&MapCmd::CommitMove { start: quarter });
+        assert_eq!(m.owner(quarter), 2);
+        // Move it back and merge the boundary away.
+        m.apply(&MapCmd::BeginMove { start: quarter, to: 1 });
+        m.apply(&MapCmd::CommitMove { start: quarter });
+        m.apply(&MapCmd::MergeIntoPrev { start: quarter });
+        assert_eq!(m.ranges.len(), 2);
+        assert_eq!(m.epoch, 6);
+    }
+
+    #[test]
+    fn duplicated_commands_are_harmless() {
+        let mut m = ShardMap::uniform(&[1, 2]);
+        let at = 1234;
+        m.apply(&MapCmd::Split { at });
+        let snap = m.ranges.clone();
+        m.apply(&MapCmd::Split { at });
+        assert_eq!(m.ranges, snap);
+        m.apply(&MapCmd::BeginMove { start: at, to: 2 });
+        m.apply(&MapCmd::BeginMove { start: at, to: 2 });
+        assert_eq!(m.range_at(at).unwrap().moving_to, Some(2));
+        m.apply(&MapCmd::CommitMove { start: at });
+        m.apply(&MapCmd::CommitMove { start: at });
+        assert_eq!(m.owner(at), 2);
+    }
+
+    #[test]
+    fn cmd_codec_round_trips() {
+        for cmd in [
+            MapCmd::Split { at: 7 },
+            MapCmd::BeginMove { start: 0, to: 3 },
+            MapCmd::CommitMove { start: u64::MAX },
+            MapCmd::AbortMove { start: 12 },
+            MapCmd::MergeIntoPrev { start: 99 },
+        ] {
+            assert_eq!(MapCmd::decode(&cmd.encode()), Some(cmd));
+        }
+        assert_eq!(MapCmd::decode("Z|1"), None);
+        assert_eq!(MapCmd::decode("S|1|2"), None);
+        assert_eq!(MapCmd::decode("S|x"), None);
+    }
+
+    #[test]
+    fn board_never_regresses() {
+        let board = new_board(ShardMap::uniform(&[1]));
+        let mut newer = ShardMap::uniform(&[1]);
+        newer.apply(&MapCmd::Split { at: 10 });
+        publish(&board, &newer);
+        assert_eq!(board.lock().unwrap().epoch, 1);
+        let older = ShardMap::uniform(&[1]);
+        publish(&board, &older);
+        assert_eq!(board.lock().unwrap().epoch, 1, "stale publish ignored");
+    }
+
+    #[test]
+    fn range_helpers() {
+        assert!(range_contains((10, 20), 10));
+        assert!(!range_contains((10, 20), 20));
+        assert!(range_contains((10, 0), u64::MAX));
+        assert!(range_covers((10, 0), (20, 0)));
+        assert!(range_covers((10, 30), (10, 30)));
+        assert!(!range_covers((10, 30), (10, 0)));
+        assert!(!range_covers((10, 30), (5, 20)));
+    }
+}

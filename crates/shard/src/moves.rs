@@ -1,0 +1,196 @@
+//! The reshard controller: split, merge and rebalance as one range-move
+//! state machine.
+//!
+//! Every reconfiguration reduces to moving one range between groups:
+//!
+//! ```text
+//! split(at, to)      = Split{at}  → move [at, end) to `to`
+//! rebalance(start,to)=              move [start, end) to `to`
+//! merge(start)       =              move [start, end) to prev owner
+//!                                   → MergeIntoPrev{start}
+//! ```
+//!
+//! and a move is a fixed pipeline, each step ordered by exactly one
+//! total order (the meta group's for map steps, a data group's for
+//! data steps):
+//!
+//! ```text
+//! BeginMove  (meta)   mark the range moving; routing still → source
+//! Freeze     (source) stop serving the range, snapshot its entries
+//! Install    (dest)   adopt the range + snapshot
+//! CommitMove (meta)   flip ownership; routing now → destination
+//! Retire     (source) drop the range and its entries
+//! ```
+//!
+//! No acked write can be lost: a write acked before the freeze is in
+//! the snapshot (the snapshot is taken at the freeze's own delivery
+//! point in the source's total order); a write arriving after the
+//! freeze is nacked `Frozen` and retried by the router until the
+//! destination serves it. The unavailability window for the moved
+//! range is the freeze→commit span; all other ranges serve
+//! continuously.
+//!
+//! The controller is a poll-driven state machine: call [`MoveController::step`] once
+//! per router pump until it reports done. One controller at a time per
+//! cluster (concurrent moves of *disjoint* ranges would work, but the
+//! range bounds are captured at `BeginMove`, so a concurrent split of
+//! the same range is not supported).
+
+use crate::gateway::GatewayPort;
+use crate::map::MapCmd;
+use crate::router::{Completion, Router};
+
+/// What to reshape. See the module docs for how each goal lowers onto
+/// the common move pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshardGoal {
+    /// Split the range containing `at` at `at`, and move the upper
+    /// half to group `to`.
+    Split { at: u64, to: u64 },
+    /// Move the range starting at `start` to group `to`.
+    Rebalance { start: u64, to: u64 },
+    /// Move the range starting at `start` back to its predecessor's
+    /// owner and erase the boundary.
+    Merge { start: u64 },
+}
+
+enum St {
+    Start,
+    AwaitBoundary,
+    AwaitMoving,
+    AwaitFrozen { id: u64 },
+    AwaitInstalled { id: u64 },
+    AwaitCommitted,
+    AwaitRetired { id: u64 },
+    AwaitMerged,
+    Done,
+}
+
+/// Drives one [`ReshardGoal`] to completion; see [`MoveController::step`].
+pub struct MoveController {
+    goal: ReshardGoal,
+    st: St,
+    start: u64,
+    end: u64,
+    from: u64,
+    to: u64,
+}
+
+impl MoveController {
+    /// A controller for `goal`, not yet started.
+    pub fn new(goal: ReshardGoal) -> Self {
+        MoveController { goal, st: St::Start, start: 0, end: 0, from: 0, to: 0 }
+    }
+
+    /// True once the pipeline has fully completed.
+    pub fn done(&self) -> bool {
+        matches!(self.st, St::Done)
+    }
+
+    /// Advances the pipeline as far as the current map and completions
+    /// allow. Call once per [`Router::pump`] cycle; map commands go out
+    /// through the meta group's gateway port. Returns [`done`].
+    ///
+    /// [`done`]: MoveController::done
+    pub fn step(&mut self, router: &mut Router, meta: &GatewayPort) -> bool {
+        // Each call may traverse several steps when the awaited state
+        // is already visible (loop until no transition fires).
+        loop {
+            match self.st {
+                St::Start => match self.goal {
+                    ReshardGoal::Split { at, to } => {
+                        self.start = at;
+                        self.to = to;
+                        meta.push(MapCmd::Split { at }.encode());
+                        self.st = St::AwaitBoundary;
+                    }
+                    ReshardGoal::Rebalance { start, to } => {
+                        self.start = start;
+                        self.to = to;
+                        meta.push(MapCmd::BeginMove { start, to }.encode());
+                        self.st = St::AwaitMoving;
+                    }
+                    ReshardGoal::Merge { start } => {
+                        let map = router.map();
+                        let Some(i) = map.ranges.iter().position(|r| r.start == start) else {
+                            return false; // boundary not visible yet
+                        };
+                        assert!(i > 0, "cannot merge the first range into a predecessor");
+                        self.start = start;
+                        self.to = map.ranges[i - 1].group;
+                        if map.ranges[i].group == self.to {
+                            // Already co-owned: no data moves, just
+                            // erase the boundary.
+                            meta.push(MapCmd::MergeIntoPrev { start }.encode());
+                            self.st = St::AwaitMerged;
+                        } else {
+                            meta.push(MapCmd::BeginMove { start, to: self.to }.encode());
+                            self.st = St::AwaitMoving;
+                        }
+                    }
+                },
+                St::AwaitBoundary => {
+                    if router.map().range_at(self.start).is_none() {
+                        return false;
+                    }
+                    meta.push(MapCmd::BeginMove { start: self.start, to: self.to }.encode());
+                    self.st = St::AwaitMoving;
+                }
+                St::AwaitMoving => {
+                    let map = router.map();
+                    let Some(i) = map.ranges.iter().position(|r| r.start == self.start) else {
+                        return false;
+                    };
+                    if map.ranges[i].moving_to != Some(self.to) {
+                        return false;
+                    }
+                    self.from = map.ranges[i].group;
+                    self.end = map.bounds(i).1;
+                    let id = router.freeze(self.from, self.start, self.end);
+                    self.st = St::AwaitFrozen { id };
+                }
+                St::AwaitFrozen { id } => {
+                    let Some(Completion::Frozen { entries }) = router.take(id) else {
+                        return false;
+                    };
+                    let id = router.install(self.to, self.start, self.end, entries);
+                    self.st = St::AwaitInstalled { id };
+                }
+                St::AwaitInstalled { id } => {
+                    if router.take(id).is_none() {
+                        return false;
+                    }
+                    meta.push(MapCmd::CommitMove { start: self.start }.encode());
+                    self.st = St::AwaitCommitted;
+                }
+                St::AwaitCommitted => {
+                    let map = router.map();
+                    let Some(r) = map.range_at(self.start) else { return false };
+                    if r.group != self.to || r.moving_to.is_some() {
+                        return false;
+                    }
+                    let id = router.retire(self.from, self.start, self.end);
+                    self.st = St::AwaitRetired { id };
+                }
+                St::AwaitRetired { id } => {
+                    if router.take(id).is_none() {
+                        return false;
+                    }
+                    if matches!(self.goal, ReshardGoal::Merge { .. }) {
+                        meta.push(MapCmd::MergeIntoPrev { start: self.start }.encode());
+                        self.st = St::AwaitMerged;
+                    } else {
+                        self.st = St::Done;
+                    }
+                }
+                St::AwaitMerged => {
+                    if router.map().range_at(self.start).is_some() {
+                        return false;
+                    }
+                    self.st = St::Done;
+                }
+                St::Done => return true,
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Data-plane operations and replies.
+//!
+//! Every operation a router wants executed is encoded as a short text
+//! body, handed to the owning group's *gateway* member, and broadcast
+//! by the gateway through that group's total order. The gateway
+//! prefixes each body with its own monotone sequence number
+//! (`"<gseq>|<body>"`); members log `(origin, gseq)` pairs, which is
+//! what [`amoeba_core::audit::DeliveryAudit`]-style checking consumes. A
+//! gateway that must retry a failed send re-encodes the body under a
+//! *fresh* gseq — the audit tolerates gaps but flags duplicates, so
+//! renumbering keeps retries clean.
+//!
+//! All operations are idempotent at the replica: an ambiguous send
+//! (reported failed but actually ordered) that is retried applies
+//! twice with the same effect, and the router drops the second reply.
+
+/// One operation submitted to a data group. `end == 0` in range fields
+/// means the top of the ring (see [`crate::map::range_contains`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOp {
+    /// Write `key = value`. Acked by the gateway once applied on the
+    /// owning group.
+    Put { id: u64, key: String, value: String },
+    /// Read `key`.
+    Get { id: u64, key: String },
+    /// Cross-shard consistent read: executes at one point of *this*
+    /// group's total order; the router assembles one fence per
+    /// involved group and retries the whole set if any group's
+    /// ownership moved in between (see DESIGN.md §11.4).
+    Fence { id: u64, keys: Vec<String> },
+    /// Move step 1 (at the source): stop serving `[start, end)` and
+    /// snapshot its entries at this point of the total order.
+    Freeze { mv: u64, start: u64, end: u64 },
+    /// Move step 2 (at the destination): adopt `[start, end)` with the
+    /// frozen entries.
+    Install { mv: u64, start: u64, end: u64, entries: Vec<(String, String)> },
+    /// Move step 3 (at the source, after the map committed): drop the
+    /// range and its entries.
+    Retire { mv: u64, start: u64, end: u64 },
+    /// 2PC phase 1: lock the listed keys for transaction `tx` and
+    /// stage the writes.
+    Prepare { tx: u64, writes: Vec<(String, String)> },
+    /// 2PC phase 2: apply this group's staged writes for `tx`.
+    Commit { tx: u64 },
+    /// 2PC abort: drop this group's locks for `tx`.
+    Abort { tx: u64 },
+    /// Shut the group down: every member stops its app.
+    Halt,
+}
+
+/// Why a replica refused an operation. All nacks are retryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The key's range is not owned here — the router's map is stale.
+    WrongShard,
+    /// The key's range is frozen for an in-flight move.
+    Frozen,
+    /// The key is locked by an in-flight transaction.
+    Locked,
+}
+
+/// What the gateway reports back to its router after an operation was
+/// applied at the gateway's own position in the total order. Replies
+/// stay in-process (gateway and router share an outbox); only
+/// operations travel the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Put applied (`value` None) or Get executed (`value` is the
+    /// key's value, if present).
+    Acked { id: u64, value: Option<String> },
+    /// Operation refused; retry (after a map refresh if `WrongShard`).
+    Nacked { id: u64, why: NackReason },
+    /// Fence executed: one consistent point per key in this group.
+    FenceRead { id: u64, values: Vec<(String, Option<String>)> },
+    /// Freeze applied; `entries` is the range snapshot.
+    Frozen { mv: u64, entries: Vec<(String, String)> },
+    /// Install applied.
+    Installed { mv: u64 },
+    /// Retire applied.
+    Retired { mv: u64 },
+    /// All keys locked and writes staged.
+    TxPrepared { tx: u64 },
+    /// Some key was unavailable; nothing was locked here.
+    TxRejected { tx: u64, why: NackReason },
+    /// Staged writes applied.
+    TxCommitted { tx: u64 },
+    /// Locks dropped.
+    TxAborted { tx: u64 },
+}
+
+/// Keys and values travel in a pipe/semicolon/equals-delimited text
+/// format, so they must avoid those delimiters.
+pub fn token_ok(s: &str) -> bool {
+    !s.is_empty() && s.len() <= 512 && s.bytes().all(|b| !matches!(b, b'|' | b';' | b'=' | b'\n'))
+}
+
+fn encode_entries(entries: &[(String, String)]) -> String {
+    let parts: Vec<String> = entries.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    parts.join(";")
+}
+
+fn decode_entries(s: &str) -> Option<Vec<(String, String)>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(';')
+        .map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (token_ok(k) && token_ok(v)).then(|| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+impl ShardOp {
+    /// Wire encoding of the operation body (without the gateway's gseq
+    /// prefix).
+    pub fn encode(&self) -> String {
+        match self {
+            ShardOp::Put { id, key, value } => format!("P|{id}|{key}|{value}"),
+            ShardOp::Get { id, key } => format!("G|{id}|{key}"),
+            ShardOp::Fence { id, keys } => format!("X|{id}|{}", keys.join(";")),
+            ShardOp::Freeze { mv, start, end } => format!("F|{mv}|{start}|{end}"),
+            ShardOp::Install { mv, start, end, entries } => {
+                format!("I|{mv}|{start}|{end}|{}", encode_entries(entries))
+            }
+            ShardOp::Retire { mv, start, end } => format!("R|{mv}|{start}|{end}"),
+            ShardOp::Prepare { tx, writes } => format!("TP|{tx}|{}", encode_entries(writes)),
+            ShardOp::Commit { tx } => format!("TC|{tx}"),
+            ShardOp::Abort { tx } => format!("TA|{tx}"),
+            ShardOp::Halt => "Q".to_string(),
+        }
+    }
+
+    /// Parses [`ShardOp::encode`] output; `None` on any malformed body.
+    pub fn decode(s: &str) -> Option<ShardOp> {
+        let mut it = s.splitn(2, '|');
+        let tag = it.next()?;
+        let rest = it.next().unwrap_or("");
+        match tag {
+            "P" => {
+                let mut f = rest.split('|');
+                let id = f.next()?.parse().ok()?;
+                let key = f.next()?;
+                let value = f.next()?;
+                (token_ok(key) && token_ok(value) && f.next().is_none()).then(|| ShardOp::Put {
+                    id,
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+            }
+            "G" => {
+                let (id, key) = rest.split_once('|')?;
+                let id = id.parse().ok()?;
+                token_ok(key).then(|| ShardOp::Get { id, key: key.to_string() })
+            }
+            "X" => {
+                let (id, keys) = rest.split_once('|')?;
+                let id = id.parse().ok()?;
+                let keys: Option<Vec<String>> = keys
+                    .split(';')
+                    .map(|k| token_ok(k).then(|| k.to_string()))
+                    .collect();
+                let keys = keys?;
+                (!keys.is_empty()).then_some(ShardOp::Fence { id, keys })
+            }
+            "F" | "R" => {
+                let mut f = rest.split('|');
+                let mv = f.next()?.parse().ok()?;
+                let start = f.next()?.parse().ok()?;
+                let end = f.next()?.parse().ok()?;
+                if f.next().is_some() {
+                    return None;
+                }
+                Some(if tag == "F" {
+                    ShardOp::Freeze { mv, start, end }
+                } else {
+                    ShardOp::Retire { mv, start, end }
+                })
+            }
+            "I" => {
+                let mut f = rest.splitn(4, '|');
+                let mv = f.next()?.parse().ok()?;
+                let start = f.next()?.parse().ok()?;
+                let end = f.next()?.parse().ok()?;
+                let entries = decode_entries(f.next()?)?;
+                Some(ShardOp::Install { mv, start, end, entries })
+            }
+            "TP" => {
+                let (tx, writes) = rest.split_once('|')?;
+                let tx = tx.parse().ok()?;
+                let writes = decode_entries(writes)?;
+                (!writes.is_empty()).then_some(ShardOp::Prepare { tx, writes })
+            }
+            "TC" => Some(ShardOp::Commit { tx: rest.parse().ok()? }),
+            "TA" => Some(ShardOp::Abort { tx: rest.parse().ok()? }),
+            "Q" => rest.is_empty().then_some(ShardOp::Halt),
+            _ => None,
+        }
+    }
+}
+
+/// Frames a body under a gateway sequence number: `"<gseq>|<body>"`.
+pub fn frame(gseq: u64, body: &str) -> String {
+    format!("{gseq}|{body}")
+}
+
+/// Splits a framed payload back into `(gseq, body)`.
+pub fn unframe(payload: &str) -> Option<(u64, &str)> {
+    let (gseq, body) = payload.split_once('|')?;
+    Some((gseq.parse().ok()?, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codec_round_trips() {
+        let ops = [
+            ShardOp::Put { id: 1, key: "k".into(), value: "v".into() },
+            ShardOp::Get { id: 2, key: "key-2".into() },
+            ShardOp::Fence { id: 3, keys: vec!["a".into(), "b".into()] },
+            ShardOp::Freeze { mv: 4, start: 10, end: 0 },
+            ShardOp::Install {
+                mv: 5,
+                start: 0,
+                end: 9,
+                entries: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+            },
+            ShardOp::Install { mv: 6, start: 0, end: 9, entries: vec![] },
+            ShardOp::Retire { mv: 7, start: 3, end: 4 },
+            ShardOp::Prepare { tx: 8, writes: vec![("x".into(), "y".into())] },
+            ShardOp::Commit { tx: 9 },
+            ShardOp::Abort { tx: 10 },
+            ShardOp::Halt,
+        ];
+        for op in ops {
+            let enc = op.encode();
+            assert_eq!(ShardOp::decode(&enc), Some(op), "{enc}");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_rejected() {
+        for bad in ["", "Z|1", "P|1|k", "P|x|k|v", "G|1|", "X|1|", "I|1|2|3", "Q|extra", "P|1|k|v|w"]
+        {
+            assert_eq!(ShardOp::decode(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn framing_round_trips() {
+        let p = frame(42, "G|7|k");
+        assert_eq!(unframe(&p), Some((42, "G|7|k")));
+        assert_eq!(unframe("nope"), None);
+    }
+
+    #[test]
+    fn token_rules() {
+        assert!(token_ok("plain-key_0"));
+        assert!(!token_ok(""));
+        assert!(!token_ok("a|b"));
+        assert!(!token_ok("a=b"));
+        assert!(!token_ok("a;b"));
+    }
+}

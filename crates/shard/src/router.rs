@@ -1,0 +1,557 @@
+//! The client-side router: maps keys to owning groups, feeds gateway
+//! inboxes, consumes replies, and retries on stale maps.
+//!
+//! The router is a plain state machine pumped by the cluster driver
+//! (no threads of its own): `pump()` refreshes the cached map from the
+//! [`MapBoard`], re-issues operations that were nacked in the previous
+//! cycle, then drains every gateway outbox. A `WrongShard` nack is the
+//! signal that the cached map went stale — the next pump re-routes the
+//! operation under the refreshed map. A `Frozen`/`Locked` nack simply
+//! retries until the blocking move or transaction finishes.
+//!
+//! Single-key operations are serialized per key (at most one in
+//! flight; later ones queue), which makes the cluster-level audit
+//! exact: the final replicated value of a key must equal the last
+//! *acknowledged* write the router recorded for it — anything else is
+//! a lost acked write. Cross-shard transactions claim all their keys
+//! before issuing (all-or-queue, so two transactions can never
+//! deadlock on each other's partial claims).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::gateway::GatewayPort;
+use crate::map::{key_hash, MapBoard, ShardMap};
+use crate::op::{NackReason, Reply, ShardOp};
+
+/// Routing and retry counters.
+#[derive(Debug, Default, Clone)]
+pub struct RouterStats {
+    /// Puts acknowledged by their owning group.
+    pub puts_acked: u64,
+    /// Gets served.
+    pub gets_acked: u64,
+    /// Cross-shard fence reads completed.
+    pub fences_done: u64,
+    /// Cross-shard transactions committed.
+    pub txs_committed: u64,
+    /// Operations re-issued after a nack or abort.
+    pub retries: u64,
+    /// `WrongShard` nacks (stale-map detections).
+    pub wrong_shard: u64,
+    /// `Frozen` nacks (operation raced an in-flight move).
+    pub frozen: u64,
+    /// `Locked` nacks/rejections (operation raced a transaction).
+    pub locked: u64,
+    /// Times the cached map was refreshed from the board.
+    pub map_refreshes: u64,
+    /// Replies for operations already completed (idempotent-retry
+    /// duplicates; harmless).
+    pub duplicate_replies: u64,
+}
+
+/// A finished operation, retrieved with [`Router::take`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// The write is applied on the owning group.
+    Put { key: String, value: String },
+    /// The read executed.
+    Get { key: String, value: Option<String> },
+    /// Every involved group served its slice of the fence.
+    Fence { values: Vec<(String, Option<String>)> },
+    /// Freeze applied at the source; `entries` is the range snapshot.
+    Frozen { entries: Vec<(String, String)> },
+    /// Install applied at the destination.
+    Installed,
+    /// Retire applied at the source.
+    Retired,
+    /// The cross-shard transaction committed on every involved group.
+    TxCommitted,
+}
+
+enum MoveKind {
+    Freeze,
+    Install,
+    Retire,
+}
+
+enum TxPhase {
+    Preparing,
+    Committing,
+    Aborting,
+}
+
+/// One group's fence result: each key read at that group's fence
+/// point (`None` until the group's `FenceRead` reply arrives).
+type FencePart = Option<Vec<(String, Option<String>)>>;
+
+enum Pending {
+    Put { key: String, value: String },
+    Get { key: String },
+    Fence { keys: Vec<String>, parts: BTreeMap<u64, FencePart> },
+    Move { kind: MoveKind, group: u64, start: u64, end: u64, entries: Vec<(String, String)> },
+    Tx { writes: Vec<(String, String)>, waits: BTreeMap<u64, bool>, phase: TxPhase },
+}
+
+/// See the module docs.
+pub struct Router {
+    board: MapBoard,
+    map: ShardMap,
+    ports: BTreeMap<u64, GatewayPort>,
+    next_id: u64,
+    pending: BTreeMap<u64, Pending>,
+    completed: BTreeMap<u64, Completion>,
+    /// Keys with an operation in flight.
+    outstanding: BTreeSet<String>,
+    /// Operations queued behind an outstanding key.
+    waiting: BTreeMap<String, VecDeque<u64>>,
+    /// Operations to re-issue on the next pump (nacked this cycle).
+    deferred: BTreeSet<u64>,
+    /// Last acknowledged write per key — the audit's ground truth.
+    acked: BTreeMap<String, String>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// A router over the given gateway ports, reading maps from
+    /// `board` (which must already hold the initial map).
+    pub fn new(board: MapBoard, ports: BTreeMap<u64, GatewayPort>) -> Self {
+        let map = board.lock().unwrap().clone();
+        Router {
+            board,
+            map,
+            ports,
+            next_id: 1,
+            pending: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            outstanding: BTreeSet::new(),
+            waiting: BTreeMap::new(),
+            deferred: BTreeSet::new(),
+            acked: BTreeMap::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Submits a write; returns its operation id.
+    pub fn put(&mut self, key: &str, value: &str) -> u64 {
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Put { key: key.to_string(), value: value.to_string() });
+        self.enqueue_or_issue(id);
+        id
+    }
+
+    /// Submits a read; returns its operation id.
+    pub fn get(&mut self, key: &str) -> u64 {
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Get { key: key.to_string() });
+        self.enqueue_or_issue(id);
+        id
+    }
+
+    /// Submits a cross-shard fence read over `keys`.
+    pub fn fence(&mut self, keys: Vec<String>) -> u64 {
+        assert!(!keys.is_empty());
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Fence { keys, parts: BTreeMap::new() });
+        self.enqueue_or_issue(id);
+        id
+    }
+
+    /// Submits a cross-shard transactional write (2PC over the
+    /// involved groups' gateways).
+    pub fn cross_put(&mut self, writes: Vec<(String, String)>) -> u64 {
+        assert!(!writes.is_empty());
+        let id = self.fresh_id();
+        self.pending
+            .insert(id, Pending::Tx { writes, waits: BTreeMap::new(), phase: TxPhase::Preparing });
+        self.enqueue_or_issue(id);
+        id
+    }
+
+    /// Move step 1: freeze `[start, end)` at `group` (the controller's
+    /// API; see [`crate::moves`]).
+    pub fn freeze(&mut self, group: u64, start: u64, end: u64) -> u64 {
+        self.submit_move(MoveKind::Freeze, group, start, end, Vec::new())
+    }
+
+    /// Move step 2: install `[start, end)` with `entries` at `group`.
+    pub fn install(
+        &mut self,
+        group: u64,
+        start: u64,
+        end: u64,
+        entries: Vec<(String, String)>,
+    ) -> u64 {
+        self.submit_move(MoveKind::Install, group, start, end, entries)
+    }
+
+    /// Move step 3: retire `[start, end)` from `group`.
+    pub fn retire(&mut self, group: u64, start: u64, end: u64) -> u64 {
+        self.submit_move(MoveKind::Retire, group, start, end, Vec::new())
+    }
+
+    fn submit_move(
+        &mut self,
+        kind: MoveKind,
+        group: u64,
+        start: u64,
+        end: u64,
+        entries: Vec<(String, String)>,
+    ) -> u64 {
+        let id = self.fresh_id();
+        self.pending.insert(id, Pending::Move { kind, group, start, end, entries });
+        self.enqueue_or_issue(id);
+        id
+    }
+
+    /// One router cycle: refresh the map, re-issue nacked operations,
+    /// drain every gateway outbox.
+    pub fn pump(&mut self) {
+        {
+            let board = self.board.lock().unwrap();
+            if board.epoch > self.map.epoch {
+                self.map = board.clone();
+                self.stats.map_refreshes += 1;
+            }
+        }
+        for id in std::mem::take(&mut self.deferred) {
+            if self.pending.contains_key(&id) {
+                self.stats.retries += 1;
+                self.issue(id);
+            }
+        }
+        let groups: Vec<u64> = self.ports.keys().copied().collect();
+        for g in groups {
+            loop {
+                let reply = self.ports[&g].outbox.lock().unwrap().pop_front();
+                match reply {
+                    Some(r) => self.handle(g, r),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Retrieves (and removes) a finished operation's result.
+    pub fn take(&mut self, id: u64) -> Option<Completion> {
+        self.completed.remove(&id)
+    }
+
+    /// Operations submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The router's current (possibly stale) map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Last acknowledged write per key: the ground truth for the
+    /// zero-lost-acked-writes audit.
+    pub fn acked_writes(&self) -> &BTreeMap<String, String> {
+        &self.acked
+    }
+
+    /// Routing and retry counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Keys an operation must hold exclusively before issuing.
+    fn claim_keys(&self, id: u64) -> Vec<String> {
+        match &self.pending[&id] {
+            Pending::Put { key, .. } | Pending::Get { key } => vec![key.clone()],
+            Pending::Tx { writes, .. } => writes.iter().map(|(k, _)| k.clone()).collect(),
+            Pending::Fence { .. } | Pending::Move { .. } => Vec::new(),
+        }
+    }
+
+    /// Claims the operation's keys and issues it, or queues it behind
+    /// the first busy key (all-or-queue, so claims never deadlock).
+    fn enqueue_or_issue(&mut self, id: u64) {
+        let keys = self.claim_keys(id);
+        if let Some(busy) = keys.iter().find(|k| self.outstanding.contains(*k)) {
+            self.waiting.entry(busy.clone()).or_default().push_back(id);
+            return;
+        }
+        for k in keys {
+            self.outstanding.insert(k);
+        }
+        self.issue(id);
+    }
+
+    /// Releases a finished operation's keys and wakes the queued
+    /// operations behind them. A woken operation may immediately
+    /// re-queue on a different busy key (multi-key transactions), in
+    /// which case the next waiter gets its chance — the loop runs
+    /// until the key is claimed again or its queue drains.
+    fn release(&mut self, id: u64) {
+        let keys = self.claim_keys(id);
+        for k in &keys {
+            self.outstanding.remove(k);
+        }
+        for k in &keys {
+            while !self.outstanding.contains(k) {
+                let Some(next) = self.waiting.get_mut(k).and_then(|q| q.pop_front()) else {
+                    break;
+                };
+                self.enqueue_or_issue(next);
+            }
+            if self.waiting.get(k).is_some_and(|q| q.is_empty()) {
+                self.waiting.remove(k);
+            }
+        }
+    }
+
+    fn push(&mut self, group: u64, op: &ShardOp) {
+        self.ports
+            .get(&group)
+            .unwrap_or_else(|| panic!("no gateway port for group {group}"))
+            .push(op.encode());
+    }
+
+    /// (Re-)issues an operation under the current map. Safe to call
+    /// again after a nack: replicas apply duplicates idempotently and
+    /// the router ignores duplicate replies.
+    fn issue(&mut self, id: u64) {
+        match self.pending.get_mut(&id).expect("issue of unknown op") {
+            Pending::Put { key, value } => {
+                let (key, value) = (key.clone(), value.clone());
+                let group = self.map.owner(key_hash(&key));
+                self.push(group, &ShardOp::Put { id, key, value });
+            }
+            Pending::Get { key } => {
+                let key = key.clone();
+                let group = self.map.owner(key_hash(&key));
+                self.push(group, &ShardOp::Get { id, key });
+            }
+            Pending::Fence { keys, parts } => {
+                let mut by_group: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+                let map = &self.map;
+                for k in keys.iter() {
+                    by_group.entry(map.owner(key_hash(k))).or_default().push(k.clone());
+                }
+                *parts = by_group.keys().map(|&g| (g, None)).collect();
+                for (g, keys) in by_group {
+                    self.push(g, &ShardOp::Fence { id, keys });
+                }
+            }
+            Pending::Move { kind, group, start, end, entries } => {
+                let (group, start, end) = (*group, *start, *end);
+                let op = match kind {
+                    MoveKind::Freeze => ShardOp::Freeze { mv: id, start, end },
+                    MoveKind::Install => {
+                        ShardOp::Install { mv: id, start, end, entries: entries.clone() }
+                    }
+                    MoveKind::Retire => ShardOp::Retire { mv: id, start, end },
+                };
+                self.push(group, &op);
+            }
+            Pending::Tx { writes, waits, phase } => {
+                // Prepare routes by the current map; Commit and Abort
+                // must go to exactly the groups the prepare reached
+                // (recorded in `waits`), never re-routed — a map
+                // refresh mid-transaction must not strand locks.
+                let ops: Vec<(u64, ShardOp)> = match phase {
+                    TxPhase::Preparing => {
+                        let mut by_group: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
+                        let map = &self.map;
+                        for (k, v) in writes.iter() {
+                            by_group
+                                .entry(map.owner(key_hash(k)))
+                                .or_default()
+                                .push((k.clone(), v.clone()));
+                        }
+                        *waits = by_group.keys().map(|&g| (g, false)).collect();
+                        by_group
+                            .into_iter()
+                            .map(|(g, writes)| (g, ShardOp::Prepare { tx: id, writes }))
+                            .collect()
+                    }
+                    TxPhase::Committing => {
+                        waits.values_mut().for_each(|d| *d = false);
+                        waits.keys().map(|&g| (g, ShardOp::Commit { tx: id })).collect()
+                    }
+                    TxPhase::Aborting => {
+                        waits.values_mut().for_each(|d| *d = false);
+                        waits.keys().map(|&g| (g, ShardOp::Abort { tx: id })).collect()
+                    }
+                };
+                for (g, op) in ops {
+                    self.push(g, &op);
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, id: u64, result: Completion) {
+        self.release(id); // reads the pending entry — must precede removal
+        self.pending.remove(&id);
+        self.completed.insert(id, result);
+    }
+
+    fn note_nack(&mut self, why: NackReason) {
+        match why {
+            NackReason::WrongShard => self.stats.wrong_shard += 1,
+            NackReason::Frozen => self.stats.frozen += 1,
+            NackReason::Locked => self.stats.locked += 1,
+        }
+    }
+
+    fn handle(&mut self, from_group: u64, reply: Reply) {
+        match reply {
+            Reply::Acked { id, value } => match self.pending.get(&id) {
+                Some(Pending::Put { key, value: v }) => {
+                    let (key, v) = (key.clone(), v.clone());
+                    self.acked.insert(key.clone(), v.clone());
+                    self.stats.puts_acked += 1;
+                    self.complete(id, Completion::Put { key, value: v });
+                }
+                Some(Pending::Get { key }) => {
+                    let key = key.clone();
+                    self.stats.gets_acked += 1;
+                    self.complete(id, Completion::Get { key, value });
+                }
+                _ => self.stats.duplicate_replies += 1,
+            },
+            Reply::Nacked { id, why } => {
+                self.note_nack(why);
+                if self.pending.contains_key(&id) {
+                    self.deferred.insert(id);
+                } else {
+                    self.stats.duplicate_replies += 1;
+                }
+            }
+            Reply::FenceRead { id, values } => {
+                let Some(Pending::Fence { keys, parts }) = self.pending.get_mut(&id) else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                match parts.get_mut(&from_group) {
+                    Some(slot) => {
+                        if slot.replace(values).is_some() {
+                            self.stats.duplicate_replies += 1;
+                        }
+                    }
+                    None => {
+                        self.stats.duplicate_replies += 1;
+                        return;
+                    }
+                }
+                if parts.values().all(Option::is_some) {
+                    let mut merged: BTreeMap<String, Option<String>> = BTreeMap::new();
+                    for part in parts.values().flatten() {
+                        for (k, v) in part {
+                            merged.insert(k.clone(), v.clone());
+                        }
+                    }
+                    let values: Vec<(String, Option<String>)> = keys
+                        .iter()
+                        .map(|k| (k.clone(), merged.get(k).cloned().flatten()))
+                        .collect();
+                    self.stats.fences_done += 1;
+                    self.complete(id, Completion::Fence { values });
+                }
+            }
+            Reply::Frozen { mv, entries } => match self.pending.get(&mv) {
+                Some(Pending::Move { kind: MoveKind::Freeze, .. }) => {
+                    self.complete(mv, Completion::Frozen { entries });
+                }
+                _ => self.stats.duplicate_replies += 1,
+            },
+            Reply::Installed { mv } => match self.pending.get(&mv) {
+                Some(Pending::Move { kind: MoveKind::Install, .. }) => {
+                    self.complete(mv, Completion::Installed);
+                }
+                _ => self.stats.duplicate_replies += 1,
+            },
+            Reply::Retired { mv } => match self.pending.get(&mv) {
+                Some(Pending::Move { kind: MoveKind::Retire, .. }) => {
+                    self.complete(mv, Completion::Retired);
+                }
+                _ => self.stats.duplicate_replies += 1,
+            },
+            Reply::TxPrepared { tx } => {
+                let Some(Pending::Tx { waits, phase: TxPhase::Preparing, .. }) =
+                    self.pending.get_mut(&tx)
+                else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                if let Some(done) = waits.get_mut(&from_group) {
+                    *done = true;
+                }
+                if waits.values().all(|&d| d) {
+                    let Some(Pending::Tx { phase, .. }) = self.pending.get_mut(&tx) else {
+                        unreachable!()
+                    };
+                    *phase = TxPhase::Committing;
+                    self.issue(tx);
+                }
+            }
+            Reply::TxRejected { tx, why } => {
+                self.note_nack(why);
+                let Some(Pending::Tx { phase, .. }) = self.pending.get_mut(&tx) else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                if matches!(phase, TxPhase::Preparing) {
+                    // Roll back whatever did prepare, then retry the
+                    // whole transaction under a refreshed map.
+                    *phase = TxPhase::Aborting;
+                    self.issue(tx);
+                }
+            }
+            Reply::TxCommitted { tx } => {
+                let Some(Pending::Tx { waits, phase: TxPhase::Committing, .. }) =
+                    self.pending.get_mut(&tx)
+                else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                if let Some(done) = waits.get_mut(&from_group) {
+                    *done = true;
+                }
+                if waits.values().all(|&d| d) {
+                    let Some(Pending::Tx { writes, .. }) = self.pending.get(&tx) else {
+                        unreachable!()
+                    };
+                    for (k, v) in writes.clone() {
+                        self.acked.insert(k, v);
+                    }
+                    self.stats.txs_committed += 1;
+                    self.complete(tx, Completion::TxCommitted);
+                }
+            }
+            Reply::TxAborted { tx } => {
+                let Some(Pending::Tx { waits, phase: TxPhase::Aborting, .. }) =
+                    self.pending.get_mut(&tx)
+                else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                if let Some(done) = waits.get_mut(&from_group) {
+                    *done = true;
+                }
+                if waits.values().all(|&d| d) {
+                    let Some(Pending::Tx { phase, .. }) = self.pending.get_mut(&tx) else {
+                        unreachable!()
+                    };
+                    *phase = TxPhase::Preparing;
+                    self.deferred.insert(tx);
+                }
+            }
+        }
+    }
+}

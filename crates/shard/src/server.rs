@@ -1,0 +1,258 @@
+//! The data-group replica: a sharded KV state machine driven entirely
+//! by the group's total order.
+//!
+//! Every member of a data group runs one [`ShardServerApp`]. All state
+//! transitions — writes, freezes, installs, retires, 2PC lock traffic
+//! — are applications of totally-ordered messages, so replicas stay
+//! identical by construction. The member that is also the group's
+//! gateway additionally emits a [`Reply`] for each operation *it*
+//! originated, at the operation's delivery point (i.e. once the
+//! operation holds a position in the total order and has been applied
+//! locally).
+//!
+//! Range ownership lives here redundantly with the shard map: a
+//! replica nacks operations for ranges it does not own (`WrongShard`,
+//! the router's cue to refresh its map) and for ranges frozen by an
+//! in-flight move (`Frozen`, the router's cue to retry shortly). A
+//! frozen range refuses reads as well as writes — the range has
+//! exactly one serving group at every instant, so a cross-shard read
+//! can never observe a half-moved range.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use amoeba_app::{AppEvent, Ctx, GroupApp, TimerId};
+use amoeba_core::{GroupEvent, MemberId};
+
+use crate::gateway::Gateway;
+use crate::map::{key_hash, range_contains, range_covers};
+use crate::op::{unframe, NackReason, Reply, ShardOp};
+
+/// A replica's KV store, shared with the harness for final-state
+/// inspection (the replica holds the only writer during a run).
+pub type SharedStore = Arc<Mutex<BTreeMap<String, String>>>;
+/// A replica's delivery log of `(origin member, gateway seq)` pairs,
+/// shared with the harness for delivery auditing.
+pub type SharedLog = Arc<Mutex<Vec<(u32, u64)>>>;
+
+/// The sharded-KV replica app. See the module docs.
+pub struct ShardServerApp {
+    /// Ranges this group serves. Kept as an explicit list (not derived
+    /// from the map board) so ownership changes are totally ordered
+    /// with the data they govern.
+    owned: Vec<(u64, u64)>,
+    /// Owned ranges currently frozen for a move.
+    frozen: Vec<(u64, u64)>,
+    store: SharedStore,
+    /// 2PC locks: key → (transaction, staged value).
+    locks: BTreeMap<String, (u64, String)>,
+    log: SharedLog,
+    /// Present on the gateway member only.
+    gateway: Option<Gateway>,
+    me: MemberId,
+}
+
+impl ShardServerApp {
+    /// A replica initially owning `owned`, with harness-shared store
+    /// and delivery log. Pass a [`Gateway`] on the gateway member.
+    pub fn new(
+        owned: Vec<(u64, u64)>,
+        store: SharedStore,
+        log: SharedLog,
+        gateway: Option<Gateway>,
+    ) -> Self {
+        ShardServerApp { owned, frozen: Vec::new(), store, locks: BTreeMap::new(), log, gateway, me: MemberId(u32::MAX) }
+    }
+
+    fn owns(&self, h: u64) -> bool {
+        self.owned.iter().any(|&r| range_contains(r, h))
+    }
+
+    fn is_frozen(&self, h: u64) -> bool {
+        self.frozen.iter().any(|&r| range_contains(r, h))
+    }
+
+    /// `WrongShard`/`Frozen` gate shared by every keyed operation.
+    fn availability(&self, key: &str) -> Option<NackReason> {
+        let h = key_hash(key);
+        if !self.owns(h) {
+            Some(NackReason::WrongShard)
+        } else if self.is_frozen(h) {
+            Some(NackReason::Frozen)
+        } else {
+            None
+        }
+    }
+
+    fn reply(&self, is_origin: bool, r: Reply) {
+        if is_origin {
+            if let Some(gw) = &self.gateway {
+                gw.reply(r);
+            }
+        }
+    }
+
+    /// Applies one delivered operation; replies if we originated it.
+    fn apply(&mut self, ctx: &mut dyn Ctx, is_origin: bool, op: ShardOp) {
+        match op {
+            ShardOp::Put { id, key, value } => {
+                let verdict = self.availability(&key).or_else(|| {
+                    self.locks.contains_key(&key).then_some(NackReason::Locked)
+                });
+                match verdict {
+                    Some(why) => self.reply(is_origin, Reply::Nacked { id, why }),
+                    None => {
+                        self.store.lock().unwrap().insert(key, value);
+                        self.reply(is_origin, Reply::Acked { id, value: None });
+                    }
+                }
+            }
+            ShardOp::Get { id, key } => match self.availability(&key) {
+                Some(why) => self.reply(is_origin, Reply::Nacked { id, why }),
+                None => {
+                    let value = self.store.lock().unwrap().get(&key).cloned();
+                    self.reply(is_origin, Reply::Acked { id, value });
+                }
+            },
+            ShardOp::Fence { id, keys } => {
+                if let Some(why) = keys.iter().find_map(|k| self.availability(k)) {
+                    self.reply(is_origin, Reply::Nacked { id, why });
+                } else {
+                    let store = self.store.lock().unwrap();
+                    let values =
+                        keys.iter().map(|k| (k.clone(), store.get(k).cloned())).collect();
+                    drop(store);
+                    self.reply(is_origin, Reply::FenceRead { id, values });
+                }
+            }
+            ShardOp::Freeze { mv, start, end } => {
+                if !self.owned.iter().any(|&r| range_covers(r, (start, end))) {
+                    self.reply(is_origin, Reply::Nacked { id: mv, why: NackReason::WrongShard });
+                    return;
+                }
+                if !self.frozen.contains(&(start, end)) {
+                    self.frozen.push((start, end));
+                }
+                // The snapshot is taken at this delivery point: every
+                // previously-acked write to the range is in the store,
+                // every later write will be nacked `Frozen` until the
+                // move commits elsewhere.
+                let entries = self
+                    .store
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|(k, _)| range_contains((start, end), key_hash(k)))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                self.reply(is_origin, Reply::Frozen { mv, entries });
+            }
+            ShardOp::Install { mv, start, end, entries } => {
+                if !self.owned.contains(&(start, end)) {
+                    self.owned.push((start, end));
+                }
+                let mut store = self.store.lock().unwrap();
+                for (k, v) in entries {
+                    store.insert(k, v);
+                }
+                drop(store);
+                self.reply(is_origin, Reply::Installed { mv });
+            }
+            ShardOp::Retire { mv, start, end } => {
+                self.owned.retain(|&r| r != (start, end));
+                self.frozen.retain(|&r| r != (start, end));
+                self.store
+                    .lock()
+                    .unwrap()
+                    .retain(|k, _| !range_contains((start, end), key_hash(k)));
+                self.locks.retain(|k, _| !range_contains((start, end), key_hash(k)));
+                self.reply(is_origin, Reply::Retired { mv });
+            }
+            ShardOp::Prepare { tx, writes } => {
+                let verdict = writes.iter().find_map(|(k, _)| {
+                    self.availability(k).or_else(|| {
+                        self.locks
+                            .get(k)
+                            .is_some_and(|&(owner, _)| owner != tx)
+                            .then_some(NackReason::Locked)
+                    })
+                });
+                match verdict {
+                    Some(why) => self.reply(is_origin, Reply::TxRejected { tx, why }),
+                    None => {
+                        for (k, v) in writes {
+                            self.locks.insert(k, (tx, v));
+                        }
+                        self.reply(is_origin, Reply::TxPrepared { tx });
+                    }
+                }
+            }
+            ShardOp::Commit { tx } => {
+                let staged: Vec<(String, String)> = self
+                    .locks
+                    .iter()
+                    .filter(|(_, &(owner, _))| owner == tx)
+                    .map(|(k, (_, v))| (k.clone(), v.clone()))
+                    .collect();
+                let mut store = self.store.lock().unwrap();
+                for (k, v) in staged {
+                    self.locks.remove(&k);
+                    store.insert(k, v);
+                }
+                drop(store);
+                self.reply(is_origin, Reply::TxCommitted { tx });
+            }
+            ShardOp::Abort { tx } => {
+                self.locks.retain(|_, &mut (owner, _)| owner != tx);
+                self.reply(is_origin, Reply::TxAborted { tx });
+            }
+            ShardOp::Halt => ctx.stop(),
+        }
+    }
+}
+
+impl GroupApp for ShardServerApp {
+    fn on_start(&mut self, ctx: &mut dyn Ctx) {
+        self.me = ctx.info().me;
+        if let Some(gw) = &mut self.gateway {
+            gw.on_start(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
+        match event {
+            AppEvent::Group(GroupEvent::Message { origin, payload, .. }) => {
+                let Ok(text) = std::str::from_utf8(&payload) else { return };
+                let Some((gseq, body)) = unframe(text) else { return };
+                self.log.lock().unwrap().push((origin.0, gseq));
+                if let Some(op) = ShardOp::decode(body) {
+                    self.apply(ctx, origin == self.me, op);
+                }
+            }
+            AppEvent::Group(GroupEvent::ViewInstalled { .. }) => {
+                if let Some(gw) = &mut self.gateway {
+                    gw.on_view_installed(ctx);
+                }
+            }
+            // With auto-reset the runtime recovers on its own;
+            // otherwise the replica initiates recovery (paper §2.1),
+            // accepting any survivor set.
+            AppEvent::Group(GroupEvent::SequencerSuspected) if !ctx.config().auto_reset => {
+                ctx.reset_group(1);
+            }
+            AppEvent::Group(GroupEvent::Expelled) => ctx.stop(),
+            AppEvent::SendDone(r) => {
+                if let Some(gw) = &mut self.gateway {
+                    gw.on_send_done(ctx, r.is_ok());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Ctx, timer: TimerId) {
+        if let Some(gw) = &mut self.gateway {
+            gw.on_timer(ctx, timer);
+        }
+    }
+}

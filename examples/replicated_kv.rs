@@ -1,105 +1,133 @@
-//! A replicated key-value store on totally-ordered broadcast — the
-//! paper's "replicated servers" application class (§5), and the classic
-//! state-machine-replication pattern its total order enables: apply
-//! every write in delivery order and all replicas stay identical, with
-//! no further coordination.
+//! A *sharded* replicated key-value store — the paper's "replicated
+//! servers" application class (§5) scaled out: instead of one group
+//! holding every key, the keyspace is partitioned across several
+//! groups (DESIGN.md §11). Each shard is still classic state-machine
+//! replication over the total order; the sharding layer adds a
+//! replicated map, routing with stale-map retry, online resharding
+//! and cross-shard reads.
 //!
-//! Written once against the portable [`GroupApp`] API: the same
-//! replica code runs on the live threaded runtime under a lossy
-//! network, or inside the simulated 1996 kernel, selected by `--sim`
-//! ("write once, run on both backends", README.md).
+//! Written once against the backend-erased [`Cluster`] trait: the same
+//! workload drives the live threaded runtime or the simulated 1996
+//! kernel, selected by `--sim` ("write once, run on both backends",
+//! README.md).
 //!
 //! ```text
-//! cargo run --example replicated_kv          # live runtime, 5% loss
+//! cargo run --example replicated_kv          # live runtime
 //! cargo run --example replicated_kv -- --sim # simulated kernel
 //! ```
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use amoeba::app::Backend;
+use amoeba::core::audit::EndFate;
+use amoeba::runtime::FaultPlan;
+use amoeba::shard::{
+    audit_group, key_hash, lost_acked_writes, run_reshard, run_until, Cluster, Completion,
+    LiveCluster, ReshardGoal, ShardSpec, SimCluster,
+};
 
-use amoeba::prelude::*;
+const SHARDS: usize = 2;
+const MEMBERS: usize = 3;
+const KEYS: usize = 16;
 
-const REPLICAS: usize = 3;
-const WRITES_EACH: usize = 10;
-const TOTAL_WRITES: usize = REPLICAS * WRITES_EACH;
-
-/// The writes replica `index` publishes — including conflicting writes
-/// to the same keys across replicas; the total order decides who wins,
-/// identically everywhere.
-fn writes_for(index: usize) -> Vec<Bytes> {
-    (0..WRITES_EACH)
-        .map(|i| match index {
-            0 => Bytes::from(format!("user:{i}=from-r1")),
-            1 => Bytes::from(format!("user:{i}=from-r2")),
-            _ => Bytes::from(format!("cfg:{i}=v{i}")),
-        })
-        .collect()
+/// Pumps the cluster until operation `id` completes.
+fn finish<C: Cluster + ?Sized>(c: &mut C, id: u64) -> Completion {
+    let mut out = None;
+    let done = run_until(c, 60_000, |r| {
+        if out.is_none() {
+            out = r.take(id);
+        }
+        out.is_some()
+    });
+    assert!(done, "operation {id} never completed");
+    out.unwrap()
 }
 
-/// One replica: publishes its writes, applies every delivered write in
-/// order, and stops once all `TOTAL_WRITES` have landed.
-struct KvReplica {
-    applied: usize,
-    store: Arc<Mutex<BTreeMap<String, String>>>,
-}
-
-impl KvReplica {
-    fn new(store: Arc<Mutex<BTreeMap<String, String>>>) -> Self {
-        KvReplica { applied: 0, store }
-    }
-}
-
-impl GroupApp for KvReplica {
-    fn on_start(&mut self, ctx: &mut dyn Ctx) {
-        let index = ctx.info().me.0 as usize;
-        ctx.send_pipelined(writes_for(index));
+/// The backend-independent workload: write, reshard under load, read
+/// everything back, then a cross-shard transaction and a fence read.
+fn drive<C: Cluster + ?Sized>(c: &mut C) {
+    // Phase 1: write every key through the router, which hashes each
+    // key onto the ring and forwards it to the owning group's gateway.
+    for i in 0..KEYS {
+        let id = c.router().put(&format!("user:{i}"), &format!("v{i}"));
+        finish(c, id);
     }
 
-    fn on_event(&mut self, ctx: &mut dyn Ctx, event: AppEvent) {
-        match event {
-            AppEvent::Group(GroupEvent::Message { payload, .. }) => {
-                let text = String::from_utf8_lossy(&payload);
-                let (k, v) = text.split_once('=').expect("well-formed write");
-                self.store.lock().unwrap().insert(k.to_string(), v.to_string());
-                self.applied += 1;
-                if self.applied == TOTAL_WRITES {
-                    ctx.stop();
-                }
-            }
-            AppEvent::SendDone(result) => {
-                result.expect("write accepted into the total order");
-            }
-            _ => {}
+    // Phase 2: split shard 1's range at its midpoint and hand the
+    // upper half to the spare group — online, while the store serves.
+    let (start, end) = {
+        let map = c.router().map();
+        let i = map.ranges.iter().position(|r| r.group == 1).expect("group 1 owns a range");
+        map.bounds(i)
+    };
+    let mid = start + end.wrapping_sub(start) / 2;
+    let to = (SHARDS + 1) as u64;
+    assert!(run_reshard(c, ReshardGoal::Split { at: mid, to }, 120_000), "split stalled");
+
+    // Phase 3: every acked write survives the move, wherever the key
+    // now lives (stale routes are nacked and retried transparently).
+    for i in 0..KEYS {
+        let id = c.router().get(&format!("user:{i}"));
+        match finish(c, id) {
+            Completion::Get { value, .. } => assert_eq!(value.as_deref(), Some(&*format!("v{i}"))),
+            other => panic!("expected a Get, got {other:?}"),
         }
     }
+
+    // Phase 4: an atomic cross-shard write (two-phase commit over two
+    // total orders) and a fence read that snapshots both keys at once.
+    let a = "user:0".to_string();
+    let b = (1..KEYS)
+        .map(|i| format!("user:{i}"))
+        .find(|k| {
+            let map = c.router().map();
+            map.owner(key_hash(k)) != map.owner(key_hash(&a))
+        })
+        .expect("a key on another shard");
+    let id = c.router().cross_put(vec![(a.clone(), "left".into()), (b.clone(), "right".into())]);
+    assert!(matches!(finish(c, id), Completion::TxCommitted));
+    let id = c.router().fence(vec![a, b]);
+    let Completion::Fence { values } = finish(c, id) else { panic!("expected a Fence") };
+    assert_eq!(values[0].1.as_deref(), Some("left"));
+    assert_eq!(values[1].1.as_deref(), Some("right"));
 }
 
 fn main() {
     let backend = Backend::from_args();
-    // 5% loss, duplication and jitter on the live network: the
-    // protocol's negative acknowledgements absorb all of it. (The
-    // simulator models the paper's quiet Ethernet.)
-    let spec = RunSpec::new(7).with_fault(FaultPlan::lossy(0.05));
+    let spec = ShardSpec::new(7, SHARDS, MEMBERS).with_spares(1);
+    let shards_after = SHARDS + 1;
 
-    let stores: Vec<Arc<Mutex<BTreeMap<String, String>>>> =
-        (0..REPLICAS).map(|_| Arc::new(Mutex::new(BTreeMap::new()))).collect();
-    let apps: Vec<Box<dyn GroupApp>> = stores
-        .iter()
-        .map(|s| Box::new(KvReplica::new(Arc::clone(s))) as Box<dyn GroupApp>)
-        .collect();
+    // Run the identical workload on the chosen backend, then audit:
+    // every group's delivery log must pass the standard audit, and
+    // every acknowledged write must be present under the final map.
+    let (stats, groups, board, acked) = match backend {
+        Backend::Sim => {
+            let mut c = SimCluster::new(spec);
+            drive(&mut c);
+            assert!(c.halt(), "apps did not stop");
+            let stats = c.router().stats().clone();
+            let acked = c.router().acked_writes().clone();
+            (stats, c.groups, c.board, acked)
+        }
+        Backend::Live => {
+            let mut c = LiveCluster::new(spec, FaultPlan::reliable());
+            drive(&mut c);
+            assert!(c.halt(), "apps did not stop");
+            let stats = c.router().stats().clone();
+            let acked = c.router().acked_writes().clone();
+            (stats, c.groups, c.board, acked)
+        }
+    };
 
-    amoeba::app::run(backend, spec, apps);
-
-    let final_stores: Vec<BTreeMap<String, String>> =
-        stores.iter().map(|s| s.lock().unwrap().clone()).collect();
-    assert_eq!(final_stores[0], final_stores[1], "replicas 1 and 2 diverged");
-    assert_eq!(final_stores[1], final_stores[2], "replicas 2 and 3 diverged");
-    println!(
-        "[{backend}] all {} keys identical on {REPLICAS} replicas:",
-        final_stores[0].len()
-    );
-    for (k, v) in final_stores[0].iter().take(5) {
-        println!("  {k} = {v}");
+    for group in &groups {
+        let fates = vec![EndFate::Live; group.logs.len()];
+        let violations = audit_group(group, &fates, true);
+        assert!(violations.is_empty(), "group {}: {violations:?}", group.id);
     }
-    println!("  …");
+    let lost = lost_acked_writes(&acked, &board, &groups, |_| 0);
+    assert!(lost.is_empty(), "lost acked writes: {lost:?}");
+
+    println!(
+        "[{backend}] {KEYS} keys served by {shards_after} shards after an online split; \
+         {} puts, {} gets, {} cross-shard tx, {} fences — clean audit, no lost writes",
+        stats.puts_acked, stats.gets_acked, stats.txs_committed, stats.fences_done
+    );
 }

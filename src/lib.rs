@@ -23,6 +23,9 @@
 //! DESIGN.md §8): write an event-driven [`app::GroupApp`] once and run
 //! it on either backend — `amoeba::app::run(Backend::Sim, …)` hosts it
 //! inside the simulated kernel, `Backend::Live` on the live runtime.
+//! Above that, [`shard`] (DESIGN.md §11) partitions a keyspace across
+//! many groups: a replicated shard map, routed client operations,
+//! online split/merge/rebalance and cross-shard reads.
 //! [`prelude`] re-exports the types every program needs, and [`Error`]
 //! is the stack-wide error surface.
 //!
@@ -59,4 +62,5 @@ pub use amoeba_kernel as kernel;
 pub use amoeba_net as net;
 pub use amoeba_rpc as rpc;
 pub use amoeba_runtime as runtime;
+pub use amoeba_shard as shard;
 pub use amoeba_sim as sim;

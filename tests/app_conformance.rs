@@ -383,3 +383,102 @@ fn crash_and_reset_script_agrees_across_backends() {
     assert_eq!(sim[2], full, "sim: survivor 2 log");
     assert_eq!(sim, live, "crash + reset delivery orders differ between backends");
 }
+
+// ---------------------------------------------------------------------
+// Script 4: the sharded serving layer (DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+use std::collections::BTreeMap;
+
+use amoeba::shard::{
+    run_reshard, run_until, Cluster, Completion, LiveCluster, ReshardGoal, ShardSpec, SimCluster,
+};
+
+/// A fully scripted sharded workload: sequential routed writes, an
+/// online split, sequential reads. Sequencing every operation (submit,
+/// pump to completion, submit the next) pins each gateway's submission
+/// order, so both backends must produce identical per-member delivery
+/// logs `(origin, gateway seq)` in every group — meta included — and
+/// identical per-key final states on every replica.
+fn drive_sharded<C: Cluster + ?Sized>(c: &mut C) {
+    let await_op = |c: &mut C, id: u64| -> Completion {
+        let mut out = None;
+        let done = run_until(c, 60_000, |r| {
+            if out.is_none() {
+                out = r.take(id);
+            }
+            out.is_some()
+        });
+        assert!(done, "sharded op {id} never completed");
+        out.unwrap()
+    };
+    for i in 0..8 {
+        let id = c.router().put(&format!("user:{i}"), &format!("v{i}"));
+        await_op(c, id);
+    }
+    let (start, end) = {
+        let map = c.router().map();
+        let i = map.ranges.iter().position(|r| r.group == 1).expect("group 1 owns a range");
+        map.bounds(i)
+    };
+    let mid = start + end.wrapping_sub(start) / 2;
+    assert!(run_reshard(c, ReshardGoal::Split { at: mid, to: 3 }, 120_000), "split stalled");
+    for i in 0..8 {
+        let id = c.router().get(&format!("user:{i}"));
+        let Completion::Get { value, .. } = await_op(c, id) else { panic!("expected a Get") };
+        assert_eq!(value.as_deref(), Some(&*format!("v{i}")), "sharded read-back");
+    }
+}
+
+/// Per-group per-member delivery logs plus per-member final stores.
+type ShardOutcome = (Vec<Vec<Vec<(u32, u64)>>>, Vec<Vec<BTreeMap<String, String>>>);
+
+fn sharded_logs_and_stores(groups: &[amoeba::shard::ShardGroup]) -> ShardOutcome {
+    let logs = groups
+        .iter()
+        .map(|g| g.logs.iter().map(|l| l.lock().unwrap().clone()).collect())
+        .collect();
+    let stores = groups
+        .iter()
+        .map(|g| g.stores.iter().map(|s| s.lock().unwrap().clone()).collect())
+        .collect();
+    (logs, stores)
+}
+
+#[test]
+fn sharded_kv_agrees_across_backends() {
+    let spec = || ShardSpec::new(23, 2, 3).with_spares(1);
+
+    let sim = {
+        let mut c = SimCluster::new(spec());
+        drive_sharded(&mut c);
+        assert!(c.halt(), "sim shard apps did not stop");
+        let mut groups = c.groups;
+        groups.push(c.meta);
+        sharded_logs_and_stores(&groups)
+    };
+    let live = {
+        let mut c = LiveCluster::new(spec(), FaultPlan::reliable());
+        drive_sharded(&mut c);
+        assert!(c.halt(), "live shard apps did not stop");
+        let mut groups = c.groups;
+        groups.push(c.meta);
+        sharded_logs_and_stores(&groups)
+    };
+
+    // Within each backend, every replica of a group agrees…
+    for (g, member_logs) in sim.0.iter().enumerate() {
+        for log in member_logs.iter().skip(1) {
+            assert_eq!(log, &member_logs[0], "sim group {g}: replica logs diverged");
+        }
+    }
+    // The meta group carries no stores, so its entry is an empty vec.
+    for (g, member_stores) in sim.1.iter().enumerate() {
+        for store in member_stores.iter().skip(1) {
+            assert_eq!(store, &member_stores[0], "sim group {g}: replica stores diverged");
+        }
+    }
+    // …and across backends the histories and final states are equal.
+    assert_eq!(sim.0, live.0, "per-shard delivery logs differ between backends");
+    assert_eq!(sim.1, live.1, "per-key final states differ between backends");
+}
