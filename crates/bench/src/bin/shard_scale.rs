@@ -18,8 +18,9 @@
 //! inside the wire's budget (DESIGN.md §6).
 //!
 //! With `--json <path>`: if the file exists, a `"shard_scale"` object
-//! is spliced in before the closing brace; otherwise a fresh document
-//! is written.
+//! is spliced in before the closing brace, replacing any previous
+//! `"shard_scale"` member; otherwise a fresh document is written.
+//! Re-running against the same path is idempotent.
 
 use std::time::Instant;
 
@@ -80,6 +81,54 @@ fn run_world(shards: usize) -> Run {
     }
 }
 
+/// Removes every `"shard_scale": { ... }` member (with one adjacent
+/// comma each) from a JSON document by brace matching — the documents
+/// this tool consumes are the flat ones it and its siblings write, so
+/// no string escapes to worry about.
+fn strip_shard_scale(doc: &str) -> String {
+    let mut doc = doc.to_string();
+    while let Some(key_at) = doc.find("\"shard_scale\"") {
+        let Some(open) = doc[key_at..].find('{').map(|i| key_at + i) else { return doc };
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, b) in doc[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(mut end) = close else { return doc };
+        let mut start = key_at;
+        let before = doc[..start].trim_end();
+        if before.ends_with(',') {
+            start = before.len() - 1;
+        } else if let Some(c) = doc[end..].find(',') {
+            if doc[end..end + c].trim().is_empty() {
+                end += c + 1;
+            }
+        }
+        doc.replace_range(start..end, "");
+    }
+    doc
+}
+
+/// Splices `obj` in as the document's `"shard_scale"` member,
+/// replacing any existing one.
+fn merge_doc(existing: &str, obj: &str) -> String {
+    let stripped = strip_shard_scale(existing);
+    let body = stripped.trim_end().strip_suffix('}').expect("existing json document");
+    let body = body.trim_end().trim_end_matches(',');
+    let sep = if body.trim() == "{" { "" } else { "," };
+    format!("{body}{sep}\n  \"shard_scale\": {obj}\n}}\n")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = args
@@ -114,18 +163,43 @@ fn main() {
         }
         obj.push_str(&format!("    \"scaling_1_to_8\": {scaling:.2}\n  }}"));
         let doc = match std::fs::read_to_string(&path) {
-            Ok(existing) => {
-                let trimmed = existing.trim_end();
-                let body = trimmed.strip_suffix('}').expect("existing json document");
-                format!(
-                    "{},\n  \"shard_scale\": {}\n}}\n",
-                    body.trim_end().trim_end_matches(','),
-                    obj
-                )
-            }
+            Ok(existing) => merge_doc(&existing, &obj),
             Err(_) => format!("{{\n  \"shard_scale\": {}\n}}\n", obj),
         };
         std::fs::write(&path, doc).expect("write json");
         println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: &str = "{\n    \"scaling_1_to_8\": 6.63\n  }";
+
+    #[test]
+    fn merge_replaces_instead_of_duplicating() {
+        let first = merge_doc("{\n  \"other\": 1\n}\n", OBJ);
+        assert_eq!(first.matches("\"shard_scale\"").count(), 1);
+        assert!(first.contains("\"other\": 1"));
+        let second = merge_doc(&first, OBJ);
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn merge_into_sole_key_document_is_idempotent() {
+        let first = merge_doc("{}\n", OBJ);
+        assert_eq!(first.matches("\"shard_scale\"").count(), 1);
+        assert_eq!(merge_doc(&first, OBJ), first);
+    }
+
+    #[test]
+    fn strip_repairs_a_duplicated_document() {
+        let dup = format!(
+            "{{\n  \"shard_scale\": {OBJ},\n  \"shard_scale\": {OBJ}\n}}\n"
+        );
+        let merged = merge_doc(&dup, OBJ);
+        assert_eq!(merged.matches("\"shard_scale\"").count(), 1);
+        assert_eq!(merge_doc(&merged, OBJ), merged);
     }
 }

@@ -13,6 +13,16 @@
 //! All operations are idempotent at the replica: an ambiguous send
 //! (reported failed but actually ordered) that is retried applies
 //! twice with the same effect, and the router drops the second reply.
+//! Two mechanisms make that exact rather than approximate. Move steps
+//! carry a move id and replicas apply each id at most once (a
+//! re-delivered `Install` must not clobber writes applied after the
+//! move committed). Fences and 2PC operations additionally carry an
+//! *attempt* number, bumped by the router each time it re-runs the
+//! operation from scratch: replicas ignore 2PC traffic for attempts
+//! they have already resolved (committed or aborted), and both sides
+//! echo the attempt in replies so the router can discard stragglers
+//! from a superseded attempt instead of mixing them into the current
+//! one.
 
 /// One operation submitted to a data group. `end == 0` in range fields
 /// means the top of the ring (see [`crate::map::range_contains`]).
@@ -25,9 +35,10 @@ pub enum ShardOp {
     Get { id: u64, key: String },
     /// Cross-shard consistent read: executes at one point of *this*
     /// group's total order; the router assembles one fence per
-    /// involved group and retries the whole set if any group's
-    /// ownership moved in between (see DESIGN.md §11.4).
-    Fence { id: u64, keys: Vec<String> },
+    /// involved group and retries the whole set (under a fresh
+    /// `attempt`) if any group's ownership moved in between (see
+    /// DESIGN.md §11.4).
+    Fence { id: u64, attempt: u64, keys: Vec<String> },
     /// Move step 1 (at the source): stop serving `[start, end)` and
     /// snapshot its entries at this point of the total order.
     Freeze { mv: u64, start: u64, end: u64 },
@@ -37,13 +48,15 @@ pub enum ShardOp {
     /// Move step 3 (at the source, after the map committed): drop the
     /// range and its entries.
     Retire { mv: u64, start: u64, end: u64 },
-    /// 2PC phase 1: lock the listed keys for transaction `tx` and
-    /// stage the writes.
-    Prepare { tx: u64, writes: Vec<(String, String)> },
-    /// 2PC phase 2: apply this group's staged writes for `tx`.
-    Commit { tx: u64 },
-    /// 2PC abort: drop this group's locks for `tx`.
-    Abort { tx: u64 },
+    /// 2PC phase 1: lock the listed keys for transaction `tx` (run
+    /// number `attempt`) and stage the writes.
+    Prepare { tx: u64, attempt: u64, writes: Vec<(String, String)> },
+    /// 2PC phase 2: apply this group's writes staged for `(tx,
+    /// attempt)`.
+    Commit { tx: u64, attempt: u64 },
+    /// 2PC abort: drop this group's locks for `tx` and resolve
+    /// `attempt`.
+    Abort { tx: u64, attempt: u64 },
     /// Shut the group down: every member stops its app.
     Halt,
 }
@@ -71,21 +84,23 @@ pub enum Reply {
     /// Operation refused; retry (after a map refresh if `WrongShard`).
     Nacked { id: u64, why: NackReason },
     /// Fence executed: one consistent point per key in this group.
-    FenceRead { id: u64, values: Vec<(String, Option<String>)> },
+    /// Echoes the fence's attempt so the router can discard replies
+    /// from a superseded attempt.
+    FenceRead { id: u64, attempt: u64, values: Vec<(String, Option<String>)> },
     /// Freeze applied; `entries` is the range snapshot.
     Frozen { mv: u64, entries: Vec<(String, String)> },
     /// Install applied.
     Installed { mv: u64 },
     /// Retire applied.
     Retired { mv: u64 },
-    /// All keys locked and writes staged.
-    TxPrepared { tx: u64 },
+    /// All keys locked and writes staged (for this attempt).
+    TxPrepared { tx: u64, attempt: u64 },
     /// Some key was unavailable; nothing was locked here.
-    TxRejected { tx: u64, why: NackReason },
+    TxRejected { tx: u64, attempt: u64, why: NackReason },
     /// Staged writes applied.
-    TxCommitted { tx: u64 },
+    TxCommitted { tx: u64, attempt: u64 },
     /// Locks dropped.
-    TxAborted { tx: u64 },
+    TxAborted { tx: u64, attempt: u64 },
 }
 
 /// Keys and values travel in a pipe/semicolon/equals-delimited text
@@ -118,15 +133,17 @@ impl ShardOp {
         match self {
             ShardOp::Put { id, key, value } => format!("P|{id}|{key}|{value}"),
             ShardOp::Get { id, key } => format!("G|{id}|{key}"),
-            ShardOp::Fence { id, keys } => format!("X|{id}|{}", keys.join(";")),
+            ShardOp::Fence { id, attempt, keys } => format!("X|{id}|{attempt}|{}", keys.join(";")),
             ShardOp::Freeze { mv, start, end } => format!("F|{mv}|{start}|{end}"),
             ShardOp::Install { mv, start, end, entries } => {
                 format!("I|{mv}|{start}|{end}|{}", encode_entries(entries))
             }
             ShardOp::Retire { mv, start, end } => format!("R|{mv}|{start}|{end}"),
-            ShardOp::Prepare { tx, writes } => format!("TP|{tx}|{}", encode_entries(writes)),
-            ShardOp::Commit { tx } => format!("TC|{tx}"),
-            ShardOp::Abort { tx } => format!("TA|{tx}"),
+            ShardOp::Prepare { tx, attempt, writes } => {
+                format!("TP|{tx}|{attempt}|{}", encode_entries(writes))
+            }
+            ShardOp::Commit { tx, attempt } => format!("TC|{tx}|{attempt}"),
+            ShardOp::Abort { tx, attempt } => format!("TA|{tx}|{attempt}"),
             ShardOp::Halt => "Q".to_string(),
         }
     }
@@ -154,14 +171,16 @@ impl ShardOp {
                 token_ok(key).then(|| ShardOp::Get { id, key: key.to_string() })
             }
             "X" => {
-                let (id, keys) = rest.split_once('|')?;
-                let id = id.parse().ok()?;
-                let keys: Option<Vec<String>> = keys
+                let mut f = rest.splitn(3, '|');
+                let id = f.next()?.parse().ok()?;
+                let attempt = f.next()?.parse().ok()?;
+                let keys: Option<Vec<String>> = f
+                    .next()?
                     .split(';')
                     .map(|k| token_ok(k).then(|| k.to_string()))
                     .collect();
                 let keys = keys?;
-                (!keys.is_empty()).then_some(ShardOp::Fence { id, keys })
+                (!keys.is_empty()).then_some(ShardOp::Fence { id, attempt, keys })
             }
             "F" | "R" => {
                 let mut f = rest.split('|');
@@ -186,13 +205,22 @@ impl ShardOp {
                 Some(ShardOp::Install { mv, start, end, entries })
             }
             "TP" => {
-                let (tx, writes) = rest.split_once('|')?;
-                let tx = tx.parse().ok()?;
-                let writes = decode_entries(writes)?;
-                (!writes.is_empty()).then_some(ShardOp::Prepare { tx, writes })
+                let mut f = rest.splitn(3, '|');
+                let tx = f.next()?.parse().ok()?;
+                let attempt = f.next()?.parse().ok()?;
+                let writes = decode_entries(f.next()?)?;
+                (!writes.is_empty()).then_some(ShardOp::Prepare { tx, attempt, writes })
             }
-            "TC" => Some(ShardOp::Commit { tx: rest.parse().ok()? }),
-            "TA" => Some(ShardOp::Abort { tx: rest.parse().ok()? }),
+            "TC" | "TA" => {
+                let (tx, attempt) = rest.split_once('|')?;
+                let tx = tx.parse().ok()?;
+                let attempt = attempt.parse().ok()?;
+                Some(if tag == "TC" {
+                    ShardOp::Commit { tx, attempt }
+                } else {
+                    ShardOp::Abort { tx, attempt }
+                })
+            }
             "Q" => rest.is_empty().then_some(ShardOp::Halt),
             _ => None,
         }
@@ -219,7 +247,7 @@ mod tests {
         let ops = [
             ShardOp::Put { id: 1, key: "k".into(), value: "v".into() },
             ShardOp::Get { id: 2, key: "key-2".into() },
-            ShardOp::Fence { id: 3, keys: vec!["a".into(), "b".into()] },
+            ShardOp::Fence { id: 3, attempt: 2, keys: vec!["a".into(), "b".into()] },
             ShardOp::Freeze { mv: 4, start: 10, end: 0 },
             ShardOp::Install {
                 mv: 5,
@@ -229,9 +257,9 @@ mod tests {
             },
             ShardOp::Install { mv: 6, start: 0, end: 9, entries: vec![] },
             ShardOp::Retire { mv: 7, start: 3, end: 4 },
-            ShardOp::Prepare { tx: 8, writes: vec![("x".into(), "y".into())] },
-            ShardOp::Commit { tx: 9 },
-            ShardOp::Abort { tx: 10 },
+            ShardOp::Prepare { tx: 8, attempt: 1, writes: vec![("x".into(), "y".into())] },
+            ShardOp::Commit { tx: 9, attempt: 3 },
+            ShardOp::Abort { tx: 10, attempt: 1 },
             ShardOp::Halt,
         ];
         for op in ops {
@@ -242,8 +270,10 @@ mod tests {
 
     #[test]
     fn malformed_bodies_rejected() {
-        for bad in ["", "Z|1", "P|1|k", "P|x|k|v", "G|1|", "X|1|", "I|1|2|3", "Q|extra", "P|1|k|v|w"]
-        {
+        for bad in [
+            "", "Z|1", "P|1|k", "P|x|k|v", "G|1|", "X|1|", "X|1|2|", "X|1|a", "I|1|2|3",
+            "Q|extra", "P|1|k|v|w", "TP|1|k=v", "TC|9", "TA|10", "TC|9|x",
+        ] {
             assert_eq!(ShardOp::decode(bad), None, "{bad:?}");
         }
     }

@@ -16,6 +16,11 @@
 //! a lost acked write. Cross-shard transactions claim all their keys
 //! before issuing (all-or-queue, so two transactions can never
 //! deadlock on each other's partial claims).
+//!
+//! Fences and transactions re-run from scratch on any setback, and
+//! every run carries an *attempt* number echoed in replies: a
+//! straggling reply from a superseded attempt is discarded rather
+//! than merged into the current one (see [`crate::op`]).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -87,9 +92,28 @@ type FencePart = Option<Vec<(String, Option<String>)>>;
 enum Pending {
     Put { key: String, value: String },
     Get { key: String },
-    Fence { keys: Vec<String>, parts: BTreeMap<u64, FencePart> },
+    /// `attempt` is bumped on every (re-)issue; replies echo it, so
+    /// stragglers from a superseded attempt are discarded instead of
+    /// filling a slot of the current one. `owners` records each key's
+    /// owning group at issue time — if any differs at assembly time,
+    /// ownership moved mid-fence and the whole fence re-runs
+    /// (DESIGN.md §11.4).
+    Fence {
+        keys: Vec<String>,
+        attempt: u64,
+        owners: BTreeMap<String, u64>,
+        parts: BTreeMap<u64, FencePart>,
+    },
     Move { kind: MoveKind, group: u64, start: u64, end: u64, entries: Vec<(String, String)> },
-    Tx { writes: Vec<(String, String)>, waits: BTreeMap<u64, bool>, phase: TxPhase },
+    /// `attempt` is bumped on each fresh prepare round; replicas
+    /// resolve (commit/abort) per attempt and the router drops replies
+    /// from superseded attempts.
+    Tx {
+        writes: Vec<(String, String)>,
+        attempt: u64,
+        waits: BTreeMap<u64, bool>,
+        phase: TxPhase,
+    },
 }
 
 /// See the module docs.
@@ -151,7 +175,15 @@ impl Router {
     pub fn fence(&mut self, keys: Vec<String>) -> u64 {
         assert!(!keys.is_empty());
         let id = self.fresh_id();
-        self.pending.insert(id, Pending::Fence { keys, parts: BTreeMap::new() });
+        self.pending.insert(
+            id,
+            Pending::Fence {
+                keys,
+                attempt: 0,
+                owners: BTreeMap::new(),
+                parts: BTreeMap::new(),
+            },
+        );
         self.enqueue_or_issue(id);
         id
     }
@@ -161,8 +193,10 @@ impl Router {
     pub fn cross_put(&mut self, writes: Vec<(String, String)>) -> u64 {
         assert!(!writes.is_empty());
         let id = self.fresh_id();
-        self.pending
-            .insert(id, Pending::Tx { writes, waits: BTreeMap::new(), phase: TxPhase::Preparing });
+        self.pending.insert(
+            id,
+            Pending::Tx { writes, attempt: 0, waits: BTreeMap::new(), phase: TxPhase::Preparing },
+        );
         self.enqueue_or_issue(id);
         id
     }
@@ -336,15 +370,20 @@ impl Router {
                 let group = self.map.owner(key_hash(&key));
                 self.push(group, &ShardOp::Get { id, key });
             }
-            Pending::Fence { keys, parts } => {
+            Pending::Fence { keys, attempt, owners, parts } => {
+                *attempt += 1;
+                let attempt = *attempt;
                 let mut by_group: BTreeMap<u64, Vec<String>> = BTreeMap::new();
                 let map = &self.map;
+                owners.clear();
                 for k in keys.iter() {
-                    by_group.entry(map.owner(key_hash(k))).or_default().push(k.clone());
+                    let g = map.owner(key_hash(k));
+                    owners.insert(k.clone(), g);
+                    by_group.entry(g).or_default().push(k.clone());
                 }
                 *parts = by_group.keys().map(|&g| (g, None)).collect();
                 for (g, keys) in by_group {
-                    self.push(g, &ShardOp::Fence { id, keys });
+                    self.push(g, &ShardOp::Fence { id, attempt, keys });
                 }
             }
             Pending::Move { kind, group, start, end, entries } => {
@@ -358,13 +397,15 @@ impl Router {
                 };
                 self.push(group, &op);
             }
-            Pending::Tx { writes, waits, phase } => {
+            Pending::Tx { writes, attempt, waits, phase } => {
                 // Prepare routes by the current map; Commit and Abort
                 // must go to exactly the groups the prepare reached
                 // (recorded in `waits`), never re-routed — a map
                 // refresh mid-transaction must not strand locks.
                 let ops: Vec<(u64, ShardOp)> = match phase {
                     TxPhase::Preparing => {
+                        *attempt += 1;
+                        let attempt = *attempt;
                         let mut by_group: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
                         let map = &self.map;
                         for (k, v) in writes.iter() {
@@ -376,16 +417,18 @@ impl Router {
                         *waits = by_group.keys().map(|&g| (g, false)).collect();
                         by_group
                             .into_iter()
-                            .map(|(g, writes)| (g, ShardOp::Prepare { tx: id, writes }))
+                            .map(|(g, writes)| (g, ShardOp::Prepare { tx: id, attempt, writes }))
                             .collect()
                     }
                     TxPhase::Committing => {
+                        let attempt = *attempt;
                         waits.values_mut().for_each(|d| *d = false);
-                        waits.keys().map(|&g| (g, ShardOp::Commit { tx: id })).collect()
+                        waits.keys().map(|&g| (g, ShardOp::Commit { tx: id, attempt })).collect()
                     }
                     TxPhase::Aborting => {
+                        let attempt = *attempt;
                         waits.values_mut().for_each(|d| *d = false);
-                        waits.keys().map(|&g| (g, ShardOp::Abort { tx: id })).collect()
+                        waits.keys().map(|&g| (g, ShardOp::Abort { tx: id, attempt })).collect()
                     }
                 };
                 for (g, op) in ops {
@@ -433,11 +476,20 @@ impl Router {
                     self.stats.duplicate_replies += 1;
                 }
             }
-            Reply::FenceRead { id, values } => {
-                let Some(Pending::Fence { keys, parts }) = self.pending.get_mut(&id) else {
+            Reply::FenceRead { id, attempt, values } => {
+                let Some(Pending::Fence { keys, attempt: cur, owners, parts }) =
+                    self.pending.get_mut(&id)
+                else {
                     self.stats.duplicate_replies += 1;
                     return;
                 };
+                if attempt != *cur {
+                    // Straggler from a superseded attempt (it was
+                    // re-issued after a nack) — mixing it in would
+                    // assemble a cross-attempt, pre-move snapshot.
+                    self.stats.duplicate_replies += 1;
+                    return;
+                }
                 match parts.get_mut(&from_group) {
                     Some(slot) => {
                         if slot.replace(values).is_some() {
@@ -450,6 +502,16 @@ impl Router {
                     }
                 }
                 if parts.values().all(Option::is_some) {
+                    // Assembly-time check (DESIGN.md §11.4): if any
+                    // involved key's owner differs from the owner the
+                    // fence was issued against, ownership moved
+                    // between the first and last reply — the combined
+                    // snapshot spans a move, so the whole fence
+                    // re-runs under the refreshed map.
+                    if keys.iter().any(|k| self.map.owner(key_hash(k)) != owners[k]) {
+                        self.deferred.insert(id);
+                        return;
+                    }
                     let mut merged: BTreeMap<String, Option<String>> = BTreeMap::new();
                     for part in parts.values().flatten() {
                         for (k, v) in part {
@@ -482,13 +544,18 @@ impl Router {
                 }
                 _ => self.stats.duplicate_replies += 1,
             },
-            Reply::TxPrepared { tx } => {
-                let Some(Pending::Tx { waits, phase: TxPhase::Preparing, .. }) =
-                    self.pending.get_mut(&tx)
+            Reply::TxPrepared { tx, attempt } => {
+                let Some(Pending::Tx {
+                    attempt: cur, waits, phase: TxPhase::Preparing, ..
+                }) = self.pending.get_mut(&tx)
                 else {
                     self.stats.duplicate_replies += 1;
                     return;
                 };
+                if attempt != *cur {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                }
                 if let Some(done) = waits.get_mut(&from_group) {
                     *done = true;
                 }
@@ -500,26 +567,42 @@ impl Router {
                     self.issue(tx);
                 }
             }
-            Reply::TxRejected { tx, why } => {
+            Reply::TxRejected { tx, attempt, why } => {
                 self.note_nack(why);
-                let Some(Pending::Tx { phase, .. }) = self.pending.get_mut(&tx) else {
-                    self.stats.duplicate_replies += 1;
-                    return;
-                };
-                if matches!(phase, TxPhase::Preparing) {
-                    // Roll back whatever did prepare, then retry the
-                    // whole transaction under a refreshed map.
-                    *phase = TxPhase::Aborting;
-                    self.issue(tx);
-                }
-            }
-            Reply::TxCommitted { tx } => {
-                let Some(Pending::Tx { waits, phase: TxPhase::Committing, .. }) =
-                    self.pending.get_mut(&tx)
+                let Some(Pending::Tx { attempt: cur, phase, .. }) = self.pending.get_mut(&tx)
                 else {
                     self.stats.duplicate_replies += 1;
                     return;
                 };
+                if attempt != *cur {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                }
+                match phase {
+                    // Preparing: some group refused to lock. Committing:
+                    // a replica refused to apply (its staged range went
+                    // frozen or unowned). Either way, roll back whatever
+                    // did prepare and retry the whole transaction under
+                    // a refreshed map and a fresh attempt.
+                    TxPhase::Preparing | TxPhase::Committing => {
+                        *phase = TxPhase::Aborting;
+                        self.issue(tx);
+                    }
+                    TxPhase::Aborting => {}
+                }
+            }
+            Reply::TxCommitted { tx, attempt } => {
+                let Some(Pending::Tx {
+                    attempt: cur, waits, phase: TxPhase::Committing, ..
+                }) = self.pending.get_mut(&tx)
+                else {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                };
+                if attempt != *cur {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                }
                 if let Some(done) = waits.get_mut(&from_group) {
                     *done = true;
                 }
@@ -534,13 +617,18 @@ impl Router {
                     self.complete(tx, Completion::TxCommitted);
                 }
             }
-            Reply::TxAborted { tx } => {
-                let Some(Pending::Tx { waits, phase: TxPhase::Aborting, .. }) =
-                    self.pending.get_mut(&tx)
+            Reply::TxAborted { tx, attempt } => {
+                let Some(Pending::Tx {
+                    attempt: cur, waits, phase: TxPhase::Aborting, ..
+                }) = self.pending.get_mut(&tx)
                 else {
                     self.stats.duplicate_replies += 1;
                     return;
                 };
+                if attempt != *cur {
+                    self.stats.duplicate_replies += 1;
+                    return;
+                }
                 if let Some(done) = waits.get_mut(&from_group) {
                     *done = true;
                 }
@@ -553,5 +641,163 @@ impl Router {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::map::{new_board, publish, MapCmd};
+
+    use super::*;
+
+    /// A two-group router over bare ports — the tests below play the
+    /// replica side by hand, which is the only way to inject the
+    /// stale/straggler replies a live cluster produces rarely.
+    fn setup() -> (Router, GatewayPort, GatewayPort, crate::map::MapBoard) {
+        let map = crate::map::ShardMap::uniform(&[1, 2]);
+        let board = new_board(map);
+        let (p1, p2) = (GatewayPort::new(), GatewayPort::new());
+        let ports = BTreeMap::from([(1, p1.clone()), (2, p2.clone())]);
+        (Router::new(board.clone(), ports), p1, p2, board)
+    }
+
+    /// A key owned by `group` under `map`.
+    fn key_on(map: &ShardMap, group: u64) -> String {
+        (0..)
+            .map(|i| format!("key{i}"))
+            .find(|k| map.owner(key_hash(k)) == group)
+            .unwrap()
+    }
+
+    fn sent_ops(port: &GatewayPort) -> Vec<ShardOp> {
+        port.inbox.lock().unwrap().drain(..).map(|b| ShardOp::decode(&b).unwrap()).collect()
+    }
+
+    fn reply(port: &GatewayPort, r: Reply) {
+        port.outbox.lock().unwrap().push_back(r);
+    }
+
+    fn fence_read(key: &str, value: &str, attempt: u64, id: u64) -> Reply {
+        Reply::FenceRead {
+            id,
+            attempt,
+            values: vec![(key.to_string(), Some(value.to_string()))],
+        }
+    }
+
+    #[test]
+    fn stale_fence_reply_cannot_complete_a_fresh_attempt() {
+        let (mut r, p1, p2, _board) = setup();
+        let map = r.map().clone();
+        let (a, b) = (key_on(&map, 1), key_on(&map, 2));
+        let id = r.fence(vec![a.clone(), b.clone()]);
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Fence { attempt: 1, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Fence { attempt: 1, .. }]));
+        // Group 1 answers; group 2 nacks (mid-move), so the fence
+        // re-runs as attempt 2.
+        reply(&p1, fence_read(&a, "old-a", 1, id));
+        reply(&p2, Reply::Nacked { id, why: NackReason::Frozen });
+        r.pump();
+        r.pump(); // re-issue of the deferred fence
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Fence { attempt: 2, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Fence { attempt: 2, .. }]));
+        // A straggler from attempt 1 (the nacked broadcast was also
+        // applied — ambiguous sends do that) must not fill attempt 2's
+        // slot with a pre-move snapshot.
+        reply(&p2, fence_read(&b, "stale-b", 1, id));
+        r.pump();
+        assert!(r.take(id).is_none(), "fence completed off a stale straggler");
+        reply(&p1, fence_read(&a, "new-a", 2, id));
+        reply(&p2, fence_read(&b, "new-b", 2, id));
+        r.pump();
+        let Some(Completion::Fence { values }) = r.take(id) else {
+            panic!("fence did not complete");
+        };
+        assert_eq!(
+            values,
+            vec![
+                (a, Some("new-a".to_string())),
+                (b, Some("new-b".to_string())),
+            ]
+        );
+        assert!(r.stats().duplicate_replies > 0);
+    }
+
+    #[test]
+    fn fence_reruns_when_ownership_moves_between_replies() {
+        let (mut r, p1, p2, board) = setup();
+        let map = r.map().clone();
+        let (a, b) = (key_on(&map, 1), key_on(&map, 2));
+        let id = r.fence(vec![a.clone(), b.clone()]);
+        sent_ops(&p1);
+        sent_ops(&p2);
+        reply(&p1, fence_read(&a, "pre-move", 1, id));
+        // Between the two replies, a's whole range moves to group 2.
+        let start = map.ranges[map.range_index(key_hash(&a))].start;
+        let mut moved = board.lock().unwrap().clone();
+        moved.apply(&MapCmd::BeginMove { start, to: 2 });
+        moved.apply(&MapCmd::CommitMove { start });
+        publish(&board, &moved);
+        reply(&p2, fence_read(&b, "post-move", 1, id));
+        r.pump();
+        assert!(r.take(id).is_none(), "fence merged replies spanning a move");
+        // The re-run routes both keys to the new owner and completes.
+        r.pump();
+        assert!(sent_ops(&p1).is_empty(), "group 1 no longer owns any fence key");
+        match &sent_ops(&p2)[..] {
+            [ShardOp::Fence { attempt: 2, keys, .. }] => assert_eq!(keys.len(), 2),
+            other => panic!("expected one combined fence, got {other:?}"),
+        }
+        reply(
+            &p2,
+            Reply::FenceRead {
+                id,
+                attempt: 2,
+                values: vec![(a.clone(), Some("a2".into())), (b.clone(), Some("b2".into()))],
+            },
+        );
+        r.pump();
+        assert!(matches!(r.take(id), Some(Completion::Fence { .. })));
+    }
+
+    #[test]
+    fn commit_rejection_aborts_and_reruns_the_transaction() {
+        let (mut r, p1, p2, _board) = setup();
+        let map = r.map().clone();
+        let (a, b) = (key_on(&map, 1), key_on(&map, 2));
+        let tx = r.cross_put(vec![(a.clone(), "va".into()), (b.clone(), "vb".into())]);
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Prepare { attempt: 1, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Prepare { attempt: 1, .. }]));
+        reply(&p1, Reply::TxPrepared { tx, attempt: 1 });
+        reply(&p2, Reply::TxPrepared { tx, attempt: 1 });
+        r.pump();
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Commit { attempt: 1, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Commit { attempt: 1, .. }]));
+        // Group 1 applies; group 2 refuses (its staged range froze
+        // under it). The router must abort the attempt everywhere and
+        // re-run — not record the write as acked.
+        reply(&p1, Reply::TxCommitted { tx, attempt: 1 });
+        reply(&p2, Reply::TxRejected { tx, attempt: 1, why: NackReason::Frozen });
+        r.pump();
+        assert!(r.acked_writes().is_empty(), "half-committed tx recorded as acked");
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Abort { attempt: 1, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Abort { attempt: 1, .. }]));
+        reply(&p1, Reply::TxAborted { tx, attempt: 1 });
+        reply(&p2, Reply::TxAborted { tx, attempt: 1 });
+        r.pump();
+        r.pump(); // re-issue of the deferred transaction
+        assert!(matches!(sent_ops(&p1)[..], [ShardOp::Prepare { attempt: 2, .. }]));
+        assert!(matches!(sent_ops(&p2)[..], [ShardOp::Prepare { attempt: 2, .. }]));
+        reply(&p1, Reply::TxPrepared { tx, attempt: 2 });
+        reply(&p2, Reply::TxPrepared { tx, attempt: 2 });
+        r.pump();
+        sent_ops(&p1);
+        sent_ops(&p2);
+        reply(&p1, Reply::TxCommitted { tx, attempt: 2 });
+        reply(&p2, Reply::TxCommitted { tx, attempt: 2 });
+        r.pump();
+        assert!(matches!(r.take(tx), Some(Completion::TxCommitted)));
+        assert_eq!(r.acked_writes().get(&a).map(String::as_str), Some("va"));
+        assert_eq!(r.acked_writes().get(&b).map(String::as_str), Some("vb"));
     }
 }

@@ -18,7 +18,7 @@
 //! exactly one serving group at every instant, so a cross-shard read
 //! can never observe a half-moved range.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
 use amoeba_app::{AppEvent, Ctx, GroupApp, TimerId};
@@ -44,8 +44,17 @@ pub struct ShardServerApp {
     /// Owned ranges currently frozen for a move.
     frozen: Vec<(u64, u64)>,
     store: SharedStore,
-    /// 2PC locks: key → (transaction, staged value).
-    locks: BTreeMap<String, (u64, String)>,
+    /// 2PC locks: key → (transaction, attempt, staged value).
+    locks: BTreeMap<String, (u64, u64, String)>,
+    /// Move ids already applied — a re-delivered move step (a gateway
+    /// retry after an ambiguous send) must be a no-op, or a duplicate
+    /// `Install` would clobber writes applied after the move committed.
+    applied_moves: BTreeSet<u64>,
+    /// Per-transaction highest attempt resolved here (committed or
+    /// aborted). 2PC traffic at or below the resolved attempt is a
+    /// stale duplicate and is ignored — a late re-delivered `Prepare`
+    /// must never re-acquire locks nothing will ever release.
+    tx_resolved: BTreeMap<u64, u64>,
     log: SharedLog,
     /// Present on the gateway member only.
     gateway: Option<Gateway>,
@@ -61,7 +70,17 @@ impl ShardServerApp {
         log: SharedLog,
         gateway: Option<Gateway>,
     ) -> Self {
-        ShardServerApp { owned, frozen: Vec::new(), store, locks: BTreeMap::new(), log, gateway, me: MemberId(u32::MAX) }
+        ShardServerApp {
+            owned,
+            frozen: Vec::new(),
+            store,
+            locks: BTreeMap::new(),
+            applied_moves: BTreeSet::new(),
+            tx_resolved: BTreeMap::new(),
+            log,
+            gateway,
+            me: MemberId(u32::MAX),
+        }
     }
 
     fn owns(&self, h: u64) -> bool {
@@ -114,7 +133,7 @@ impl ShardServerApp {
                     self.reply(is_origin, Reply::Acked { id, value });
                 }
             },
-            ShardOp::Fence { id, keys } => {
+            ShardOp::Fence { id, attempt, keys } => {
                 if let Some(why) = keys.iter().find_map(|k| self.availability(k)) {
                     self.reply(is_origin, Reply::Nacked { id, why });
                 } else {
@@ -122,14 +141,31 @@ impl ShardServerApp {
                     let values =
                         keys.iter().map(|k| (k.clone(), store.get(k).cloned())).collect();
                     drop(store);
-                    self.reply(is_origin, Reply::FenceRead { id, values });
+                    self.reply(is_origin, Reply::FenceRead { id, attempt, values });
                 }
             }
             ShardOp::Freeze { mv, start, end } => {
+                if self.applied_moves.contains(&mv) {
+                    // Duplicate delivery; the first application already
+                    // froze the range and replied.
+                    return;
+                }
                 if !self.owned.iter().any(|&r| range_covers(r, (start, end))) {
                     self.reply(is_origin, Reply::Nacked { id: mv, why: NackReason::WrongShard });
                     return;
                 }
+                // Never freeze over staged 2PC locks: the snapshot
+                // would exclude them, and a commit acked after the
+                // destination installed that snapshot would be an
+                // acked write the destination never sees. Nack instead
+                // — the controller retries the freeze once the
+                // transaction resolves (prepares arriving after the
+                // freeze are rejected `Frozen`, so the wait is finite).
+                if self.locks.keys().any(|k| range_contains((start, end), key_hash(k))) {
+                    self.reply(is_origin, Reply::Nacked { id: mv, why: NackReason::Locked });
+                    return;
+                }
+                self.applied_moves.insert(mv);
                 if !self.frozen.contains(&(start, end)) {
                     self.frozen.push((start, end));
                 }
@@ -148,6 +184,12 @@ impl ShardServerApp {
                 self.reply(is_origin, Reply::Frozen { mv, entries });
             }
             ShardOp::Install { mv, start, end, entries } => {
+                if !self.applied_moves.insert(mv) {
+                    // Duplicate delivery: re-inserting the snapshot
+                    // would clobber writes applied since the move
+                    // committed.
+                    return;
+                }
                 if !self.owned.contains(&(start, end)) {
                     self.owned.push((start, end));
                 }
@@ -159,52 +201,93 @@ impl ShardServerApp {
                 self.reply(is_origin, Reply::Installed { mv });
             }
             ShardOp::Retire { mv, start, end } => {
+                if !self.applied_moves.insert(mv) {
+                    // Duplicate delivery: the range may have moved back
+                    // here since; dropping it again would lose data.
+                    return;
+                }
                 self.owned.retain(|&r| r != (start, end));
                 self.frozen.retain(|&r| r != (start, end));
                 self.store
                     .lock()
                     .unwrap()
                     .retain(|k, _| !range_contains((start, end), key_hash(k)));
-                self.locks.retain(|k, _| !range_contains((start, end), key_hash(k)));
+                // Freeze refuses ranges with staged locks and prepares
+                // are rejected while frozen, so no lock can be in a
+                // retired range — nothing to clean up here.
+                debug_assert!(
+                    !self.locks.keys().any(|k| range_contains((start, end), key_hash(k))),
+                    "retired range [{start}, {end}) still holds 2PC locks"
+                );
                 self.reply(is_origin, Reply::Retired { mv });
             }
-            ShardOp::Prepare { tx, writes } => {
+            ShardOp::Prepare { tx, attempt, writes } => {
+                if self.tx_resolved.get(&tx).is_some_and(|&a| a >= attempt) {
+                    // Stale duplicate: this attempt already committed
+                    // or aborted here. Re-staging its locks would leave
+                    // them held forever (no further Commit/Abort will
+                    // arrive), wedging every future write to the keys.
+                    return;
+                }
                 let verdict = writes.iter().find_map(|(k, _)| {
                     self.availability(k).or_else(|| {
                         self.locks
                             .get(k)
-                            .is_some_and(|&(owner, _)| owner != tx)
+                            .is_some_and(|&(owner, _, _)| owner != tx)
                             .then_some(NackReason::Locked)
                     })
                 });
                 match verdict {
-                    Some(why) => self.reply(is_origin, Reply::TxRejected { tx, why }),
+                    Some(why) => self.reply(is_origin, Reply::TxRejected { tx, attempt, why }),
                     None => {
                         for (k, v) in writes {
-                            self.locks.insert(k, (tx, v));
+                            self.locks.insert(k, (tx, attempt, v));
                         }
-                        self.reply(is_origin, Reply::TxPrepared { tx });
+                        self.reply(is_origin, Reply::TxPrepared { tx, attempt });
                     }
                 }
             }
-            ShardOp::Commit { tx } => {
+            ShardOp::Commit { tx, attempt } => {
+                if self.tx_resolved.get(&tx).is_some_and(|&a| a >= attempt) {
+                    return; // duplicate delivery; already resolved
+                }
                 let staged: Vec<(String, String)> = self
                     .locks
                     .iter()
-                    .filter(|(_, &(owner, _))| owner == tx)
-                    .map(|(k, (_, v))| (k.clone(), v.clone()))
+                    .filter(|(_, &(owner, a, _))| owner == tx && a == attempt)
+                    .map(|(k, (_, _, v))| (k.clone(), v.clone()))
                     .collect();
+                // Freeze refuses ranges with staged locks, so staged
+                // keys are owned and unfrozen here by invariant; if
+                // that ever breaks, refuse to ack writes a move's
+                // snapshot may have missed — the router aborts and
+                // re-runs the transaction under a fresh attempt.
+                if let Some(why) = staged.iter().find_map(|(k, _)| self.availability(k)) {
+                    self.reply(is_origin, Reply::TxRejected { tx, attempt, why });
+                    return;
+                }
+                self.tx_resolved.insert(tx, attempt);
                 let mut store = self.store.lock().unwrap();
                 for (k, v) in staged {
                     self.locks.remove(&k);
                     store.insert(k, v);
                 }
                 drop(store);
-                self.reply(is_origin, Reply::TxCommitted { tx });
+                self.reply(is_origin, Reply::TxCommitted { tx, attempt });
             }
-            ShardOp::Abort { tx } => {
-                self.locks.retain(|_, &mut (owner, _)| owner != tx);
-                self.reply(is_origin, Reply::TxAborted { tx });
+            ShardOp::Abort { tx, attempt } => {
+                // Drop only locks staged at or below this attempt — a
+                // stale duplicate Abort must not release locks a newer
+                // prepare round has staged since. Unlike Commit, an
+                // Abort always replies: a replica that already resolved
+                // the attempt (it committed, then the router learned
+                // another group refused) still owes the abort round an
+                // answer, and the router filters replies by attempt.
+                if !self.tx_resolved.get(&tx).is_some_and(|&a| a >= attempt) {
+                    self.tx_resolved.insert(tx, attempt);
+                }
+                self.locks.retain(|_, &mut (owner, a, _)| owner != tx || a > attempt);
+                self.reply(is_origin, Reply::TxAborted { tx, attempt });
             }
             ShardOp::Halt => ctx.stop(),
         }
@@ -254,5 +337,177 @@ impl GroupApp for ShardServerApp {
         if let Some(gw) = &mut self.gateway {
             gw.on_timer(ctx, timer);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use amoeba_core::{GroupConfig, GroupInfo};
+
+    use super::*;
+
+    /// `apply` only touches a [`Ctx`] for `Halt`, so a do-nothing stub
+    /// is enough to exercise every duplicate-delivery path directly.
+    struct NullCtx;
+
+    impl Ctx for NullCtx {
+        fn send(&mut self, _: bytes::Bytes) {}
+        fn reset_group(&mut self, _: usize) {}
+        fn leave(&mut self) {}
+        fn crash(&mut self) {}
+        fn set_timer(&mut self, _: TimerId, _: Duration) {}
+        fn cancel_timer(&mut self, _: TimerId) {}
+        fn now(&self) -> Duration {
+            Duration::ZERO
+        }
+        fn info(&self) -> GroupInfo {
+            unimplemented!("not used by apply")
+        }
+        fn config(&self) -> GroupConfig {
+            unimplemented!("not used by apply")
+        }
+        fn stop(&mut self) {}
+    }
+
+    fn replica(owned: Vec<(u64, u64)>) -> (ShardServerApp, crate::gateway::GatewayPort) {
+        let port = crate::gateway::GatewayPort::new();
+        let app = ShardServerApp::new(
+            owned,
+            Arc::new(Mutex::new(BTreeMap::new())),
+            Arc::new(Mutex::new(Vec::new())),
+            Some(crate::gateway::Gateway::new(port.clone(), Duration::from_millis(1))),
+        );
+        (app, port)
+    }
+
+    fn replies(port: &crate::gateway::GatewayPort) -> Vec<Reply> {
+        port.outbox.lock().unwrap().drain(..).collect()
+    }
+
+    fn value_of(app: &ShardServerApp, key: &str) -> Option<String> {
+        app.store.lock().unwrap().get(key).cloned()
+    }
+
+    #[test]
+    fn duplicate_install_does_not_clobber_later_writes() {
+        let (mut app, port) = replica(Vec::new());
+        let mut ctx = NullCtx;
+        let install = ShardOp::Install {
+            mv: 1,
+            start: 0,
+            end: 0,
+            entries: vec![("k".into(), "snapshot".into())],
+        };
+        app.apply(&mut ctx, true, install.clone());
+        assert!(matches!(replies(&port)[..], [Reply::Installed { mv: 1 }]));
+        app.apply(&mut ctx, true, ShardOp::Put { id: 2, key: "k".into(), value: "newer".into() });
+        assert!(matches!(replies(&port)[..], [Reply::Acked { id: 2, .. }]));
+        // A gateway retry after an ambiguous send re-delivers the
+        // Install; it must be a no-op, not a snapshot restore.
+        app.apply(&mut ctx, true, install);
+        assert!(replies(&port).is_empty(), "duplicate Install must not re-reply");
+        assert_eq!(value_of(&app, "k").as_deref(), Some("newer"));
+    }
+
+    #[test]
+    fn duplicate_retire_does_not_drop_a_reinstalled_range() {
+        let (mut app, port) = replica(vec![(0, 0)]);
+        let mut ctx = NullCtx;
+        app.apply(&mut ctx, true, ShardOp::Put { id: 1, key: "k".into(), value: "v1".into() });
+        app.apply(&mut ctx, true, ShardOp::Freeze { mv: 2, start: 0, end: 0 });
+        app.apply(&mut ctx, true, ShardOp::Retire { mv: 3, start: 0, end: 0 });
+        assert!(app.owned.is_empty());
+        // The range moves back here under a later move id...
+        app.apply(
+            &mut ctx,
+            true,
+            ShardOp::Install { mv: 4, start: 0, end: 0, entries: vec![("k".into(), "v2".into())] },
+        );
+        replies(&port);
+        // ...and the old Retire is re-delivered. It must not retire
+        // the re-installed range.
+        app.apply(&mut ctx, true, ShardOp::Retire { mv: 3, start: 0, end: 0 });
+        assert!(replies(&port).is_empty());
+        assert_eq!(app.owned, vec![(0, 0)]);
+        assert_eq!(value_of(&app, "k").as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn freeze_refuses_staged_locks_until_the_tx_resolves() {
+        let (mut app, port) = replica(vec![(0, 0)]);
+        let mut ctx = NullCtx;
+        app.apply(
+            &mut ctx,
+            true,
+            ShardOp::Prepare { tx: 7, attempt: 1, writes: vec![("k".into(), "v".into())] },
+        );
+        assert!(matches!(replies(&port)[..], [Reply::TxPrepared { tx: 7, attempt: 1 }]));
+        // The staged lock is not in the store yet, so a freeze snapshot
+        // here would lose the write once the commit acks: refuse it.
+        app.apply(&mut ctx, true, ShardOp::Freeze { mv: 9, start: 0, end: 0 });
+        assert!(matches!(
+            replies(&port)[..],
+            [Reply::Nacked { id: 9, why: NackReason::Locked }]
+        ));
+        app.apply(&mut ctx, true, ShardOp::Commit { tx: 7, attempt: 1 });
+        assert!(matches!(replies(&port)[..], [Reply::TxCommitted { tx: 7, attempt: 1 }]));
+        // The retried freeze now succeeds and its snapshot carries the
+        // committed write.
+        app.apply(&mut ctx, true, ShardOp::Freeze { mv: 9, start: 0, end: 0 });
+        match &replies(&port)[..] {
+            [Reply::Frozen { mv: 9, entries }] => {
+                assert_eq!(entries, &vec![("k".to_string(), "v".to_string())]);
+            }
+            other => panic!("expected Frozen, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_duplicate_prepare_after_commit_stays_ignored() {
+        let (mut app, port) = replica(vec![(0, 0)]);
+        let mut ctx = NullCtx;
+        let prepare =
+            ShardOp::Prepare { tx: 5, attempt: 1, writes: vec![("k".into(), "v".into())] };
+        app.apply(&mut ctx, true, prepare.clone());
+        app.apply(&mut ctx, true, ShardOp::Commit { tx: 5, attempt: 1 });
+        replies(&port);
+        // The re-delivered Prepare must not re-acquire locks: no
+        // Commit/Abort will ever arrive for them again.
+        app.apply(&mut ctx, true, prepare);
+        assert!(replies(&port).is_empty(), "stale Prepare must not reply");
+        assert!(app.locks.is_empty(), "stale Prepare re-acquired locks");
+        app.apply(&mut ctx, true, ShardOp::Put { id: 8, key: "k".into(), value: "w".into() });
+        assert!(
+            matches!(replies(&port)[..], [Reply::Acked { id: 8, .. }]),
+            "key wedged by a phantom lock"
+        );
+    }
+
+    #[test]
+    fn stale_abort_does_not_release_a_newer_attempts_locks() {
+        let (mut app, port) = replica(vec![(0, 0)]);
+        let mut ctx = NullCtx;
+        app.apply(
+            &mut ctx,
+            true,
+            ShardOp::Prepare { tx: 6, attempt: 1, writes: vec![("k".into(), "v".into())] },
+        );
+        app.apply(&mut ctx, true, ShardOp::Abort { tx: 6, attempt: 1 });
+        app.apply(
+            &mut ctx,
+            true,
+            ShardOp::Prepare { tx: 6, attempt: 2, writes: vec![("k".into(), "v".into())] },
+        );
+        replies(&port);
+        // A re-delivered Abort of the old attempt arrives after the new
+        // prepare round staged its locks: they must survive.
+        app.apply(&mut ctx, true, ShardOp::Abort { tx: 6, attempt: 1 });
+        assert!(matches!(replies(&port)[..], [Reply::TxAborted { tx: 6, attempt: 1 }]));
+        assert_eq!(app.locks.len(), 1, "stale Abort released the new attempt's locks");
+        app.apply(&mut ctx, true, ShardOp::Commit { tx: 6, attempt: 2 });
+        assert!(matches!(replies(&port)[..], [Reply::TxCommitted { tx: 6, attempt: 2 }]));
+        assert_eq!(value_of(&app, "k").as_deref(), Some("v"));
     }
 }

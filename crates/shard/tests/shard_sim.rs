@@ -217,6 +217,60 @@ fn cross_shard_write_commits_atomically() {
 }
 
 #[test]
+fn cross_put_races_reshard_without_losing_acked_writes() {
+    let spec = ShardSpec::new(21, 2, 3).with_spares(1);
+    let mut c = SimCluster::new(spec);
+    let map = c.router().map().clone();
+    // One key on each group, so every transaction spans both — and the
+    // move drags key `a`'s whole range out from under the 2PC traffic.
+    let a = (0..).map(|i| format!("x{i}")).find(|k| map.owner(key_hash(k)) == 1).unwrap();
+    let b = (0..).map(|i| format!("x{i}")).find(|k| map.owner(key_hash(k)) == 2).unwrap();
+    put(&mut c, &a, "init");
+    put(&mut c, &b, "init");
+    let start = {
+        let i = map.ranges.iter().position(|r| r.group == 1).unwrap();
+        map.bounds(i).0
+    };
+    let meta = c.meta_port();
+    let mut ctl = amoeba_shard::MoveController::new(ReshardGoal::Rebalance { start, to: 3 });
+    let (mut issued, mut done) = (0usize, false);
+    for round in 0..60_000 {
+        if !done {
+            done = ctl.step(c.router(), &meta);
+        }
+        // Keep transactions in flight across the whole move: prepares
+        // racing the freeze are rejected and re-run, staged locks make
+        // the freeze itself retry, and commits after the flip route to
+        // the new owner.
+        if round % 5 == 0 && issued < 40 {
+            c.router().cross_put(vec![
+                (a.clone(), format!("a{issued}")),
+                (b.clone(), format!("b{issued}")),
+            ]);
+            issued += 1;
+        }
+        c.advance();
+        if done && issued >= 40 && c.router().idle() {
+            break;
+        }
+    }
+    assert!(done, "reshard did not complete under 2PC load");
+    assert!(run_until(&mut c, 40_000, |r| r.idle()), "transactions did not drain");
+    assert_eq!(c.router().stats().txs_committed, 40, "every transaction must commit");
+    assert_eq!(c.router().map().owner(key_hash(&a)), 3);
+    // Per-key claims serialize the transactions, so the last one wins.
+    assert_eq!(get(&mut c, &a).as_deref(), Some("a39"));
+    assert_eq!(get(&mut c, &b).as_deref(), Some("b39"));
+    let stats = c.router().stats().clone();
+    assert!(
+        stats.frozen + stats.wrong_shard + stats.locked > 0,
+        "the transactions never raced the move — test is too gentle"
+    );
+    assert!(c.halt());
+    assert_clean(&mut c);
+}
+
+#[test]
 fn sequencer_crash_heals_and_routing_resumes() {
     let mut spec = ShardSpec::new(17, 2, 4);
     spec.data_config = Some(fault_tolerant_config(4, 3, 1));
