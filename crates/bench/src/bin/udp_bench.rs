@@ -1,0 +1,218 @@
+//! UDP transport benchmark: blocking-send RTT and pipelined
+//! throughput for a 3-member group over real 127.0.0.1 sockets
+//! (DESIGN.md §12), archived as the `"udp_loopback"` key of
+//! BENCH_10.json.
+//!
+//! ```text
+//! udp_bench [--json <path>]
+//! ```
+//!
+//! Two figures of merit, each measured twice — over `UdpNet` (real
+//! datagrams through the kernel's network stack) and over the
+//! in-memory `LiveNet` (crossbeam channels) — so the archived numbers
+//! separate protocol cost from wire cost:
+//!
+//! * **RTT**: wall time of one blocking `SendToGroup` of 64 bytes — a
+//!   request to the sequencer plus the ordered broadcast back, the
+//!   paper's "group delay" shape. Median and p90 over 300 iterations
+//!   after warmup.
+//! * **Throughput**: 2000 × 1 KiB payloads streamed through
+//!   `send_pipelined` with a 32-deep window, as messages/s and MB/s.
+//!
+//! With `--json <path>`: if the file exists, a `"udp_loopback"` object
+//! is spliced in before the closing brace, replacing any previous
+//! `"udp_loopback"` member; otherwise a fresh document is written.
+//! Re-running against the same path is idempotent.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amoeba_core::{GroupConfig, GroupEvent, GroupId};
+use amoeba_net::{Transport, UdpConfig, UdpNet};
+use amoeba_runtime::{Amoeba, FaultPlan, GroupHandle};
+use bytes::Bytes;
+
+const RTT_ITERS: usize = 300;
+const RTT_WARMUP: usize = 50;
+const RTT_SIZE: usize = 64;
+const TPUT_MSGS: usize = 2000;
+const TPUT_SIZE: usize = 1024;
+const WINDOW: usize = 32;
+const MEMBERS: usize = 3;
+
+struct Numbers {
+    rtt_median_us: f64,
+    rtt_p90_us: f64,
+    msgs_per_s: f64,
+    mbytes_per_s: f64,
+}
+
+fn drain(handle: &GroupHandle, n: usize) {
+    let mut seen = 0;
+    while seen < n {
+        let event = handle.receive_timeout(Duration::from_secs(30)).expect("bench delivery");
+        if let GroupEvent::Message { .. } = event {
+            seen += 1;
+        }
+    }
+}
+
+/// Forms a 3-member group on `amoeba` and measures both figures. The
+/// non-sending members' event queues are drained in threads so the
+/// numbers reflect a serving group, not one buffering unread history.
+fn measure(amoeba: &Amoeba, gid: GroupId) -> Numbers {
+    let config = GroupConfig { send_window: WINDOW, ..GroupConfig::default() };
+    let a = amoeba.create_group(gid, config.clone()).expect("create");
+    let b = amoeba.join_group(gid, config.clone()).expect("join b");
+    let c = amoeba.join_group(gid, config).expect("join c");
+    let total = RTT_WARMUP + RTT_ITERS + TPUT_MSGS;
+    let (mut rtts_us, elapsed) = std::thread::scope(|s| {
+        let da = s.spawn(|| drain(&a, total));
+        let dc = s.spawn(|| drain(&c, total));
+
+        // RTT: one blocking ordered broadcast at a time.
+        let payload = Bytes::from(vec![0u8; RTT_SIZE]);
+        for _ in 0..RTT_WARMUP {
+            b.send_to_group(payload.clone()).expect("warmup send");
+        }
+        let rtts_us: Vec<f64> = (0..RTT_ITERS)
+            .map(|_| {
+                let t = Instant::now();
+                b.send_to_group(payload.clone()).expect("rtt send");
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+
+        // Throughput: a pipelined stream with the window kept full.
+        let big = Bytes::from(vec![0u8; TPUT_SIZE]);
+        let t = Instant::now();
+        let results = b.send_pipelined((0..TPUT_MSGS).map(|_| big.clone()));
+        let elapsed = t.elapsed().as_secs_f64();
+        assert!(results.iter().all(|r| r.is_ok()), "pipelined send failed");
+
+        drain(&b, total);
+        da.join().expect("drain thread");
+        dc.join().expect("drain thread");
+        (rtts_us, elapsed)
+    });
+    rtts_us.sort_by(|x, y| x.total_cmp(y));
+
+    Numbers {
+        rtt_median_us: rtts_us[RTT_ITERS / 2],
+        rtt_p90_us: rtts_us[RTT_ITERS * 9 / 10],
+        msgs_per_s: TPUT_MSGS as f64 / elapsed,
+        mbytes_per_s: (TPUT_MSGS * TPUT_SIZE) as f64 / elapsed / 1e6,
+    }
+}
+
+/// Removes every `"udp_loopback"` member (with one adjacent comma
+/// each) from a JSON document by brace matching — the documents this
+/// tool consumes are the flat ones it and its siblings write.
+fn strip_udp_loopback(doc: &str) -> String {
+    let mut doc = doc.to_string();
+    while let Some(key_at) = doc.find("\"udp_loopback\"") {
+        let Some(open) = doc[key_at..].find('{').map(|i| key_at + i) else { return doc };
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, b) in doc[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(mut end) = close else { return doc };
+        let mut start = key_at;
+        let before = doc[..start].trim_end();
+        if before.ends_with(',') {
+            start = before.len() - 1;
+        } else if let Some(c) = doc[end..].find(',') {
+            if doc[end..end + c].trim().is_empty() {
+                end += c + 1;
+            }
+        }
+        doc.replace_range(start..end, "");
+    }
+    doc
+}
+
+/// Splices `obj` in as the document's `"udp_loopback"` member,
+/// replacing any existing one.
+fn merge_doc(existing: &str, obj: &str) -> String {
+    let stripped = strip_udp_loopback(existing);
+    let body = stripped.trim_end().strip_suffix('}').expect("existing json document");
+    let body = body.trim_end().trim_end_matches(',');
+    let sep = if body.trim() == "{" { "" } else { "," };
+    format!("{body}{sep}\n  \"udp_loopback\": {obj}\n}}\n")
+}
+
+fn render(n: &Numbers) -> String {
+    format!(
+        "{{\"members\": {MEMBERS}, \"rtt_median_us\": {:.1}, \"rtt_p90_us\": {:.1}, \
+         \"pipelined_msgs_per_s\": {:.0}, \"pipelined_mbytes_per_s\": {:.2}}}",
+        n.rtt_median_us, n.rtt_p90_us, n.msgs_per_s, n.mbytes_per_s
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path =
+        args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let udp = {
+        let net: Arc<dyn Transport> = UdpNet::new(UdpConfig::default());
+        measure(&Amoeba::over_transport(net, 1), GroupId(1))
+    };
+    let inmem = measure(&Amoeba::new(42, FaultPlan::reliable()), GroupId(2));
+
+    for (label, n) in [("udp ", &udp), ("inmem", &inmem)] {
+        println!(
+            "{label}: rtt median {:>7.1} µs, p90 {:>7.1} µs; pipelined {:>7.0} msg/s \
+             ({:.2} MB/s, {TPUT_SIZE} B payloads, window {WINDOW})",
+            n.rtt_median_us, n.rtt_p90_us, n.msgs_per_s, n.mbytes_per_s
+        );
+    }
+
+    if let Some(path) = json_path {
+        let obj = format!(
+            "{{\n    \"udp\": {},\n    \"inmem\": {}\n  }}",
+            render(&udp),
+            render(&inmem)
+        );
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(existing) => merge_doc(&existing, &obj),
+            Err(_) => format!("{{\n  \"udp_loopback\": {}\n}}\n", obj),
+        };
+        std::fs::write(&path, doc).expect("write json");
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: &str = "{\n    \"udp\": {\"rtt_median_us\": 1.0}\n  }";
+
+    #[test]
+    fn merge_replaces_instead_of_duplicating() {
+        let first = merge_doc("{\n  \"other\": 1\n}\n", OBJ);
+        assert_eq!(first.matches("\"udp_loopback\"").count(), 1);
+        assert!(first.contains("\"other\": 1"));
+        let second = merge_doc(&first, OBJ);
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn merge_into_empty_document_is_idempotent() {
+        let first = merge_doc("{}\n", OBJ);
+        assert_eq!(first.matches("\"udp_loopback\"").count(), 1);
+        assert_eq!(merge_doc(&first, OBJ), first);
+    }
+}

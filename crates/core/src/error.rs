@@ -38,6 +38,11 @@ pub enum GroupError {
     },
     /// Configuration rejected by validation.
     BadConfig(String),
+    /// The member's driver (or its process) went away while the
+    /// operation was in flight — the peer disappeared mid-send. Maps to
+    /// [`Error::Disconnected`] at the unified level; the operation may
+    /// or may not have taken effect.
+    Disconnected,
 }
 
 impl std::fmt::Display for GroupError {
@@ -60,6 +65,7 @@ impl std::fmt::Display for GroupError {
                 write!(f, "message of {size} bytes exceeds the {max}-byte maximum")
             }
             GroupError::BadConfig(why) => write!(f, "invalid group configuration: {why}"),
+            GroupError::Disconnected => write!(f, "membership ended mid-operation"),
         }
     }
 }
@@ -105,7 +111,12 @@ impl std::error::Error for Error {
 
 impl From<GroupError> for Error {
     fn from(e: GroupError) -> Self {
-        Error::Group(e)
+        match e {
+            // Channel-shaped failure, not a protocol verdict: surface
+            // it as the stack's first-class disconnection.
+            GroupError::Disconnected => Error::Disconnected,
+            e => Error::Group(e),
+        }
     }
 }
 
@@ -125,6 +136,7 @@ mod tests {
             GroupError::RecoverySuperseded,
             GroupError::MessageTooLarge { size: 9000, max: 8000 },
             GroupError::BadConfig("x".into()),
+            GroupError::Disconnected,
         ];
         for e in errs {
             let s = e.to_string();
@@ -143,5 +155,11 @@ mod tests {
         assert_eq!(Error::Disconnected.to_string(), "membership ended");
         assert_eq!(Error::Timeout.to_string(), "no event within the timeout");
         assert!(std::error::Error::source(&Error::Timeout).is_none());
+    }
+
+    #[test]
+    fn group_disconnected_lifts_to_the_unified_disconnected() {
+        let e: Error = GroupError::Disconnected.into();
+        assert_eq!(e, Error::Disconnected);
     }
 }

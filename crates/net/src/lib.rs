@@ -13,6 +13,13 @@
 //! stack's layer map is DESIGN.md §1 and the simulated driver built on
 //! this crate is DESIGN.md §3 (repository root).
 //!
+//! Beyond the simulated hardware, this crate also owns the *real*
+//! datagram fabric of the stack: the [`Transport`] trait the live
+//! runtime drives (implemented in-memory by `amoeba_runtime::LiveNet`)
+//! and its inter-process implementation [`UdpNet`], which carries the
+//! existing wire format over `std::net::UdpSocket`s between OS
+//! processes (DESIGN.md §12).
+//!
 //! # Architecture
 //!
 //! The crate plugs into the [`amoeba_sim::Simulation`] event loop via the
@@ -59,6 +66,8 @@ mod frame;
 mod medium;
 mod net;
 mod nic;
+pub mod transport;
+mod udp;
 
 pub use chaos::{ChaosPlan, ChaosStats, HostSet, LinkFaults, Partition};
 pub use cpu::{CpuPriority, CpuStats};
@@ -66,3 +75,5 @@ pub use frame::{Frame, FrameDst, MacAddr, McastAddr};
 pub use medium::{MediumState, MediumStats};
 pub use net::{Host, HostId, Net, NetConfig, NetView};
 pub use nic::{Nic, NicStats};
+pub use transport::{Datagram, Transport, TransportSender};
+pub use udp::{UdpConfig, UdpNet, ENVELOPE_LEN, MAX_UDP_DATAGRAM};

@@ -1,0 +1,784 @@
+//! The inter-process UDP fabric: real `std::net::UdpSocket`s carrying
+//! the existing [`WireFrame`] encoding between OS processes.
+//!
+//! This is the third backend of the stack (DESIGN.md §12): where
+//! `LiveNet` moves refcounted frame segments between threads, `UdpNet`
+//! moves *bytes* between processes, reusing two layers that already
+//! exist — the zero-copy frame codec of `amoeba-core` and the
+//! fragmentation/reassembly of `amoeba-flip` — against a real datagram
+//! ceiling instead of a simulated one.
+//!
+//! **Endpoints.** Each registered FLIP address owns one UDP socket
+//! bound to 127.0.0.1 (or a port pre-bound via
+//! [`UdpNet::bind_endpoint`] so a harness can exchange ports before
+//! the protocol starts talking). Two threads serve it: a *receive
+//! pump* that turns datagrams back into `(source, WireFrame)` pairs
+//! for the unchanged driver loop, and a *send thread* that drains the
+//! endpoint's queue batch-wise — one wake processes every frame queued
+//! behind it, gather-encoding each fragment (envelope + head slice +
+//! tail slice) into one reusable scratch buffer per `send_to`.
+//!
+//! **Peer table.** The authoritative registry (peer socket addresses,
+//! local endpoints, local multicast subscriptions) lives behind one
+//! mutex, but neither senders nor pumps ever take it: every mutation
+//! publishes an immutable snapshot and bumps an epoch, and each thread
+//! revalidates its cached `Arc` with a single atomic load — the same
+//! discipline `LiveNet` established (DESIGN.md §7).
+//!
+//! **Multicast.** A real LAN would let the NIC filter multicast; over
+//! unicast UDP we do the moral equivalent: a multicast send fans out
+//! one copy per known peer (sender excluded, as on real hardware) with
+//! the *group* address in the envelope, and the receiving pump drops
+//! group traffic for groups its endpoint never joined. Remote group
+//! membership is therefore not tracked at all — exactly like an
+//! Ethernet, where the wire does not know who listens.
+//!
+//! **Copies.** The receive path performs exactly one userspace copy:
+//! socket scratch → an exact-size refcounted buffer. Everything
+//! downstream — envelope split, reassembly fast path, frame decode,
+//! payload delivery — is a shared-ownership view of that buffer
+//! (pinned by `decoded_body_shares_the_datagram_allocation` below).
+//!
+//! Delivery is best-effort by design: unknown peers, socket errors and
+//! malformed datagrams drop silently, and the group protocol's
+//! negative-acknowledgement machinery recovers, exactly as it does on
+//! a lossy wire.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amoeba_core::{GroupId, WireFrame};
+use amoeba_flip::{split_lens, FlipAddress, FragKey, Reassembler};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::transport::{Datagram, Transport, TransportSender};
+
+/// Wire envelope prefixed to every datagram: magic (2) + version (1) +
+/// src (8) + dst (8) + msg id (8) + fragment index (2) + count (2).
+pub const ENVELOPE_LEN: usize = 31;
+
+/// Largest payload a UDP datagram can carry (IPv4, minus IP/UDP
+/// headers). [`UdpConfig::max_datagram`] must stay at or below this.
+pub const MAX_UDP_DATAGRAM: usize = 65_507;
+
+const MAGIC: u16 = 0xA0EB;
+const VERSION: u8 = 1;
+
+/// The group tag bit of a raw FLIP address (see `amoeba_flip`): set in
+/// an envelope's `dst` when the datagram is group traffic.
+const GROUP_TAG: u64 = 1 << 63;
+
+/// Tuning for the UDP fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpConfig {
+    /// Datagram size ceiling, envelope included. Frames larger than
+    /// `max_datagram - ENVELOPE_LEN` fragment via `amoeba-flip`. The
+    /// default stays under [`MAX_UDP_DATAGRAM`] with margin; tests
+    /// shrink it to force multi-fragment paths on small payloads.
+    pub max_datagram: usize,
+    /// Partial reassemblies older than this are purged (loss of one
+    /// fragment must not leak the rest forever).
+    pub purge_after: Duration,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig { max_datagram: 60_000, purge_after: Duration::from_secs(5) }
+    }
+}
+
+struct Envelope {
+    src: u64,
+    dst: u64,
+    msg_id: u64,
+    index: u16,
+    count: u16,
+}
+
+fn encode_envelope(out: &mut Vec<u8>, env: &Envelope) {
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.extend_from_slice(&env.src.to_be_bytes());
+    out.extend_from_slice(&env.dst.to_be_bytes());
+    out.extend_from_slice(&env.msg_id.to_be_bytes());
+    out.extend_from_slice(&env.index.to_be_bytes());
+    out.extend_from_slice(&env.count.to_be_bytes());
+}
+
+/// Splits a received datagram into its envelope and body. The body is
+/// a shared-ownership **view** of `datagram` (no copy). `None` on any
+/// malformed input — wrong magic or version, truncation, impossible
+/// fragment fields; a hostile or stray datagram must never panic the
+/// pump.
+fn split_envelope(datagram: &Bytes) -> Option<(Envelope, Bytes)> {
+    if datagram.len() < ENVELOPE_LEN {
+        return None;
+    }
+    let b = &datagram[..];
+    if u16::from_be_bytes([b[0], b[1]]) != MAGIC || b[2] != VERSION {
+        return None;
+    }
+    let u64_at = |i: usize| u64::from_be_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+    let env = Envelope {
+        src: u64_at(3),
+        dst: u64_at(11),
+        msg_id: u64_at(19),
+        index: u16::from_be_bytes([b[27], b[28]]),
+        count: u16::from_be_bytes([b[29], b[30]]),
+    };
+    if env.count == 0 || env.index >= env.count {
+        return None;
+    }
+    Some((env, datagram.slice(ENVELOPE_LEN..)))
+}
+
+/// Appends `frame`'s bytes in `[off, off + len)` to `out`, gathering
+/// across the head/tail segment boundary without materializing a
+/// contiguous frame.
+fn gather_range(out: &mut Vec<u8>, frame: &WireFrame, off: usize, len: usize) {
+    let head_len = frame.head.len();
+    let end = off + len;
+    if off < head_len {
+        out.extend_from_slice(&frame.head[off..end.min(head_len)]);
+    }
+    if end > head_len {
+        let tail = frame.tail.as_ref().expect("range extends past head");
+        out.extend_from_slice(&tail[off.saturating_sub(head_len)..end - head_len]);
+    }
+}
+
+/// What a [`UdpSender`] hands its endpoint's send thread.
+enum SendItem {
+    Unicast(FlipAddress, WireFrame),
+    Multicast(GroupId, WireFrame),
+}
+
+/// Immutable registry copy that pumps and send threads read lock-free.
+struct Snapshot {
+    peers: HashMap<FlipAddress, SocketAddr>,
+    /// *Local* multicast subscriptions only (see module docs).
+    groups: HashMap<GroupId, HashSet<FlipAddress>>,
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot { peers: HashMap::new(), groups: HashMap::new() }
+    }
+}
+
+/// The published snapshot plus its epoch — shared by the fabric and
+/// every endpoint thread (a separate `Arc` so threads never keep the
+/// fabric itself alive).
+struct Published {
+    epoch: AtomicU64,
+    snap: Mutex<Arc<Snapshot>>,
+}
+
+/// A thread's epoch-tagged snapshot handle: one atomic load per use,
+/// the mutex touched only when membership actually changed.
+struct Cache {
+    epoch: u64,
+    snap: Arc<Snapshot>,
+}
+
+impl Cache {
+    fn new() -> Self {
+        Cache { epoch: 0, snap: Arc::new(Snapshot::empty()) }
+    }
+
+    fn refresh(&mut self, published: &Published) {
+        let now = published.epoch.load(Ordering::Acquire);
+        if self.epoch != now {
+            self.epoch = now;
+            self.snap = Arc::clone(&published.snap.lock());
+        }
+    }
+}
+
+/// One registered endpoint's server-side state.
+struct Endpoint {
+    queue: Sender<SendItem>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Authoritative state, mutated under its mutex.
+struct Registry {
+    peers: HashMap<FlipAddress, SocketAddr>,
+    groups: HashMap<GroupId, HashSet<FlipAddress>>,
+    local: HashMap<FlipAddress, Endpoint>,
+    /// Sockets bound ahead of registration (port exchange).
+    prebound: HashMap<FlipAddress, Arc<UdpSocket>>,
+}
+
+/// The inter-process UDP datagram fabric. See the module docs.
+pub struct UdpNet {
+    cfg: UdpConfig,
+    registry: Mutex<Registry>,
+    published: Arc<Published>,
+}
+
+impl std::fmt::Debug for UdpNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.registry.lock();
+        f.debug_struct("UdpNet")
+            .field("peers", &reg.peers.len())
+            .field("local", &reg.local.len())
+            .field("max_datagram", &self.cfg.max_datagram)
+            .finish()
+    }
+}
+
+impl UdpNet {
+    /// Creates a fabric with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_datagram` leaves no room for a fragment body or
+    /// exceeds what UDP can carry.
+    pub fn new(cfg: UdpConfig) -> Arc<Self> {
+        assert!(
+            cfg.max_datagram > ENVELOPE_LEN && cfg.max_datagram <= MAX_UDP_DATAGRAM,
+            "max_datagram must be in ({ENVELOPE_LEN}, {MAX_UDP_DATAGRAM}]"
+        );
+        Arc::new(UdpNet {
+            cfg,
+            registry: Mutex::new(Registry {
+                peers: HashMap::new(),
+                groups: HashMap::new(),
+                local: HashMap::new(),
+                prebound: HashMap::new(),
+            }),
+            published: Arc::new(Published {
+                epoch: AtomicU64::new(1),
+                snap: Mutex::new(Arc::new(Snapshot::empty())),
+            }),
+        })
+    }
+
+    /// Rebuilds and publishes the snapshot from the (locked) registry.
+    fn publish(&self, reg: &Registry) {
+        let snap = Arc::new(Snapshot { peers: reg.peers.clone(), groups: reg.groups.clone() });
+        *self.published.snap.lock() = snap;
+        self.published.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Binds `addr`'s socket ahead of registration and returns the OS
+    /// port, so a multi-process harness can exchange ports before any
+    /// endpoint starts the protocol. A later [`Transport::register`]
+    /// of the same address adopts this socket.
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind error, if the OS refuses a loopback socket.
+    pub fn bind_endpoint(&self, addr: FlipAddress) -> io::Result<SocketAddr> {
+        let sock = Arc::new(UdpSocket::bind(("127.0.0.1", 0))?);
+        let local = sock.local_addr()?;
+        self.registry.lock().prebound.insert(addr, sock);
+        Ok(local)
+    }
+
+    /// Records where a *remote* peer (another OS process) listens.
+    pub fn add_peer(&self, addr: FlipAddress, at: SocketAddr) {
+        let mut reg = self.registry.lock();
+        reg.peers.insert(addr, at);
+        self.publish(&reg);
+    }
+
+    /// The socket address a registered or pre-bound local endpoint
+    /// listens on (tests and harnesses read ports through this).
+    pub fn local_addr(&self, addr: FlipAddress) -> Option<SocketAddr> {
+        let reg = self.registry.lock();
+        if let Some(sock) = reg.prebound.get(&addr) {
+            return sock.local_addr().ok();
+        }
+        reg.peers.get(&addr).copied()
+    }
+}
+
+impl Transport for UdpNet {
+    /// Plugs `addr` in: adopts its pre-bound socket (or binds a fresh
+    /// loopback port), spawns its receive pump and send thread, and
+    /// announces the port to local senders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to bind or the threads cannot spawn —
+    /// endpoint creation failing is a harness-level error, not a
+    /// protocol outcome.
+    fn register(&self, addr: FlipAddress) -> Receiver<Datagram> {
+        let mut reg = self.registry.lock();
+        // Re-registration replaces the endpoint (mirrors LiveNet).
+        if let Some(old) = reg.local.remove(&addr) {
+            old.shutdown.store(true, Ordering::Relaxed);
+        }
+        let sock = reg.prebound.remove(&addr).unwrap_or_else(|| {
+            Arc::new(UdpSocket::bind(("127.0.0.1", 0)).expect("bind UDP endpoint"))
+        });
+        let local = sock.local_addr().expect("bound socket has an address");
+        let (inbox_tx, inbox_rx) = channel::unbounded();
+        let (queue_tx, queue_rx) = channel::unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let pump = PumpState {
+            sock: Arc::clone(&sock),
+            me: addr,
+            inbox: inbox_tx,
+            shutdown: Arc::clone(&shutdown),
+            published: Arc::clone(&self.published),
+            purge_after: self.cfg.purge_after,
+        };
+        std::thread::Builder::new()
+            .name(format!("udp-pump-{addr}"))
+            .spawn(move || pump.run())
+            .expect("spawn UDP receive pump");
+
+        let send = SendState {
+            sock,
+            from: addr,
+            queue: queue_rx,
+            shutdown: Arc::clone(&shutdown),
+            published: Arc::clone(&self.published),
+            max_datagram: self.cfg.max_datagram,
+        };
+        std::thread::Builder::new()
+            .name(format!("udp-send-{addr}"))
+            .spawn(move || send.run())
+            .expect("spawn UDP send thread");
+
+        reg.peers.insert(addr, local);
+        reg.local.insert(addr, Endpoint { queue: queue_tx, shutdown });
+        self.publish(&reg);
+        inbox_rx
+    }
+
+    fn unregister(&self, addr: FlipAddress) {
+        let mut reg = self.registry.lock();
+        if let Some(ep) = reg.local.remove(&addr) {
+            ep.shutdown.store(true, Ordering::Relaxed);
+        }
+        reg.peers.remove(&addr);
+        reg.prebound.remove(&addr);
+        for members in reg.groups.values_mut() {
+            members.remove(&addr);
+        }
+        self.publish(&reg);
+    }
+
+    fn join_mcast(&self, group: GroupId, addr: FlipAddress) {
+        let mut reg = self.registry.lock();
+        reg.groups.entry(group).or_default().insert(addr);
+        self.publish(&reg);
+    }
+
+    fn sender(&self, from: FlipAddress) -> Box<dyn TransportSender> {
+        let reg = self.registry.lock();
+        let queue = reg
+            .local
+            .get(&from)
+            .map(|ep| ep.queue.clone())
+            // An unregistered sender's traffic blackholes (disconnected
+            // channel): best-effort, like the fabric itself.
+            .unwrap_or_else(|| channel::unbounded().0);
+        Box::new(UdpSender { queue })
+    }
+}
+
+impl Drop for UdpNet {
+    fn drop(&mut self) {
+        // Registry entries (and their queue senders) drop with us; the
+        // flags stop the pumps within one read-timeout tick.
+        for ep in self.registry.lock().local.values() {
+            ep.shutdown.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-endpoint sending port: enqueues to the endpoint's send
+/// thread, which batches socket writes.
+struct UdpSender {
+    queue: Sender<SendItem>,
+}
+
+impl TransportSender for UdpSender {
+    fn unicast(&mut self, to: FlipAddress, frame: WireFrame) {
+        let _ = self.queue.send(SendItem::Unicast(to, frame));
+    }
+
+    fn multicast(&mut self, group: GroupId, frame: WireFrame) {
+        let _ = self.queue.send(SendItem::Multicast(group, frame));
+    }
+}
+
+/// The send thread: drains its queue batch-wise (every frame queued
+/// behind a wake goes out before the next block), fragments against
+/// the datagram ceiling, and gather-encodes envelope + frame slices
+/// into one reusable scratch per `send_to`.
+struct SendState {
+    sock: Arc<UdpSocket>,
+    from: FlipAddress,
+    queue: Receiver<SendItem>,
+    shutdown: Arc<AtomicBool>,
+    published: Arc<Published>,
+    max_datagram: usize,
+}
+
+impl SendState {
+    fn run(self) {
+        let mut cache = Cache::new();
+        let mut scratch: Vec<u8> = Vec::with_capacity(self.max_datagram);
+        let mut msg_id = 0u64;
+        loop {
+            let first = match self.queue.recv_timeout(Duration::from_millis(100)) {
+                Ok(item) => item,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            // One wake, whole queue: refresh the peer table once and
+            // stream every queued frame through the same scratch.
+            cache.refresh(&self.published);
+            let mut next = Some(first);
+            while let Some(item) = next {
+                msg_id += 1;
+                self.emit(&cache, &mut scratch, msg_id, item);
+                next = self.queue.try_recv().ok();
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+    }
+
+    /// Fragments and writes one frame to its resolved targets. Socket
+    /// errors and unknown destinations drop silently (best-effort).
+    fn emit(&self, cache: &Cache, scratch: &mut Vec<u8>, msg_id: u64, item: SendItem) {
+        let single: [SocketAddr; 1];
+        let fanout: Vec<SocketAddr>;
+        let (dst, frame, targets): (u64, WireFrame, &[SocketAddr]) = match item {
+            SendItem::Unicast(to, frame) => {
+                let Some(&at) = cache.snap.peers.get(&to) else { return };
+                single = [at];
+                (to.as_u64(), frame, &single[..])
+            }
+            SendItem::Multicast(group, frame) => {
+                fanout = cache
+                    .snap
+                    .peers
+                    .iter()
+                    .filter(|(a, _)| **a != self.from)
+                    .map(|(_, at)| *at)
+                    .collect();
+                (GROUP_TAG | (group.0 & !GROUP_TAG), frame, &fanout[..])
+            }
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let budget = (self.max_datagram - ENVELOPE_LEN) as u32;
+        let lens = split_lens(frame.len() as u32, budget);
+        if lens.len() > u16::MAX as usize {
+            return; // cannot be expressed on the wire; drop
+        }
+        let count = lens.len() as u16;
+        let mut off = 0usize;
+        for (index, len) in lens.into_iter().enumerate() {
+            scratch.clear();
+            let env = Envelope {
+                src: self.from.as_u64(),
+                dst,
+                msg_id,
+                index: index as u16,
+                count,
+            };
+            encode_envelope(scratch, &env);
+            gather_range(scratch, &frame, off, len as usize);
+            for at in targets {
+                let _ = self.sock.send_to(scratch, at);
+            }
+            off += len as usize;
+        }
+    }
+}
+
+/// The receive pump: blocks on the socket (with a timeout tick so the
+/// shutdown flag is honored), validates envelopes, filters group
+/// traffic by the endpoint's own subscriptions, reassembles fragments,
+/// and feeds `(source, WireFrame)` pairs to the driver loop.
+struct PumpState {
+    sock: Arc<UdpSocket>,
+    me: FlipAddress,
+    inbox: Sender<Datagram>,
+    shutdown: Arc<AtomicBool>,
+    published: Arc<Published>,
+    purge_after: Duration,
+}
+
+impl PumpState {
+    fn run(self) {
+        let _ = self.sock.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut scratch = vec![0u8; MAX_UDP_DATAGRAM];
+        let mut reasm: Reassembler<Bytes> = Reassembler::new();
+        let mut cache = Cache::new();
+        let started = Instant::now();
+        let purge_ms = self.purge_after.as_millis().max(1) as u64;
+        let mut purged_at = 0u64;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let n = match self.sock.recv_from(&mut scratch) {
+                Ok((n, _)) => n,
+                // Timeout tick, or a transient error (loopback can
+                // surface ICMP-style failures): never panic the pump.
+                Err(_) => {
+                    let now_ms = started.elapsed().as_millis() as u64;
+                    if now_ms.saturating_sub(purged_at) >= purge_ms {
+                        reasm.purge_older_than(now_ms.saturating_sub(purge_ms));
+                        purged_at = now_ms;
+                    }
+                    continue;
+                }
+            };
+            // The one userspace copy of the receive path: socket
+            // scratch → exact-size refcounted buffer. The envelope
+            // split, reassembly fast path and frame decode below are
+            // all views of this allocation.
+            let datagram = Bytes::from(scratch[..n].to_vec());
+            let Some((env, body)) = split_envelope(&datagram) else { continue };
+            let src = FlipAddress::from_u64(env.src);
+            if !src.is_process() {
+                continue;
+            }
+            let dst = FlipAddress::from_u64(env.dst);
+            if dst.is_group() {
+                // The "NIC multicast filter": drop traffic for groups
+                // this endpoint never joined.
+                cache.refresh(&self.published);
+                let joined = cache
+                    .snap
+                    .groups
+                    .get(&GroupId(dst.id()))
+                    .is_some_and(|m| m.contains(&self.me));
+                if !joined {
+                    continue;
+                }
+            } else if dst != self.me {
+                continue; // stray unicast for somebody else
+            }
+            let now_ms = started.elapsed().as_millis() as u64;
+            let complete = if env.count == 1 {
+                Some(body)
+            } else {
+                let key = FragKey { src, msg_id: env.msg_id };
+                reasm.insert_payload(key, env.index, env.count, body, now_ms)
+            };
+            if let Some(buf) = complete {
+                if self.inbox.send((src, WireFrame::from(buf))).is_err() {
+                    return; // driver gone; endpoint is dead
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> FlipAddress {
+        FlipAddress::process(n)
+    }
+
+    fn frame(payload: Vec<u8>) -> WireFrame {
+        WireFrame::from(Bytes::from(payload))
+    }
+
+    fn encode_datagram(env: &Envelope, body: &[u8]) -> Bytes {
+        let mut out = Vec::new();
+        encode_envelope(&mut out, env);
+        out.extend_from_slice(body);
+        Bytes::from(out)
+    }
+
+    fn recv(rx: &Receiver<Datagram>) -> Datagram {
+        rx.recv_timeout(Duration::from_secs(5)).expect("delivered")
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let env = Envelope { src: 3, dst: GROUP_TAG | 9, msg_id: 77, index: 2, count: 5 };
+        let datagram = encode_datagram(&env, b"body");
+        let (back, body) = split_envelope(&datagram).expect("valid");
+        assert_eq!((back.src, back.dst, back.msg_id), (3, GROUP_TAG | 9, 77));
+        assert_eq!((back.index, back.count), (2, 5));
+        assert_eq!(&body[..], b"body");
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        let good = encode_datagram(
+            &Envelope { src: 1, dst: 2, msg_id: 1, index: 0, count: 1 },
+            b"x",
+        );
+        assert!(split_envelope(&good).is_some());
+        // Truncated.
+        assert!(split_envelope(&good.slice(..ENVELOPE_LEN - 1)).is_none());
+        // Wrong magic / version.
+        let mut bad = good.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(split_envelope(&Bytes::from(bad)).is_none());
+        let mut bad = good.to_vec();
+        bad[2] = VERSION + 1;
+        assert!(split_envelope(&Bytes::from(bad)).is_none());
+        // Impossible fragment fields.
+        for (index, count) in [(0u16, 0u16), (3, 3), (4, 3)] {
+            let d = encode_datagram(
+                &Envelope { src: 1, dst: 2, msg_id: 1, index, count },
+                b"x",
+            );
+            assert!(split_envelope(&d).is_none(), "index {index} of {count}");
+        }
+        assert!(split_envelope(&Bytes::new()).is_none());
+    }
+
+    /// The zero-copy claim of the receive path, pinned: after the one
+    /// scratch → buffer copy, the body is a refcounted view of the
+    /// datagram buffer, and the single-fragment fast path hands that
+    /// very allocation onward as the frame.
+    #[test]
+    fn decoded_body_shares_the_datagram_allocation() {
+        let env = Envelope { src: 1, dst: 2, msg_id: 9, index: 0, count: 1 };
+        let datagram = encode_datagram(&env, &vec![7u8; 4096]);
+        let (_, body) = split_envelope(&datagram).expect("valid");
+        assert!(body.shares_allocation(&datagram), "body must be a view, not a copy");
+        let mut r: Reassembler<Bytes> = Reassembler::new();
+        let key = FragKey { src: addr(1), msg_id: 9 };
+        let assembled = r.insert_payload(key, 0, 1, body, 0).expect("fast path");
+        assert!(assembled.shares_allocation(&datagram), "fast path must not copy");
+    }
+
+    #[test]
+    fn gather_range_crosses_the_segment_boundary() {
+        let f = WireFrame {
+            head: Bytes::from_static(b"headxx"),
+            tail: Some(Bytes::from_static(b"TAILBYTES")),
+        };
+        let mut out = Vec::new();
+        gather_range(&mut out, &f, 0, f.len());
+        assert_eq!(out, b"headxxTAILBYTES");
+        out.clear();
+        gather_range(&mut out, &f, 4, 5); // xx + TAI
+        assert_eq!(out, b"xxTAI");
+        out.clear();
+        gather_range(&mut out, &f, 7, 4); // tail only
+        assert_eq!(out, b"AILB");
+    }
+
+    #[test]
+    fn unicast_reaches_endpoint() {
+        let net = UdpNet::new(UdpConfig::default());
+        let rx = net.register(addr(1));
+        net.register(addr(2));
+        let mut tx = net.sender(addr(2));
+        tx.unicast(addr(1), frame(b"hi".to_vec()));
+        let (from, f) = recv(&rx);
+        assert_eq!(from, addr(2));
+        assert_eq!(&f.to_contiguous()[..], b"hi");
+    }
+
+    #[test]
+    fn multicast_excludes_sender_and_respects_subscriptions() {
+        let net = UdpNet::new(UdpConfig::default());
+        let g = GroupId(9);
+        let rx1 = net.register(addr(1));
+        let rx2 = net.register(addr(2));
+        let rx3 = net.register(addr(3));
+        net.join_mcast(g, addr(1));
+        net.join_mcast(g, addr(2));
+        // addr(3) never joins: its pump must filter the group traffic.
+        let mut tx = net.sender(addr(1));
+        tx.multicast(g, frame(b"m".to_vec()));
+        let (from, f) = recv(&rx2);
+        assert_eq!(from, addr(1));
+        assert_eq!(&f.to_contiguous()[..], b"m");
+        assert!(rx1.recv_timeout(Duration::from_millis(100)).is_err(), "no loopback");
+        assert!(rx3.recv_timeout(Duration::from_millis(100)).is_err(), "not subscribed");
+    }
+
+    #[test]
+    fn large_frames_fragment_and_reassemble() {
+        // A tiny ceiling forces many fragments out of a small payload.
+        let net = UdpNet::new(UdpConfig {
+            max_datagram: ENVELOPE_LEN + 16,
+            ..UdpConfig::default()
+        });
+        let rx = net.register(addr(1));
+        net.register(addr(2));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut tx = net.sender(addr(2));
+        tx.unicast(addr(1), frame(payload.clone()));
+        let (_, f) = recv(&rx);
+        assert_eq!(&f.to_contiguous()[..], &payload[..]);
+    }
+
+    #[test]
+    fn unknown_destination_drops_silently() {
+        let net = UdpNet::new(UdpConfig::default());
+        net.register(addr(1));
+        let mut tx = net.sender(addr(1));
+        tx.unicast(addr(99), frame(b"x".to_vec()));
+        // Nothing to assert beyond "no panic": give the send thread a
+        // beat to process the drop.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    #[test]
+    fn unregistered_endpoint_blackholes() {
+        let net = UdpNet::new(UdpConfig::default());
+        let rx = net.register(addr(1));
+        net.register(addr(2));
+        net.unregister(addr(1));
+        let mut tx = net.sender(addr(2));
+        tx.unicast(addr(1), frame(b"x".to_vec()));
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn prebound_socket_is_adopted_by_register() {
+        let net = UdpNet::new(UdpConfig::default());
+        let before = net.bind_endpoint(addr(1)).expect("bind");
+        let rx = net.register(addr(1));
+        assert_eq!(net.local_addr(addr(1)), Some(before), "same socket, same port");
+        net.register(addr(2));
+        let mut tx = net.sender(addr(2));
+        tx.unicast(addr(1), frame(b"pb".to_vec()));
+        let (_, f) = recv(&rx);
+        assert_eq!(&f.to_contiguous()[..], b"pb");
+    }
+
+    #[test]
+    fn add_peer_routes_to_a_foreign_socket() {
+        // Simulate a remote process with a hand-bound socket.
+        let foreign = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
+        foreign.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let at = foreign.local_addr().expect("addr");
+        let net = UdpNet::new(UdpConfig::default());
+        net.register(addr(1));
+        net.add_peer(addr(2), at);
+        let mut tx = net.sender(addr(1));
+        tx.unicast(addr(2), frame(b"remote".to_vec()));
+        let mut buf = [0u8; 256];
+        let (n, _) = foreign.recv_from(&mut buf).expect("datagram arrives");
+        let (env, body) = split_envelope(&Bytes::from(buf[..n].to_vec())).expect("valid");
+        assert_eq!(env.src, addr(1).as_u64());
+        assert_eq!(env.dst, addr(2).as_u64());
+        assert_eq!(&body[..], b"remote");
+    }
+}

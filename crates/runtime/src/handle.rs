@@ -7,6 +7,7 @@ use std::time::Duration;
 use amoeba_core::{
     Error, GroupConfig, GroupCore, GroupError, GroupEvent, GroupId, GroupInfo, Seqno,
 };
+use amoeba_net::Transport;
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver};
 
@@ -15,22 +16,62 @@ use crate::net::LiveNet;
 use crate::node::{drive, Ctl, NodeShared};
 
 /// A live Amoeba "installation": processes created through one `Amoeba`
-/// share its network fabric (and its fault plan).
-#[derive(Debug)]
+/// share its network fabric (and, for the in-memory fabric, its fault
+/// plan). The fabric is any [`Transport`] — the in-memory `LiveNet`
+/// (the default) or the inter-process `UdpNet` (via
+/// [`Amoeba::over_transport`]).
 pub struct Amoeba {
-    net: Arc<LiveNet>,
+    transport: Arc<dyn Transport>,
+    /// Kept alongside the trait object when the fabric is the
+    /// in-memory one, so fault-injection tests keep their hooks.
+    live: Option<Arc<LiveNet>>,
     next_addr: AtomicU64,
 }
 
+impl std::fmt::Debug for Amoeba {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Amoeba")
+            .field("live", &self.live)
+            .field("next_addr", &self.next_addr)
+            .finish()
+    }
+}
+
 impl Amoeba {
-    /// Creates an installation with a seeded, fault-injected network.
+    /// Creates an installation with a seeded, fault-injected in-memory
+    /// network.
     pub fn new(seed: u64, fault: FaultPlan) -> Self {
-        Amoeba { net: LiveNet::new(seed, fault), next_addr: AtomicU64::new(1) }
+        let net = LiveNet::new(seed, fault);
+        Amoeba {
+            transport: Arc::new(crate::net::LiveTransport(Arc::clone(&net))),
+            live: Some(net),
+            next_addr: AtomicU64::new(1),
+        }
     }
 
-    /// Direct access to the fabric (tests adjust faults mid-run).
+    /// Creates an installation over an arbitrary datagram fabric (the
+    /// UDP backend plugs in here). `first_addr` seeds the FLIP address
+    /// allocator: in a multi-process deployment each process claims a
+    /// disjoint address range so memberships never collide (the
+    /// harness assigns process *i* the addresses from `i + 1`).
+    pub fn over_transport(transport: Arc<dyn Transport>, first_addr: u64) -> Self {
+        Amoeba { transport, live: None, next_addr: AtomicU64::new(first_addr) }
+    }
+
+    /// Direct access to the in-memory fabric (tests adjust faults
+    /// mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the installation runs over a non-in-memory
+    /// transport — there is no fault plan to adjust on a real socket.
     pub fn net(&self) -> &Arc<LiveNet> {
-        &self.net
+        self.live.as_ref().expect("fault injection requires the in-memory LiveNet transport")
+    }
+
+    /// The fabric behind this installation, whichever transport it is.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// `CreateGroup`: founds a group; the caller becomes member 0 and
@@ -70,8 +111,8 @@ impl Amoeba {
         let addr =
             amoeba_flip::FlipAddress::process(self.next_addr.fetch_add(1, Ordering::Relaxed));
         // Plug into the fabric before the protocol starts talking.
-        let data_rx = self.net.register(addr);
-        self.net.join_mcast(group, addr);
+        let data_rx = self.transport.register(addr);
+        self.transport.join_mcast(group, addr);
         let (core, actions) = if create {
             GroupCore::create(group, addr, config)?
         } else {
@@ -79,7 +120,8 @@ impl Amoeba {
         };
         let (events_tx, events_rx) = channel::unbounded();
         let (ctl_tx, ctl_rx) = channel::unbounded();
-        let shared = NodeShared::new(core, Arc::clone(&self.net), group, addr, events_tx, ctl_tx);
+        let shared =
+            NodeShared::new(core, Arc::clone(&self.transport), group, addr, events_tx, ctl_tx);
         let driver = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()

@@ -292,6 +292,15 @@ impl LiveHost {
         LiveHost { amoeba: Amoeba::new(seed, fault), group, config, apps: Vec::new() }
     }
 
+    /// A host over an existing installation — whatever transport it
+    /// runs on. This is how the UDP backend hosts unmodified apps: an
+    /// `Amoeba::over_transport(udp_net, …)` installation slots in and
+    /// everything above (formation order, pumping, the conformance
+    /// contract) stays identical.
+    pub fn with_amoeba(amoeba: Amoeba, group: GroupId, config: GroupConfig) -> Self {
+        LiveHost { amoeba, group, config, apps: Vec::new() }
+    }
+
     /// Direct access to the underlying installation (tests adjust
     /// faults mid-run).
     pub fn amoeba(&self) -> &Amoeba {

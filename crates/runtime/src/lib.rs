@@ -43,11 +43,13 @@
 mod fault;
 mod handle;
 mod host;
+pub mod multiproc;
 mod net;
 mod node;
 pub mod state_transfer;
 
 pub use amoeba_core::Error;
+pub use amoeba_net::{Transport, TransportSender, UdpConfig, UdpNet};
 pub use fault::FaultPlan;
 pub use handle::{Amoeba, GroupHandle};
 pub use host::LiveHost;

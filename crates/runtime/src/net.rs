@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use amoeba_core::{GroupId, WireFrame};
 use amoeba_flip::FlipAddress;
+use amoeba_net::{Transport, TransportSender};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -35,7 +36,7 @@ use crate::fault::FaultPlan;
 
 /// A raw datagram as delivered to a node: (source address, frame).
 /// The frame's segments are refcount-shared, never copied per receiver.
-pub(crate) type Datagram = (FlipAddress, WireFrame);
+pub(crate) use amoeba_net::Datagram;
 
 /// Deliveries with at most this much delay skip the delay wheel and
 /// go straight through the channel.
@@ -373,6 +374,49 @@ impl LiveNet {
         let mut reg = self.registry.lock();
         reg.link_faults.clear();
         self.publish(&reg);
+    }
+}
+
+/// [`LiveNet`] behind the transport contract the driver loop speaks
+/// (`amoeba_net::Transport`) — interchangeable with the inter-process
+/// `UdpNet`. A newtype rather than a direct impl because senders need
+/// an owned `Arc` of the fabric (orphan rules aside), and because the
+/// fabric's fault-injection internals stay crate-private this way.
+pub(crate) struct LiveTransport(pub(crate) Arc<LiveNet>);
+
+impl Transport for LiveTransport {
+    fn register(&self, addr: FlipAddress) -> Receiver<Datagram> {
+        self.0.register(addr)
+    }
+
+    fn unregister(&self, addr: FlipAddress) {
+        self.0.unregister(addr)
+    }
+
+    fn join_mcast(&self, group: GroupId, addr: FlipAddress) {
+        self.0.join_mcast(group, addr)
+    }
+
+    fn sender(&self, from: FlipAddress) -> Box<dyn TransportSender> {
+        Box::new(LiveSender { net: Arc::clone(&self.0), from, cache: self.0.cache() })
+    }
+}
+
+/// The in-memory fabric's per-endpoint sending port: owns the epoch-
+/// cached membership snapshot sends read instead of the registry lock.
+struct LiveSender {
+    net: Arc<LiveNet>,
+    from: FlipAddress,
+    cache: NetCache,
+}
+
+impl TransportSender for LiveSender {
+    fn unicast(&mut self, to: FlipAddress, frame: WireFrame) {
+        self.net.unicast(&mut self.cache, self.from, to, frame);
+    }
+
+    fn multicast(&mut self, group: GroupId, frame: WireFrame) {
+        self.net.multicast(&mut self.cache, self.from, group, frame);
     }
 }
 

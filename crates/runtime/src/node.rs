@@ -10,10 +10,11 @@ use amoeba_core::{
     GroupId, GroupInfo, Seqno, TimerKind,
 };
 use amoeba_flip::FlipAddress;
-use crossbeam::channel::{self, Receiver, Sender};
+use amoeba_net::{Transport, TransportSender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use crate::net::{Datagram, LiveNet, NetCache};
+use crate::net::Datagram;
 
 /// A one-shot completion slot for a blocking primitive.
 pub(crate) struct Slot<T> {
@@ -64,12 +65,13 @@ pub(crate) enum Ctl {
 /// State shared between the driver thread and the API handle.
 pub(crate) struct NodeShared {
     pub(crate) core: Mutex<GroupCore>,
-    pub(crate) net: Arc<LiveNet>,
+    pub(crate) net: Arc<dyn Transport>,
     /// This endpoint's frame encoder (reusable scratch, DESIGN.md §7).
     encoder: Mutex<FrameEncoder>,
-    /// This endpoint's epoch-cached membership snapshot: sends read it
-    /// instead of locking the fabric's registry per datagram.
-    net_cache: Mutex<NetCache>,
+    /// This endpoint's sending port on the fabric (carries the
+    /// epoch-cached membership snapshot for the in-memory transport,
+    /// the send-thread queue for UDP).
+    sender: Mutex<Box<dyn TransportSender>>,
     pub(crate) group: GroupId,
     pub(crate) addr: FlipAddress,
     pub(crate) timers: Mutex<HashMap<TimerKind, (u64, Instant)>>,
@@ -96,19 +98,19 @@ pub(crate) struct NodeShared {
 impl NodeShared {
     pub(crate) fn new(
         core: GroupCore,
-        net: Arc<LiveNet>,
+        net: Arc<dyn Transport>,
         group: GroupId,
         addr: FlipAddress,
         events_tx: Sender<GroupEvent>,
         ctl_tx: Sender<Ctl>,
     ) -> Arc<Self> {
         let (send_done_tx, send_done_rx) = channel::unbounded();
-        let net_cache = Mutex::new(net.cache());
+        let sender = Mutex::new(net.sender(addr));
         Arc::new(NodeShared {
             core: Mutex::new(core),
             net,
             encoder: Mutex::new(FrameEncoder::new()),
-            net_cache,
+            sender,
             group,
             addr,
             timers: Mutex::new(HashMap::new()),
@@ -131,13 +133,15 @@ impl NodeShared {
             match action {
                 Action::Send { dest, msg } => {
                     // Zero-copy from here on: large payloads ride as a
-                    // gathered tail segment, and every receiver shares
-                    // the same two refcounted segments (DESIGN.md §7).
+                    // gathered tail segment; the in-memory transport
+                    // refcount-shares the two segments per receiver,
+                    // the UDP transport gather-writes them per
+                    // fragment (DESIGN.md §7, §12).
                     let frame = self.encoder.lock().encode_frame(&msg);
-                    let cache = &mut *self.net_cache.lock();
+                    let sender = &mut *self.sender.lock();
                     match dest {
-                        Dest::Unicast(to) => self.net.unicast(cache, self.addr, to, frame),
-                        Dest::Group => self.net.multicast(cache, self.addr, self.group, frame),
+                        Dest::Unicast(to) => sender.unicast(to, frame),
+                        Dest::Group => sender.multicast(self.group, frame),
                     }
                 }
                 Action::SetTimer { kind, after_us } => {
@@ -194,16 +198,24 @@ impl NodeShared {
         self.run_actions(actions);
     }
 
-    /// Waits for the next send completion, FIFO with submissions.
+    /// Waits for the next send completion, FIFO with submissions. If
+    /// the driver died mid-send (the peer disappeared under us — a
+    /// real outcome once memberships live in separate OS processes),
+    /// the caller gets [`GroupError::Disconnected`], not a panic.
     ///
     /// # Panics
     ///
-    /// Panics after 120 s — the protocol's retry budgets bound every
-    /// send, so an expiry here is a harness bug (see [`Slot::wait`]).
+    /// Panics after 120 s with the driver still alive — the protocol's
+    /// retry budgets bound every send, so an expiry here is a harness
+    /// bug (see [`Slot::wait`]).
     pub(crate) fn wait_send(&self) -> Result<Seqno, GroupError> {
-        self.send_done_rx
-            .recv_timeout(Duration::from_secs(120))
-            .unwrap_or_else(|_| panic!("blocking SendToGroup did not complete within 120s"))
+        match self.send_done_rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Disconnected) => Err(GroupError::Disconnected),
+            Err(RecvTimeoutError::Timeout) => {
+                panic!("blocking SendToGroup did not complete within 120s")
+            }
+        }
     }
 
     fn next_deadline(&self) -> Option<Instant> {

@@ -420,6 +420,12 @@ impl LiveCluster {
     /// (and the gateway member) match the simulated layout.
     pub fn new(spec: ShardSpec, fault: FaultPlan) -> Self {
         let amoeba = Amoeba::new(spec.seed, fault);
+        Self::with_amoeba(spec, amoeba)
+    }
+
+    /// Same, over an already-built runtime — e.g. one speaking real
+    /// UDP sockets via `Amoeba::over_transport` (DESIGN.md §12).
+    pub fn with_amoeba(spec: ShardSpec, amoeba: Amoeba) -> Self {
         let map = spec.initial_map();
         let board = new_board(map.clone());
         let (meta, meta_apps) = build_meta_group(&spec, &map, &board, spec.poll);

@@ -7,18 +7,21 @@
 //! and cross-shard reads.
 //!
 //! Written once against the backend-erased [`Cluster`] trait: the same
-//! workload drives the live threaded runtime or the simulated 1996
-//! kernel, selected by `--sim` ("write once, run on both backends",
-//! README.md).
+//! workload drives the live threaded runtime, the simulated 1996
+//! kernel, or real UDP loopback sockets, selected by `--sim` / `--udp`
+//! ("write once, run on any backend", README.md).
 //!
 //! ```text
 //! cargo run --example replicated_kv          # live runtime
 //! cargo run --example replicated_kv -- --sim # simulated kernel
+//! cargo run --example replicated_kv -- --udp # real UDP sockets
 //! ```
+
+use std::sync::Arc;
 
 use amoeba::app::Backend;
 use amoeba::core::audit::EndFate;
-use amoeba::runtime::FaultPlan;
+use amoeba::runtime::{Amoeba, FaultPlan, Transport, UdpConfig, UdpNet};
 use amoeba::shard::{
     audit_group, key_hash, lost_acked_writes, run_reshard, run_until, Cluster, Completion,
     LiveCluster, ReshardGoal, ShardSpec, SimCluster,
@@ -109,6 +112,15 @@ fn main() {
         }
         Backend::Live => {
             let mut c = LiveCluster::new(spec, FaultPlan::reliable());
+            drive(&mut c);
+            assert!(c.halt(), "apps did not stop");
+            let stats = c.router().stats().clone();
+            let acked = c.router().acked_writes().clone();
+            (stats, c.groups, c.board, acked)
+        }
+        Backend::Udp => {
+            let net: Arc<dyn Transport> = UdpNet::new(UdpConfig::default());
+            let mut c = LiveCluster::with_amoeba(spec, Amoeba::over_transport(net, 1));
             drive(&mut c);
             assert!(c.halt(), "apps did not stop");
             let stats = c.router().stats().clone();

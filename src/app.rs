@@ -44,8 +44,11 @@ pub use amoeba_app::{AppEvent, Ctx, GroupApp, SenderApp, TimerId};
 pub use amoeba_kernel::{SimHost, SimRun};
 pub use amoeba_runtime::LiveHost;
 
+use std::sync::Arc;
+
 use amoeba_core::{GroupConfig, GroupId};
-use amoeba_runtime::FaultPlan;
+use amoeba_net::{Transport, UdpConfig, UdpNet};
+use amoeba_runtime::{Amoeba, FaultPlan};
 use amoeba_sim::SimDuration;
 
 /// Which backend hosts the apps.
@@ -58,16 +61,28 @@ pub enum Backend {
     /// The live multi-threaded runtime: real concurrency, wall-clock
     /// time, fault injection via [`FaultPlan`].
     Live,
+    /// The live runtime over real UDP sockets (DESIGN.md §12): every
+    /// member owns a loopback `UdpSocket` and frames genuinely leave
+    /// the process boundary as datagrams. [`RunSpec::fault`] is
+    /// ignored — a real wire injects its own faults. (For members in
+    /// *separate* OS processes, see `amoeba_runtime::multiproc`; this
+    /// backend keeps the apps in one process so their final state
+    /// stays inspectable, which is what the conformance contract
+    /// compares.)
+    Udp,
 }
 
 impl Backend {
     /// Picks the backend from the process arguments: `--sim` selects
-    /// [`Backend::Sim`], anything else (including nothing) selects
-    /// [`Backend::Live`]. This is the convention every shipped example
-    /// follows ("write once, run on both backends", README.md).
+    /// [`Backend::Sim`], `--udp` selects [`Backend::Udp`], anything
+    /// else (including nothing) selects [`Backend::Live`]. This is
+    /// the convention every shipped example follows ("write once, run
+    /// on any backend", README.md).
     pub fn from_args() -> Backend {
         if std::env::args().any(|a| a == "--sim") {
             Backend::Sim
+        } else if std::env::args().any(|a| a == "--udp") {
+            Backend::Udp
         } else {
             Backend::Live
         }
@@ -79,6 +94,7 @@ impl std::fmt::Display for Backend {
         match self {
             Backend::Sim => write!(f, "simulated kernel"),
             Backend::Live => write!(f, "live runtime"),
+            Backend::Udp => write!(f, "live runtime over UDP sockets"),
         }
     }
 }
@@ -164,6 +180,15 @@ pub fn run(
         }
         Backend::Live => {
             let mut host = LiveHost::new(spec.seed, spec.fault, spec.group, spec.config);
+            for app in apps {
+                host.add_app(app);
+            }
+            host.run()
+        }
+        Backend::Udp => {
+            let net: Arc<dyn Transport> = UdpNet::new(UdpConfig::default());
+            let amoeba = Amoeba::over_transport(net, 1);
+            let mut host = LiveHost::with_amoeba(amoeba, spec.group, spec.config);
             for app in apps {
                 host.add_app(app);
             }

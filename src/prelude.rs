@@ -13,5 +13,5 @@ pub use crate::core::{
     BatchPolicy, Error, GroupConfig, GroupError, GroupEvent, GroupId, GroupInfo, MemberId,
     Method, Seqno, ViewId,
 };
-pub use crate::runtime::{Amoeba, FaultPlan, GroupHandle};
+pub use crate::runtime::{Amoeba, FaultPlan, GroupHandle, Transport, UdpConfig, UdpNet};
 pub use bytes::Bytes;

@@ -1,9 +1,11 @@
 //! Cross-backend conformance: the same `GroupApp` scenario, driven
-//! through the simulated kernel (`SimHost`) and the live runtime
-//! (`LiveHost`), must produce *identical per-member delivery orders* —
-//! the portability contract of DESIGN.md §8. Three scripts hold the
-//! line: steady scripted traffic, pipelined bursts with batching on
-//! and off, and a sequencer crash + `ResetGroup` recovery.
+//! through the simulated kernel (`SimHost`), the live runtime
+//! (`LiveHost`), and the live runtime over real UDP sockets
+//! (`Backend::Udp`, DESIGN.md §12), must produce *identical per-member
+//! delivery orders* — the portability contract of DESIGN.md §8. Three
+//! scripts hold the line: steady scripted traffic, pipelined bursts
+//! with batching on and off, and a sequencer crash + `ResetGroup`
+//! recovery.
 
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -85,6 +87,7 @@ fn steady_traffic_delivery_orders_agree_across_backends() {
     };
     let sim = run_scenario(Backend::Sim, RunSpec::new(5), MEMBERS, make);
     let live = run_scenario(Backend::Live, RunSpec::new(5), MEMBERS, make);
+    let udp = run_scenario(Backend::Udp, RunSpec::new(5), MEMBERS, make);
 
     // The script pins the order outright…
     let expected: Vec<(u32, String)> =
@@ -92,8 +95,9 @@ fn steady_traffic_delivery_orders_agree_across_backends() {
     for (m, log) in sim.iter().enumerate() {
         assert_eq!(log, &expected, "sim member {m} diverged from the script");
     }
-    // …and the live runtime must land on exactly the same one.
-    assert_eq!(sim, live, "per-member delivery orders differ between backends");
+    // …and both live fabrics must land on exactly the same one.
+    assert_eq!(sim, live, "per-member delivery orders differ between sim and live");
+    assert_eq!(sim, udp, "per-member delivery orders differ between sim and UDP");
 }
 
 // ---------------------------------------------------------------------
@@ -159,11 +163,15 @@ fn burst_logs(backend: Backend, config: GroupConfig) -> Vec<Vec<(u32, String)>> 
 fn pipelined_bursts_agree_across_backends_with_batching_off_and_on() {
     let off_sim = burst_logs(Backend::Sim, GroupConfig::default());
     let off_live = burst_logs(Backend::Live, GroupConfig::default());
+    let off_udp = burst_logs(Backend::Udp, GroupConfig::default());
     assert_eq!(off_sim, off_live, "batching-off burst orders differ between backends");
+    assert_eq!(off_sim, off_udp, "batching-off burst orders differ on UDP");
 
     let on_sim = burst_logs(Backend::Sim, GroupConfig::with_batching(4));
     let on_live = burst_logs(Backend::Live, GroupConfig::with_batching(4));
+    let on_udp = burst_logs(Backend::Udp, GroupConfig::with_batching(4));
     assert_eq!(on_sim, on_live, "batching-on burst orders differ between backends");
+    assert_eq!(on_sim, on_udp, "batching-on burst orders differ on UDP");
 
     // Batching amortizes interrupts; it must not reorder anything.
     assert_eq!(off_sim, on_sim, "batching changed the delivery order");
@@ -189,12 +197,14 @@ fn bb_steady_traffic_agrees_across_backends() {
     let spec = || RunSpec::new(21).with_config(config.clone());
     let sim = run_scenario(Backend::Sim, spec(), MEMBERS, make);
     let live = run_scenario(Backend::Live, spec(), MEMBERS, make);
+    let udp = run_scenario(Backend::Udp, spec(), MEMBERS, make);
     let expected: Vec<(u32, String)> =
         (0..TOTAL).map(|k| (k % MEMBERS as u32, format!("m{k}"))).collect();
     for (m, log) in sim.iter().enumerate() {
         assert_eq!(log, &expected, "BB sim member {m} diverged from the script");
     }
     assert_eq!(sim, live, "BB per-member delivery orders differ between backends");
+    assert_eq!(sim, udp, "BB per-member delivery orders differ on UDP");
 }
 
 #[test]
@@ -271,8 +281,10 @@ fn requests_after_stop_are_void_on_both_backends() {
     let make = |log| Box::new(StopThenSend { log }) as Box<dyn GroupApp>;
     let sim = run_scenario(Backend::Sim, RunSpec::new(17), 2, make);
     let live = run_scenario(Backend::Live, RunSpec::new(17), 2, make);
+    let udp = run_scenario(Backend::Udp, RunSpec::new(17), 2, make);
     assert_eq!(sim, vec![Vec::new(), Vec::new()], "a post-stop send was ordered on sim");
     assert_eq!(sim, live, "post-stop semantics differ between backends");
+    assert_eq!(sim, udp, "post-stop semantics differ on UDP");
 }
 
 // ---------------------------------------------------------------------
@@ -371,6 +383,7 @@ fn crash_and_reset_script_agrees_across_backends() {
     let spec = || RunSpec::new(13).with_config(config.clone());
     let sim = run_scenario(Backend::Sim, spec(), 3, make);
     let live = run_scenario(Backend::Live, spec(), 3, make);
+    let udp = run_scenario(Backend::Udp, spec(), 3, make);
 
     let pre: Vec<(u32, String)> =
         (0..3).map(|k| (k, format!("m{k}"))).collect();
@@ -382,6 +395,7 @@ fn crash_and_reset_script_agrees_across_backends() {
     assert_eq!(sim[1], full, "sim: survivor 1 log");
     assert_eq!(sim[2], full, "sim: survivor 2 log");
     assert_eq!(sim, live, "crash + reset delivery orders differ between backends");
+    assert_eq!(sim, udp, "crash + reset delivery orders differ on UDP");
 }
 
 // ---------------------------------------------------------------------
